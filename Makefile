@@ -1,0 +1,42 @@
+# Convenience targets for the videocdn reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short race fuzz bench experiments experiments-small fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/edge/ ./internal/store/ ./internal/shard/ ./internal/sim/
+
+fuzz:
+	$(GO) test -fuzz=FuzzBinaryReader -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzTextReader -fuzztime=30s ./internal/trace/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure and table of the paper (plus extensions).
+experiments:
+	$(GO) run ./cmd/experiments -fig all -scale default
+
+experiments-small:
+	$(GO) run ./cmd/experiments -fig all -scale small
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,176 @@
+// Command cdnserver runs the HTTP cache hierarchy: an origin, an
+// optional secondary (deep) cache, and an edge cache, each an HTTP
+// server speaking byte ranges and 302 redirects.
+//
+// Modes:
+//
+//	cdnserver -mode origin -listen :8080
+//	cdnserver -mode edge -listen :8081 -origin http://localhost:8080 \
+//	          -redirect http://localhost:8082 -algo cafe -alpha 2 -disk-gb 1
+//
+// Then fetch through the edge:
+//
+//	curl -v 'http://localhost:8081/video?v=42&start=0&end=1048575'
+//	curl 'http://localhost:8081/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"videocdn/internal/cafe"
+	"videocdn/internal/core"
+	"videocdn/internal/edge"
+	"videocdn/internal/purelru"
+	"videocdn/internal/store"
+	"videocdn/internal/xlru"
+)
+
+func main() {
+	mode := flag.String("mode", "edge", "server mode: origin or edge")
+	listen := flag.String("listen", ":8081", "listen address")
+	origin := flag.String("origin", "http://localhost:8080", "origin base URL (edge mode)")
+	redirect := flag.String("redirect", "", "redirect target base URL (edge mode)")
+	algo := flag.String("algo", "cafe", "edge algorithm: xlru, cafe or lru")
+	alpha := flag.Float64("alpha", 2, "alpha_F2R")
+	diskGB := flag.Float64("disk-gb", 1, "edge disk size in GB")
+	chunkMB := flag.Float64("chunk-mb", 2, "chunk size in MB")
+	dataDir := flag.String("data", "", "chunk store directory (default: in-memory)")
+	statePath := flag.String("state", "", "cafe state snapshot: loaded on start if present, saved on SIGINT/SIGTERM (edge mode, cafe only)")
+	minMB := flag.Int64("origin-min-mb", 8, "origin catalog min video size (MB)")
+	maxMB := flag.Int64("origin-max-mb", 256, "origin catalog max video size (MB)")
+	flag.Parse()
+
+	chunkSize := int64(*chunkMB * (1 << 20))
+	switch *mode {
+	case "origin":
+		catalog := edge.DeterministicCatalog{MinBytes: *minMB << 20, MaxBytes: *maxMB << 20}
+		o, err := edge.NewOrigin(catalog, chunkSize)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("origin listening on %s (chunk %d bytes)", *listen, chunkSize)
+		fatal(http.ListenAndServe(*listen, o))
+	case "edge":
+		if *redirect == "" {
+			fatal(fmt.Errorf("-redirect is required in edge mode (the alternative server location)"))
+		}
+		cfg := core.Config{ChunkSize: chunkSize, DiskChunks: int(*diskGB * (1 << 30) / float64(chunkSize))}
+		var c core.Cache
+		var err error
+		switch *algo {
+		case "xlru":
+			c, err = xlru.New(cfg, *alpha)
+		case "cafe":
+			c, err = loadOrNewCafe(*statePath, cfg, *alpha)
+		case "lru":
+			c, err = purelru.New(cfg)
+		default:
+			err = fmt.Errorf("unknown algorithm %q (offline psychic cannot serve live traffic)", *algo)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *statePath != "" && *algo != "cafe" {
+			fatal(fmt.Errorf("-state is only supported with -algo cafe"))
+		}
+		var st store.Store
+		if *dataDir != "" {
+			st, err = store.NewFS(*dataDir)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			st = store.NewMem()
+		}
+		srv, err := edge.NewServer(edge.Config{
+			Cache:       c,
+			Store:       st,
+			OriginURL:   *origin,
+			RedirectURL: *redirect,
+			ChunkSize:   chunkSize,
+			Alpha:       *alpha,
+			Client:      &http.Client{Timeout: 60 * time.Second},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *statePath != "" {
+			if cc, ok := c.(*cafe.Cache); ok {
+				installStateSaver(cc, *statePath)
+			}
+		}
+		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk) on %s -> origin %s, redirects to %s",
+			*algo, *alpha, cfg.DiskChunks, *listen, *origin, *redirect)
+		fatal(http.ListenAndServe(*listen, srv))
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// loadOrNewCafe restores a Cafe snapshot from path if one exists,
+// otherwise builds a fresh cache. A snapshot whose configuration does
+// not match the flags is rejected rather than silently reinterpreted.
+func loadOrNewCafe(path string, cfg core.Config, alpha float64) (core.Cache, error) {
+	if path == "" {
+		return cafe.New(cfg, alpha, cafe.Options{})
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		log.Printf("no state at %s; starting cold", path)
+		return cafe.New(cfg, alpha, cafe.Options{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := cafe.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("restoring %s: %w", path, err)
+	}
+	log.Printf("restored cafe state from %s (%d chunks warm)", path, c.Len())
+	return c, nil
+}
+
+// installStateSaver snapshots the cache to path on SIGINT/SIGTERM,
+// then exits. The HTTP server holds its own lock around the cache, so
+// a handler mid-request could race a signal; the exposure window is
+// the process's final milliseconds and a torn snapshot fails loudly on
+// load (checksummed by structure), which we accept for an example
+// server.
+func installStateSaver(c *cafe.Cache, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err == nil {
+			if err = c.Save(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err == nil {
+				err = os.Rename(tmp, path)
+			}
+		}
+		if err != nil {
+			log.Printf("saving state: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("saved cafe state to %s (%d chunks)", path, c.Len())
+		os.Exit(0)
+	}()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdnserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Command cdnsim replays a request trace through a caching algorithm
+// and reports the paper's metrics: cache efficiency (Eq. 2), ingress
+// and redirect ratios, plus an optional hourly series CSV.
+//
+// Usage:
+//
+//	tracegen -profile europe -days 14 -o eu.trace
+//	cdnsim -trace eu.trace -algo cafe -alpha 2 -disk-gb 16
+//	cdnsim -trace eu.trace -algo xlru,cafe,psychic -alpha 2 -series series.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"videocdn/internal/belady"
+	"videocdn/internal/cafe"
+	"videocdn/internal/core"
+	"videocdn/internal/cost"
+	"videocdn/internal/gdsp"
+	"videocdn/internal/lruk"
+	"videocdn/internal/psychic"
+	"videocdn/internal/purelru"
+	"videocdn/internal/sim"
+	"videocdn/internal/trace"
+	"videocdn/internal/xlru"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (binary or text)")
+	format := flag.String("format", "binary", "trace format: binary or text")
+	algos := flag.String("algo", "cafe", "comma-separated algorithms: xlru,cafe,psychic,lru,gdsp,lruk,belady")
+	alpha := flag.Float64("alpha", 2, "fill-to-redirect preference alpha_F2R")
+	diskGB := flag.Float64("disk-gb", 16, "disk size in GB")
+	chunkMB := flag.Float64("chunk-mb", 2, "chunk size in MB")
+	seriesOut := flag.String("series", "", "write hourly series CSV to this file")
+	gamma := flag.Float64("gamma", cafe.DefaultGamma, "Cafe EWMA factor")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var r trace.Reader
+	switch *format {
+	case "binary":
+		r = trace.NewBinaryReader(f)
+	case "text":
+		r = trace.NewTextReader(f)
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	reqs, err := trace.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(reqs) == 0 {
+		fatal(fmt.Errorf("trace %s is empty", *tracePath))
+	}
+
+	chunkSize := int64(*chunkMB * (1 << 20))
+	cfg := core.Config{
+		ChunkSize:  chunkSize,
+		DiskChunks: int(*diskGB * (1 << 30) / float64(chunkSize)),
+	}
+	model, err := cost.NewModel(*alpha)
+	if err != nil {
+		fatal(err)
+	}
+
+	var seriesFile *os.File
+	if *seriesOut != "" {
+		seriesFile, err = os.Create(*seriesOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer seriesFile.Close()
+		fmt.Fprintln(seriesFile, "algo,hour,requested_bytes,filled_bytes,redirected_bytes,ingress,redirect,efficiency")
+	}
+
+	fmt.Printf("%d requests, disk %d chunks (%.1f GB), alpha=%.2g\n\n",
+		len(reqs), cfg.DiskChunks, *diskGB, *alpha)
+	fmt.Printf("%-8s %10s %10s %10s %9s %9s\n", "algo", "eff", "ingress", "redirect", "served", "redirects")
+	for _, name := range strings.Split(*algos, ",") {
+		name = strings.TrimSpace(name)
+		var c core.Cache
+		switch name {
+		case "xlru":
+			c, err = xlru.New(cfg, *alpha)
+		case "cafe":
+			c, err = cafe.New(cfg, *alpha, cafe.Options{Gamma: *gamma})
+		case "psychic":
+			c, err = psychic.New(cfg, *alpha, reqs, psychic.Options{})
+		case "lru":
+			c, err = purelru.New(cfg)
+		case "gdsp":
+			c, err = gdsp.New(cfg)
+		case "belady":
+			c, err = belady.New(cfg, reqs)
+		case "lruk":
+			c, err = lruk.New(cfg, lruk.DefaultK)
+		default:
+			err = fmt.Errorf("unknown algorithm %q", name)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Replay(c, reqs, model, sim.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s %9.1f%% %9.1f%% %9.1f%% %9d %9d\n",
+			name, 100*res.Efficiency(), 100*res.IngressRatio(), 100*res.RedirectRatio(),
+			res.Served, res.Redirected)
+		if seriesFile != nil {
+			for _, b := range res.Series.Buckets() {
+				if b.Counters.Requested == 0 {
+					continue
+				}
+				fmt.Fprintf(seriesFile, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f\n",
+					name, b.Start/3600, b.Counters.Requested, b.Counters.Filled,
+					b.Counters.Redirected, b.Counters.IngressRatio(),
+					b.Counters.RedirectRatio(), b.Counters.Efficiency(model))
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdnsim:", err)
+	os.Exit(1)
+}

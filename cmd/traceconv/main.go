@@ -1,0 +1,85 @@
+// Command traceconv converts between trace formats: CSV access logs
+// (header-driven column mapping), the line-oriented text format, and
+// the compact binary format.
+//
+// Usage:
+//
+//	traceconv -in logs.csv -in-format csv -out eu.trace -out-format binary
+//	traceconv -in eu.trace -in-format binary -out eu.txt -out-format text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"videocdn/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	out := flag.String("out", "", "output file (default stdout)")
+	inFormat := flag.String("in-format", "csv", "input format: csv, text or binary")
+	outFormat := flag.String("out-format", "binary", "output format: text or binary")
+	sep := flag.String("csv-sep", ",", "CSV field separator")
+	noRebase := flag.Bool("no-rebase", false, "keep absolute CSV timestamps instead of rebasing to t=0")
+	flag.Parse()
+
+	inF := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		inF = f
+	}
+	var reqs []trace.Request
+	var err error
+	switch *inFormat {
+	case "csv":
+		var comma rune
+		for _, c := range *sep {
+			comma = c
+			break
+		}
+		reqs, err = trace.ImportCSV(inF, trace.ImportOptions{Comma: comma, DisableRebase: *noRebase})
+	case "text":
+		reqs, err = trace.ReadAll(trace.NewTextReader(inF))
+	case "binary":
+		reqs, err = trace.ReadAll(trace.NewBinaryReader(inF))
+	default:
+		err = fmt.Errorf("unknown input format %q", *inFormat)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	outF := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		outF = f
+	}
+	var w trace.Writer
+	switch *outFormat {
+	case "text":
+		w = trace.NewTextWriter(outF)
+	case "binary":
+		w = trace.NewBinaryWriter(outF)
+	default:
+		fatal(fmt.Errorf("unknown output format %q", *outFormat))
+	}
+	if err := trace.WriteAll(w, reqs); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "converted %d requests\n", len(reqs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceconv:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Command traceinfo characterizes a request trace: popularity skew,
+// diurnal shape, intra-file prefix bias, request sizes and catalog
+// churn — the dimensions that drive video-cache behaviour (Sections 2
+// and 9 of the paper).
+//
+// Usage:
+//
+//	tracegen -profile europe -days 14 -o eu.trace
+//	traceinfo -trace eu.trace
+//	traceinfo -trace logs.txt -format text -chunk-mb 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"videocdn/internal/analyze"
+	"videocdn/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (binary or text)")
+	format := flag.String("format", "binary", "trace format: binary or text")
+	chunkMB := flag.Float64("chunk-mb", 2, "chunk size in MB (for chunk-level stats)")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var r trace.Reader
+	switch *format {
+	case "binary":
+		r = trace.NewBinaryReader(f)
+	case "text":
+		r = trace.NewTextReader(f)
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	reqs, err := trace.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := analyze.Analyze(reqs, int64(*chunkMB*(1<<20)))
+	if err != nil {
+		fatal(err)
+	}
+	rep.Print(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Hierarchy: a two-level line of defense, the deployment Section 2 of
+// the paper sketches — an ingress-constrained edge (alpha_F2R = 2)
+// whose redirected requests land on a larger, unconstrained parent
+// cache (alpha_F2R = 1) with a deeper disk.
+//
+// The example replays a workload through the edge, feeds exactly the
+// redirected requests to the parent, and reports per-tier and
+// CDN-level results: how much traffic each line of defense absorbed
+// and how little reached the origin.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	videocdn "videocdn"
+)
+
+func main() {
+	profile, err := videocdn.WorkloadProfileByName("europe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile.RequestsPerDay = 4000
+	profile.CatalogSize = 800
+	profile.NewVideosPerDay = 30
+	reqs, err := videocdn.GenerateWorkload(profile, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tier 1: small edge disk, ingress-constrained (its uplink is the
+	// shared backbone). Tier 2: 4x deeper parent, indifferent
+	// (alpha=1) because it sits next to the origin.
+	edge, err := videocdn.NewCafe(videocdn.DefaultChunkSize, 2<<30, 2, videocdn.CafeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parent, err := videocdn.NewCafe(videocdn.DefaultChunkSize, 8<<30, 1, videocdn.CafeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		totalBytes, edgeHitBytes, edgeFillBytes int64
+		parentBytes, parentHitBytes, parentFill int64
+		parentMissBytes                         int64
+		redirected                              []videocdn.Request
+	)
+	for _, r := range reqs {
+		totalBytes += r.Bytes()
+		out := edge.HandleRequest(r)
+		if out.Decision == videocdn.Serve {
+			edgeHitBytes += r.Bytes()
+			edgeFillBytes += out.FilledBytes
+			continue
+		}
+		// 302 to the parent: same request, same timestamp.
+		redirected = append(redirected, r)
+		parentBytes += r.Bytes()
+		pout := parent.HandleRequest(r)
+		if pout.Decision == videocdn.Serve {
+			parentHitBytes += r.Bytes()
+			parentFill += pout.FilledBytes
+		} else {
+			// The parent declined too: in a real CDN this request is
+			// served by (or proxied to) the origin tier directly.
+			parentMissBytes += r.Bytes()
+		}
+	}
+
+	pctOf := func(part, whole int64) float64 {
+		if whole == 0 {
+			return 0
+		}
+		return 100 * float64(part) / float64(whole)
+	}
+	fmt.Printf("requests: %d (%.1f GB requested)\n\n", len(reqs), float64(totalBytes)/(1<<30))
+	fmt.Println("tier 1 — edge (2 GB disk, alpha=2, ingress-constrained):")
+	fmt.Printf("  served locally:   %5.1f%% of bytes (cache-filling %.1f GB over its uplink)\n",
+		pctOf(edgeHitBytes, totalBytes), float64(edgeFillBytes)/(1<<30))
+	fmt.Printf("  redirected:       %5.1f%% -> parent (%d requests)\n\n",
+		pctOf(parentBytes, totalBytes), len(redirected))
+	fmt.Println("tier 2 — parent (8 GB disk, alpha=1):")
+	fmt.Printf("  served:           %5.1f%% of its incoming bytes (filled %.1f GB from origin)\n",
+		pctOf(parentHitBytes, parentBytes), float64(parentFill)/(1<<30))
+	fmt.Printf("  passed to origin: %5.1f%%\n\n", pctOf(parentMissBytes, parentBytes))
+	fmt.Println("CDN view:")
+	fmt.Printf("  absorbed at edge:     %5.1f%%\n", pctOf(edgeHitBytes, totalBytes))
+	fmt.Printf("  absorbed at parent:   %5.1f%%\n", pctOf(parentHitBytes, totalBytes))
+	fmt.Printf("  reached origin tier:  %5.1f%%  (plus %.1f GB of cache-fill ingress)\n",
+		pctOf(parentMissBytes, totalBytes), float64(edgeFillBytes+parentFill)/(1<<30))
+}

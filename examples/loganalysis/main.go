@@ -1,0 +1,102 @@
+// Loganalysis: the operator journey from raw access logs to a
+// configured cache server.
+//
+//  1. Import a CSV access log (here: synthesized and round-tripped
+//     through the importer, standing in for your real logs).
+//  2. Characterize it — does it look like the video traffic regime the
+//     algorithms target (Zipf skew, diurnal load, prefix bias)?
+//  3. Replay it against candidate configurations: a static alpha, a
+//     hard disk-write budget, and the dynamic alpha control loop.
+//  4. Report the trade-offs and pick.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	videocdn "videocdn"
+)
+
+func main() {
+	// --- 1. Obtain a log. Real deployments: read your CSV export.
+	// Columns are discovered from the header; extra columns ignored.
+	csvLog := synthesizeCSV()
+	reqs, err := videocdn.ImportCSVTrace(bytes.NewReader(csvLog), videocdn.CSVImportOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported %d requests from CSV\n\n", len(reqs))
+
+	// --- 2. Characterize.
+	report, err := videocdn.AnalyzeTrace(reqs, videocdn.DefaultChunkSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Print(os.Stdout)
+	fmt.Println()
+
+	// --- 3. Candidate configurations, all on a 2 GB disk.
+	const disk = 2 << 30
+	type candidate struct {
+		name string
+		mk   func() (videocdn.Cache, error)
+	}
+	budget, err := videocdn.NewWriteBudget(200, 3600) // 200 chunk writes/hour
+	if err != nil {
+		log.Fatal(err)
+	}
+	candidates := []candidate{
+		{"cafe alpha=2 (static)", func() (videocdn.Cache, error) {
+			return videocdn.NewCafe(videocdn.DefaultChunkSize, disk, 2, videocdn.CafeOptions{})
+		}},
+		{"cafe alpha=1 + write budget", func() (videocdn.Cache, error) {
+			return videocdn.NewBudgetedCafe(videocdn.DefaultChunkSize, disk, 1, videocdn.CafeOptions{}, budget)
+		}},
+		{"cafe + alpha control loop", func() (videocdn.Cache, error) {
+			return videocdn.NewControlledCafe(videocdn.DefaultChunkSize, disk, 1, videocdn.CafeOptions{},
+				videocdn.AlphaControlConfig{TargetIngress: 0.06, MinAlpha: 1, MaxAlpha: 4})
+		}},
+	}
+
+	fmt.Printf("%-30s %12s %10s %10s\n", "configuration", "efficiency", "ingress", "redirect")
+	for _, cand := range candidates {
+		c, err := cand.mk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Score all candidates under the constrained server's true
+		// preference (alpha=2) for comparability.
+		res, err := videocdn.Replay(c, reqs, 2, videocdn.ReplayOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s %11.1f%% %9.1f%% %9.1f%%\n",
+			cand.name, 100*res.Efficiency(), 100*res.IngressRatio(), 100*res.RedirectRatio())
+	}
+	fmt.Println("\npick the static alpha for best efficiency, the budget for a hard write cap,")
+	fmt.Println("or the control loop when the ingress target matters more than hand-tuning.")
+}
+
+// synthesizeCSV builds a CSV access log from the workload generator —
+// the stand-in for a production log export.
+func synthesizeCSV() []byte {
+	profile, err := videocdn.WorkloadProfileByName("asia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile.RequestsPerDay = 3000
+	profile.CatalogSize = 400
+	profile.NewVideosPerDay = 15
+	reqs, err := videocdn.GenerateWorkload(profile, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("time,video,start,end\n")
+	for _, r := range reqs {
+		fmt.Fprintf(&buf, "%d,%d,%d,%d\n", r.Time, r.Video, r.Start, r.End)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a Cafe cache, replay a synthetic workload through
+// it, and read the paper's metrics (cache efficiency, ingress and
+// redirect ratios).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	videocdn "videocdn"
+)
+
+func main() {
+	// A cache server with a 4 GB disk of 2 MB chunks, configured as
+	// ingress-constrained (alpha_F2R = 2: a cache-filled byte costs
+	// twice a redirected byte).
+	const alpha = 2.0
+	cache, err := videocdn.NewCafe(videocdn.DefaultChunkSize, 4<<30, alpha, videocdn.CafeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthesize a week of requests from the (scaled-down) European
+	// server profile. In production you would parse your own logs
+	// into []videocdn.Request instead.
+	profile, err := videocdn.WorkloadProfileByName("europe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile.RequestsPerDay = 4000
+	profile.CatalogSize = 800
+	profile.NewVideosPerDay = 30
+	reqs, err := videocdn.GenerateWorkload(profile, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d requests through %s (alpha_F2R=%.1f)...\n",
+		len(reqs), cache.Name(), alpha)
+
+	// Replay and report. Efficiency is Eq. 2 of the paper: 1 minus
+	// cost-weighted ingress and redirect fractions, measured over the
+	// steady-state second half of the trace.
+	res, err := videocdn.Replay(cache, reqs, alpha, videocdn.ReplayOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache efficiency: %5.1f%%\n", 100*res.Efficiency())
+	fmt.Printf("ingress ratio:    %5.1f%% of requested bytes were cache-filled\n", 100*res.IngressRatio())
+	fmt.Printf("redirect ratio:   %5.1f%% of requested bytes were redirected\n", 100*res.RedirectRatio())
+	fmt.Printf("decisions:        %d served, %d redirected\n", res.Served, res.Redirected)
+
+	// The cache is also usable one request at a time — this is what a
+	// live server does per incoming request.
+	next := videocdn.Request{
+		Time:  reqs[len(reqs)-1].Time + 10,
+		Video: reqs[len(reqs)-1].Video,
+		Start: 0,
+		End:   videocdn.DefaultChunkSize - 1,
+	}
+	out := cache.HandleRequest(next)
+	fmt.Printf("one more request for video %d: %v (filled %d chunks)\n",
+		next.Video, out.Decision, out.FilledChunks)
+}

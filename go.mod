@@ -1,0 +1,3 @@
+module videocdn
+
+go 1.22

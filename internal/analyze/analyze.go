@@ -1,0 +1,318 @@
+// Package analyze characterizes request traces along the dimensions
+// the paper's algorithms are sensitive to: video popularity skew
+// (Zipf exponent, head/tail shares), diurnal load shape, intra-file
+// chunk popularity (prefix bias), request size distribution, and
+// catalog churn (never-seen-before videos).
+//
+// It serves two purposes: validating that synthetic workloads resemble
+// production video traffic (the tests in internal/workload build on
+// it), and letting a user of this library check whether their own
+// trace falls in the regime the paper's results cover.
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/trace"
+)
+
+// Report is the full characterization of one trace.
+type Report struct {
+	Requests     int
+	UniqueVideos int
+	TotalBytes   int64
+	Days         float64
+
+	Popularity PopularityReport
+	Diurnal    DiurnalReport
+	IntraFile  IntraFileReport
+	Sizes      SizeReport
+	Churn      ChurnReport
+}
+
+// PopularityReport describes the video popularity distribution.
+type PopularityReport struct {
+	// ZipfExponent is the fitted s of count ∝ 1/rank^s over the head
+	// of the ranking (least-squares in log-log space).
+	ZipfExponent float64
+	// Top1Share / Top10Share are the request shares of the hottest 1%
+	// and 10% of videos.
+	Top1Share, Top10Share float64
+	// SingleHitShare is the fraction of videos requested exactly once
+	// — the paper's heavy tail ("files on the borderline of caching
+	// ... have very few accesses").
+	SingleHitShare float64
+}
+
+// DiurnalReport describes the hour-of-day load shape.
+type DiurnalReport struct {
+	// ByHour is the request count per hour-of-day (0-23).
+	ByHour [24]int
+	// PeakHour is the busiest hour-of-day.
+	PeakHour int
+	// PeakTroughRatio is max/min hourly volume.
+	PeakTroughRatio float64
+}
+
+// IntraFileReport describes chunk-position popularity within files.
+type IntraFileReport struct {
+	// PrefixShare[i] is the fraction of requests covering the i-th
+	// decile of their video's observed extent; index 0 is the file
+	// head. Prefix-biased workloads are front-loaded.
+	PrefixShare [10]float64
+	// FirstChunkRatio is requests touching chunk 0 divided by
+	// requests touching the chunk at the observed median position.
+	FirstChunkRatio float64
+}
+
+// SizeReport describes request byte lengths.
+type SizeReport struct {
+	MeanBytes     float64
+	P50, P90, P99 int64
+}
+
+// ChurnReport describes catalog dynamics.
+type ChurnReport struct {
+	// NewVideosPerDay is the average number of videos first seen on
+	// each day after the first.
+	NewVideosPerDay float64
+	// FreshRequestShare is the fraction of requests (after day 1)
+	// that target a video first seen that same day.
+	FreshRequestShare float64
+}
+
+// Analyze characterizes the trace at the given chunk size.
+func Analyze(reqs []trace.Request, chunkSize int64) (*Report, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("analyze: empty trace")
+	}
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("analyze: chunk size must be positive")
+	}
+	r := &Report{Requests: len(reqs)}
+	hits := make(map[chunk.VideoID]int)
+	maxEnd := make(map[chunk.VideoID]int64)
+	firstSeen := make(map[chunk.VideoID]int64)
+	start := reqs[0].Time
+	end := reqs[len(reqs)-1].Time
+	r.Days = float64(end-start) / 86400
+
+	sizes := make([]int64, 0, len(reqs))
+	for _, req := range reqs {
+		hits[req.Video]++
+		r.TotalBytes += req.Bytes()
+		sizes = append(sizes, req.Bytes())
+		if req.End > maxEnd[req.Video] {
+			maxEnd[req.Video] = req.End
+		}
+		if _, ok := firstSeen[req.Video]; !ok {
+			firstSeen[req.Video] = req.Time
+		}
+	}
+	r.UniqueVideos = len(hits)
+	r.Popularity = popularity(hits, len(reqs))
+	r.Diurnal = diurnal(reqs)
+	r.IntraFile = intraFile(reqs, maxEnd, chunkSize)
+	r.Sizes = sizeReport(sizes)
+	r.Churn = churn(reqs, firstSeen, start)
+	return r, nil
+}
+
+func popularity(hits map[chunk.VideoID]int, total int) PopularityReport {
+	counts := make([]int, 0, len(hits))
+	single := 0
+	for _, c := range hits {
+		counts = append(counts, c)
+		if c == 1 {
+			single++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	var rep PopularityReport
+	rep.SingleHitShare = float64(single) / float64(len(counts))
+	share := func(frac float64) float64 {
+		n := int(math.Ceil(frac * float64(len(counts))))
+		if n < 1 {
+			n = 1
+		}
+		s := 0
+		for _, c := range counts[:n] {
+			s += c
+		}
+		return float64(s) / float64(total)
+	}
+	rep.Top1Share = share(0.01)
+	rep.Top10Share = share(0.10)
+	// Least-squares fit of log(count) = a - s*log(rank) over the head
+	// (ranks with count >= 2, capped at the top 20% to avoid the
+	// noisy tail).
+	head := len(counts) / 5
+	if head < 2 {
+		head = min2(2, len(counts))
+	}
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := 0; i < head && counts[i] >= 2; i++ {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(counts[i]))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n >= 2 && sxx*float64(n)-sx*sx != 0 {
+		rep.ZipfExponent = -(float64(n)*sxy - sx*sy) / (float64(n)*sxx - sx*sx)
+	}
+	return rep
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func diurnal(reqs []trace.Request) DiurnalReport {
+	var rep DiurnalReport
+	for _, r := range reqs {
+		rep.ByHour[(r.Time%86400)/3600]++
+	}
+	minC, maxC := rep.ByHour[0], rep.ByHour[0]
+	for h, c := range rep.ByHour {
+		if c > maxC {
+			maxC = c
+			rep.PeakHour = h
+		}
+		if c < minC {
+			minC = c
+		}
+	}
+	if minC > 0 {
+		rep.PeakTroughRatio = float64(maxC) / float64(minC)
+	} else {
+		rep.PeakTroughRatio = math.Inf(1)
+	}
+	return rep
+}
+
+func intraFile(reqs []trace.Request, maxEnd map[chunk.VideoID]int64, chunkSize int64) IntraFileReport {
+	var rep IntraFileReport
+	var first, median float64
+	total := 0
+	for _, r := range reqs {
+		extent := maxEnd[r.Video] + 1
+		if extent <= 0 {
+			continue
+		}
+		d0 := int(10 * r.Start / extent)
+		d1 := int(10 * r.End / extent)
+		if d0 > 9 {
+			d0 = 9
+		}
+		if d1 > 9 {
+			d1 = 9
+		}
+		for d := d0; d <= d1; d++ {
+			rep.PrefixShare[d]++
+		}
+		total++
+		// First-chunk vs mid-file chunk touch counts.
+		c0, c1 := r.ChunkRange(chunkSize)
+		if c0 == 0 {
+			first++
+		}
+		midChunk := uint32(extent / 2 / chunkSize)
+		if c0 <= midChunk && midChunk <= c1 {
+			median++
+		}
+	}
+	if total > 0 {
+		sum := 0.0
+		for _, v := range rep.PrefixShare {
+			sum += v
+		}
+		for i := range rep.PrefixShare {
+			rep.PrefixShare[i] /= sum
+		}
+	}
+	if median > 0 {
+		rep.FirstChunkRatio = first / median
+	} else if first > 0 {
+		rep.FirstChunkRatio = math.Inf(1)
+	}
+	return rep
+}
+
+func sizeReport(sizes []int64) SizeReport {
+	var rep SizeReport
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	var sum int64
+	for _, s := range sizes {
+		sum += s
+	}
+	rep.MeanBytes = float64(sum) / float64(len(sizes))
+	q := func(p float64) int64 {
+		i := int(p * float64(len(sizes)-1))
+		return sizes[i]
+	}
+	rep.P50, rep.P90, rep.P99 = q(0.5), q(0.9), q(0.99)
+	return rep
+}
+
+func churn(reqs []trace.Request, firstSeen map[chunk.VideoID]int64, start int64) ChurnReport {
+	var rep ChurnReport
+	newByDay := make(map[int64]int)
+	for _, t := range firstSeen {
+		newByDay[(t-start)/86400]++
+	}
+	lastDay := (reqs[len(reqs)-1].Time - start) / 86400
+	if lastDay >= 1 {
+		totalNew := 0
+		for d, n := range newByDay {
+			if d >= 1 {
+				totalNew += n
+			}
+		}
+		rep.NewVideosPerDay = float64(totalNew) / float64(lastDay)
+	}
+	fresh, later := 0, 0
+	for _, r := range reqs {
+		day := (r.Time - start) / 86400
+		if day < 1 {
+			continue
+		}
+		later++
+		if (firstSeen[r.Video]-start)/86400 == day {
+			fresh++
+		}
+	}
+	if later > 0 {
+		rep.FreshRequestShare = float64(fresh) / float64(later)
+	}
+	return rep
+}
+
+// Print renders the report as a human-readable summary.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "requests:        %d over %.1f days (%.1f GB requested)\n",
+		r.Requests, r.Days, float64(r.TotalBytes)/(1<<30))
+	fmt.Fprintf(w, "unique videos:   %d\n", r.UniqueVideos)
+	fmt.Fprintf(w, "popularity:      zipf s=%.2f, top1%%=%.1f%%, top10%%=%.1f%%, single-hit videos=%.1f%%\n",
+		r.Popularity.ZipfExponent, 100*r.Popularity.Top1Share,
+		100*r.Popularity.Top10Share, 100*r.Popularity.SingleHitShare)
+	fmt.Fprintf(w, "diurnal:         peak hour %d, peak/trough %.2f\n",
+		r.Diurnal.PeakHour, r.Diurnal.PeakTroughRatio)
+	fmt.Fprintf(w, "intra-file:      first-decile share %.1f%%, chunk0/mid ratio %.1f\n",
+		100*r.IntraFile.PrefixShare[0], r.IntraFile.FirstChunkRatio)
+	fmt.Fprintf(w, "request sizes:   mean %.1f MB, p50 %.1f MB, p90 %.1f MB, p99 %.1f MB\n",
+		r.Sizes.MeanBytes/(1<<20), float64(r.Sizes.P50)/(1<<20),
+		float64(r.Sizes.P90)/(1<<20), float64(r.Sizes.P99)/(1<<20))
+	fmt.Fprintf(w, "churn:           %.1f new videos/day, %.1f%% of requests hit same-day-new videos\n",
+		r.Churn.NewVideosPerDay, 100*r.Churn.FreshRequestShare)
+}

@@ -1,0 +1,229 @@
+package analyze
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/trace"
+	"videocdn/internal/workload"
+)
+
+const testK = 1024
+
+func req(t int64, v chunk.VideoID, start, end int64) trace.Request {
+	return trace.Request{Time: t, Video: v, Start: start, End: end}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, testK); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if _, err := Analyze([]trace.Request{req(0, 1, 0, 1)}, 0); err == nil {
+		t.Error("zero chunk size should fail")
+	}
+}
+
+func TestBasicCounts(t *testing.T) {
+	reqs := []trace.Request{
+		req(0, 1, 0, 99),
+		req(3600, 2, 0, 199),
+		req(86400, 1, 0, 99),
+	}
+	r, err := Analyze(reqs, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != 3 || r.UniqueVideos != 2 {
+		t.Errorf("counts: %+v", r)
+	}
+	if r.TotalBytes != 100+200+100 {
+		t.Errorf("TotalBytes = %d", r.TotalBytes)
+	}
+	if math.Abs(r.Days-1) > 0.01 {
+		t.Errorf("Days = %v", r.Days)
+	}
+}
+
+// A perfect Zipf(1) trace should fit s close to 1.
+func TestZipfFit(t *testing.T) {
+	var reqs []trace.Request
+	tm := int64(0)
+	for rank := 1; rank <= 50; rank++ {
+		n := 1000 / rank // count ∝ 1/rank
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, req(tm, chunk.VideoID(rank), 0, 999))
+			tm++
+		}
+	}
+	r, err := Analyze(reqs, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Popularity.ZipfExponent < 0.8 || r.Popularity.ZipfExponent > 1.2 {
+		t.Errorf("fitted zipf = %v, want ~1", r.Popularity.ZipfExponent)
+	}
+	if r.Popularity.Top1Share <= 0 || r.Popularity.Top10Share < r.Popularity.Top1Share {
+		t.Errorf("shares: %+v", r.Popularity)
+	}
+}
+
+func TestSingleHitShare(t *testing.T) {
+	reqs := []trace.Request{
+		req(0, 1, 0, 1), req(1, 1, 0, 1), // video 1 twice
+		req(2, 2, 0, 1), // singles
+		req(3, 3, 0, 1),
+		req(4, 4, 0, 1),
+	}
+	r, err := Analyze(reqs, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Popularity.SingleHitShare-0.75) > 1e-9 {
+		t.Errorf("SingleHitShare = %v, want 0.75", r.Popularity.SingleHitShare)
+	}
+}
+
+func TestDiurnalPeak(t *testing.T) {
+	var reqs []trace.Request
+	tm := int64(0)
+	// Load concentrated at hour 18.
+	for day := 0; day < 3; day++ {
+		for i := 0; i < 100; i++ {
+			reqs = append(reqs, req(int64(day)*86400+18*3600+int64(i), 1, 0, 1))
+		}
+		reqs = append(reqs, req(int64(day)*86400+20*3600, 2, 0, 1))
+	}
+	_ = tm
+	r, err := Analyze(reqs, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Diurnal.PeakHour != 18 {
+		t.Errorf("PeakHour = %d, want 18", r.Diurnal.PeakHour)
+	}
+	if !math.IsInf(r.Diurnal.PeakTroughRatio, 1) {
+		t.Errorf("empty hours should give infinite ratio, got %v", r.Diurnal.PeakTroughRatio)
+	}
+}
+
+func TestPrefixBiasDetected(t *testing.T) {
+	var reqs []trace.Request
+	// Video of 100 KB; 80% of requests read the first 10%, 20% read all.
+	const size = 100 * testK
+	tm := int64(0)
+	for i := 0; i < 80; i++ {
+		reqs = append(reqs, req(tm, 1, 0, size/10-1))
+		tm++
+	}
+	for i := 0; i < 20; i++ {
+		reqs = append(reqs, req(tm, 1, 0, size-1))
+		tm++
+	}
+	r, err := Analyze(reqs, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IntraFile.PrefixShare[0] <= r.IntraFile.PrefixShare[9] {
+		t.Errorf("prefix share not front-loaded: %v", r.IntraFile.PrefixShare)
+	}
+	if r.IntraFile.FirstChunkRatio < 2 {
+		t.Errorf("FirstChunkRatio = %v, want >= 2 (80+20 vs 20)", r.IntraFile.FirstChunkRatio)
+	}
+}
+
+func TestSizePercentiles(t *testing.T) {
+	var reqs []trace.Request
+	for i := 1; i <= 100; i++ {
+		reqs = append(reqs, req(int64(i), chunk.VideoID(i), 0, int64(i)*1000-1))
+	}
+	r, err := Analyze(reqs, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sizes.P50 > r.Sizes.P90 || r.Sizes.P90 > r.Sizes.P99 {
+		t.Errorf("percentiles not ordered: %+v", r.Sizes)
+	}
+	if math.Abs(r.Sizes.MeanBytes-50500) > 1 {
+		t.Errorf("MeanBytes = %v, want 50500", r.Sizes.MeanBytes)
+	}
+}
+
+func TestChurn(t *testing.T) {
+	reqs := []trace.Request{
+		req(0, 1, 0, 1),
+		req(10, 2, 0, 1),
+		// Day 1: one new video (3), one old (1).
+		req(86400+5, 3, 0, 1),
+		req(86400+10, 1, 0, 1),
+		// Day 2: one new video (4).
+		req(2*86400+5, 4, 0, 1),
+	}
+	r, err := Analyze(reqs, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Churn.NewVideosPerDay-1) > 1e-9 {
+		t.Errorf("NewVideosPerDay = %v, want 1", r.Churn.NewVideosPerDay)
+	}
+	// After day 0: 3 requests, 2 to same-day-new videos.
+	if math.Abs(r.Churn.FreshRequestShare-2.0/3.0) > 1e-9 {
+		t.Errorf("FreshRequestShare = %v, want 2/3", r.Churn.FreshRequestShare)
+	}
+}
+
+// The synthetic workload should exhibit all the stylized facts the
+// generator promises — this closes the loop between workload and
+// analyze.
+func TestSyntheticWorkloadCharacteristics(t *testing.T) {
+	p, err := workload.ProfileByName("europe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RequestsPerDay = 3000
+	p.CatalogSize = 500
+	p.NewVideosPerDay = 25
+	g, err := workload.NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := g.Generate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(reqs, chunk.DefaultSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Popularity.ZipfExponent < 0.3 {
+		t.Errorf("zipf fit %v too flat", r.Popularity.ZipfExponent)
+	}
+	if r.Popularity.SingleHitShare < 0.02 {
+		t.Errorf("single-hit share %v: tail not heavy enough", r.Popularity.SingleHitShare)
+	}
+	if r.Diurnal.PeakTroughRatio < 1.5 {
+		t.Errorf("peak/trough %v: diurnal too flat", r.Diurnal.PeakTroughRatio)
+	}
+	if r.IntraFile.PrefixShare[0] <= r.IntraFile.PrefixShare[9] {
+		t.Errorf("no prefix bias: %v", r.IntraFile.PrefixShare)
+	}
+	if r.Churn.NewVideosPerDay < 5 {
+		t.Errorf("churn %v videos/day too low", r.Churn.NewVideosPerDay)
+	}
+}
+
+func TestPrint(t *testing.T) {
+	reqs := []trace.Request{req(0, 1, 0, 100), req(86400, 2, 0, 100)}
+	r, err := Analyze(reqs, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	for _, want := range []string{"requests:", "popularity:", "diurnal:", "churn:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Print output missing %q", want)
+		}
+	}
+}

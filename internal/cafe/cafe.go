@@ -1,0 +1,494 @@
+// Package cafe implements the paper's Cafe Cache (Section 6): a
+// Chunk-Aware, Fill-Efficient video cache.
+//
+// Where xLRU gates admission with a file-level recency test, Cafe
+// compares the expected cost of serving against the expected cost of
+// redirecting each request, using per-chunk inter-arrival times (IATs)
+// tracked as exponentially weighted moving averages (Eq. 8, gamma =
+// 0.25 in the paper's experiments):
+//
+//	E[Cost_serve]    = |S'|·C_F + Σ_{x∈S''} (T/IAT_x)·min(C_F,C_R)   (Eq. 6)
+//	E[Cost_redirect] = |S|·C_R  + Σ_{x∈S'}  (T/IAT_x)·min(C_F,C_R)   (Eq. 7)
+//
+// with S the requested chunks, S' ⊆ S the missing ones, S” the
+// eviction victims should we fill, and T the future window (the cache
+// age). The request is served iff serving is strictly cheaper —
+// breaking ties toward redirect is what keeps never-before-seen files
+// out of the cache for every alpha, as Section 9.2 observes.
+//
+// # Ordering chunks by popularity (Theorem 1)
+//
+// Cafe keeps cached chunks in an ordered tree so the least popular
+// (largest IAT) chunks can be found in O(log n). The paper keys chunk x
+// at insertion time t with the virtual timestamp key_x(t) = t −
+// IAT_x(t). Expanding Eq. 8,
+//
+//	key_x(t) = (1−γ)·t + [γ·t_x − (1−γ)·dt_x],
+//
+// the time-dependent part (1−γ)·t is common to all chunks, so pairwise
+// order depends only on the bracketed chunk-specific part — that is
+// Theorem 1. We therefore store the time-invariant part
+//
+//	k_x = γ·t_x − (1−γ)·dt_x
+//
+// directly as the tree key (equivalent to evaluating every key at the
+// same fixed reference T0 = 0, which the theorem requires; storing keys
+// evaluated at each chunk's own insertion time would *not* preserve
+// pairwise order). A handy identity: t − key_x(t) = IAT_x(t), so the
+// cache age T is simply the IAT of the minimum-key (least popular)
+// cached chunk evaluated at t_now.
+//
+// # Unseen chunks
+//
+// A requested chunk never seen before, belonging to a video with
+// cached chunks, gets its IAT estimated as the largest IAT among the
+// video's cached chunks (the package keeps a per-video index of cached
+// chunks for this). A chunk with no information at all contributes no
+// expected future cost.
+package cafe
+
+import (
+	"math"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/ordtree"
+	"videocdn/internal/trace"
+)
+
+// DefaultGamma is the EWMA factor used in the paper's experiments.
+const DefaultGamma = 0.25
+
+// cleanupInterval controls how often (in requests) stale IAT history is
+// pruned.
+const cleanupInterval = 8192
+
+// unknownDT marks an IAT entry whose smoothed inter-arrival time has
+// not been observed yet (only one request seen).
+const unknownDT = -1
+
+// iatEntry is the per-chunk popularity state of Eq. 8.
+type iatEntry struct {
+	dt float64 // smoothed inter-arrival time; unknownDT if unseen
+	t  int64   // last access time t_x
+}
+
+// Options tune Cafe beyond the shared core.Config.
+type Options struct {
+	// Gamma is the EWMA weight of Eq. 8. Defaults to DefaultGamma.
+	Gamma float64
+	// FileLevel degrades popularity tracking to one IAT per video
+	// (all chunks of a video share it); the disk itself remains
+	// chunk-granular. This is an ablation switch used to quantify the
+	// value of chunk-aware tracking; production use leaves it false.
+	FileLevel bool
+	// NoVideoEstimate disables the unseen-chunk IAT estimation from
+	// the video's cached chunks. Ablation switch.
+	NoVideoEstimate bool
+	// WindowScale scales the future window T relative to the cache
+	// age. Defaults to 1 (the paper's choice: T = cache age).
+	WindowScale float64
+}
+
+// Cache is the Cafe video cache. Not safe for concurrent use.
+type Cache struct {
+	cfg   core.Config
+	alpha float64
+	cf    float64
+	cr    float64
+	minFR float64
+	opt   Options
+
+	iat    map[uint64]iatEntry // iatKey -> popularity state
+	tree   *ordtree.Tree       // cached chunks (packed chunk keys), keyed by k_x
+	videos map[chunk.VideoID]map[uint32]struct{}
+
+	firstTime int64
+	started   bool
+	lastTime  int64
+	requests  int64
+
+	fillGate func(chunks int, now int64) bool
+}
+
+// SetFillGate installs an optional admission throttle consulted before
+// any cache fill: if the gate refuses the fill volume, the request is
+// redirected instead (popularity tracking still sees it). This models
+// the disk-write constraint of Section 2 — ingress writes compete with
+// cache-hit reads — and is typically wired to a writelimit.Budget.
+// Pass nil to remove the gate.
+func (c *Cache) SetFillGate(gate func(chunks int, now int64) bool) { c.fillGate = gate }
+
+// New builds a Cafe cache for the given fill-to-redirect preference
+// alpha_F2R.
+func New(cfg core.Config, alpha float64, opt Options) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if alpha <= 0 {
+		return nil, core.ErrBadAlpha
+	}
+	if opt.Gamma == 0 {
+		opt.Gamma = DefaultGamma
+	}
+	if opt.Gamma < 0 || opt.Gamma > 1 {
+		return nil, core.ErrBadGamma
+	}
+	if opt.WindowScale == 0 {
+		opt.WindowScale = 1
+	}
+	if opt.WindowScale < 0 {
+		return nil, core.ErrBadWindow
+	}
+	cf := 2 * alpha / (alpha + 1)
+	cr := 2 / (alpha + 1)
+	return &Cache{
+		cfg:    cfg,
+		alpha:  alpha,
+		cf:     cf,
+		cr:     cr,
+		minFR:  math.Min(cf, cr),
+		opt:    opt,
+		iat:    make(map[uint64]iatEntry),
+		tree:   ordtree.New(),
+		videos: make(map[chunk.VideoID]map[uint32]struct{}),
+	}, nil
+}
+
+// Name implements core.Cache.
+func (c *Cache) Name() string { return "cafe" }
+
+// Alpha returns the current alpha_F2R.
+func (c *Cache) Alpha() float64 { return c.alpha }
+
+// SetAlpha retunes the fill-to-redirect preference at runtime. The
+// paper cautions against wide swings (cache pollution and churn) but
+// explicitly allows "a small range through a control loop for better
+// responsiveness" (Section 10); internal/alphactl builds that loop.
+// Only the cost constants change — popularity state and tree keys are
+// alpha-independent, so the switch is O(1).
+func (c *Cache) SetAlpha(alpha float64) error {
+	if alpha <= 0 {
+		return core.ErrBadAlpha
+	}
+	c.alpha = alpha
+	c.cf = 2 * alpha / (alpha + 1)
+	c.cr = 2 / (alpha + 1)
+	c.minFR = math.Min(c.cf, c.cr)
+	return nil
+}
+
+// Len implements core.Cache.
+func (c *Cache) Len() int { return c.tree.Len() }
+
+// Contains implements core.Cache.
+func (c *Cache) Contains(id chunk.ID) bool { return c.tree.Contains(id.Key()) }
+
+// iatKey maps a chunk to its popularity-tracking key. In the
+// file-level ablation all chunks of a video share one entry.
+func (c *Cache) iatKey(id chunk.ID) uint64 {
+	if c.opt.FileLevel {
+		return chunk.ID{Video: id.Video, Index: 0}.Key()
+	}
+	return id.Key()
+}
+
+// iatAt evaluates Eq. 8 at time now for the given entry.
+func (c *Cache) iatAt(e iatEntry, now int64) float64 {
+	g := c.opt.Gamma
+	return g*float64(now-e.t) + (1-g)*e.dt
+}
+
+// CacheAge returns the window T: the IAT of the least popular cached
+// chunk at time now (see the package comment for why this equals the
+// virtual cache age t − key_min(t)). Zero when the disk is empty.
+func (c *Cache) CacheAge(now int64) float64 {
+	id, _, ok := c.tree.Min()
+	if !ok {
+		return 0
+	}
+	e, ok := c.iat[c.iatKey(chunk.FromKey(id))]
+	if !ok || e.dt == unknownDT {
+		// Every cached chunk is given a concrete dt at fill time;
+		// reaching this would mean corrupted bookkeeping.
+		panic("cafe: cached chunk without IAT state")
+	}
+	return c.iatAt(e, now)
+}
+
+// treeKey is the time-invariant ordering key k_x = γ·t_x − (1−γ)·dt_x.
+func (c *Cache) treeKey(e iatEntry) float64 {
+	g := c.opt.Gamma
+	return g*float64(e.t) - (1-g)*e.dt
+}
+
+// futureCost returns (T/IAT_x)·min(C_F, C_R) — the expected cost of the
+// near-future requests for a chunk with IAT state e (Eqs. 6-7).
+func (c *Cache) futureCost(e iatEntry, now int64, window float64) float64 {
+	iat := c.iatAt(e, now)
+	if iat < 1 {
+		iat = 1
+	}
+	return window / iat * c.minFR
+}
+
+// HandleRequest implements core.Cache.
+func (c *Cache) HandleRequest(r trace.Request) core.Outcome {
+	now := r.Time
+	if c.started && now < c.lastTime {
+		panic("cafe: requests must arrive in non-decreasing time order")
+	}
+	if !c.started {
+		c.firstTime = now
+		c.started = true
+	}
+	c.lastTime = now
+	c.requests++
+	if c.requests%cleanupInterval == 0 {
+		c.cleanup(now)
+	}
+
+	c0, c1 := r.ChunkRange(c.cfg.ChunkSize)
+	nChunks := int(c1-c0) + 1
+	if nChunks > c.cfg.DiskChunks {
+		c.observe(r.Video, c0, c1, now)
+		return core.Outcome{Decision: core.Redirect}
+	}
+
+	// Partition S into cached and missing (S'), collecting the skip
+	// set that protects requested chunks from eviction.
+	skip := make(map[uint64]bool, nChunks)
+	var missing []chunk.ID
+	for ci := c0; ci <= c1; ci++ {
+		id := chunk.ID{Video: r.Video, Index: ci}
+		skip[id.Key()] = true
+		if !c.tree.Contains(id.Key()) {
+			missing = append(missing, id)
+		}
+	}
+
+	serve := false
+	var victims []uint64
+	free := c.cfg.DiskChunks - c.tree.Len()
+	needEvict := len(missing) - free
+	if needEvict < 0 {
+		needEvict = 0
+	}
+
+	switch {
+	case len(missing) == 0:
+		// Full hit: nothing to fill, serving is free.
+		serve = true
+	case free >= len(missing):
+		// Warmup: free space makes filling unconditionally worthwhile
+		// (there is nothing to evict and no cache age to compare to).
+		serve = true
+	default:
+		victims = c.tree.SmallestExcluding(needEvict, skip)
+		if len(victims) < needEvict {
+			// Cannot make room without evicting the request's own
+			// chunks: redirect.
+			serve = false
+			break
+		}
+		window := c.CacheAge(now) * c.opt.WindowScale
+		costServe := float64(len(missing)) * c.cf
+		for _, vid := range victims {
+			e, ok := c.iat[c.iatKey(chunk.FromKey(vid))]
+			if !ok {
+				panic("cafe: eviction candidate without IAT state")
+			}
+			costServe += c.futureCost(e, now, window)
+		}
+		costRedirect := float64(nChunks) * c.cr
+		videoEst, videoEstOK := c.videoEstimate(r.Video, now)
+		for _, id := range missing {
+			e, ok := c.iat[c.iatKey(id)]
+			switch {
+			case ok && e.dt != unknownDT:
+				costRedirect += c.futureCost(e, now, window)
+			case ok:
+				// Seen exactly once: bootstrap the IAT from the raw
+				// gap, exactly as the Eq. 8 update will on the next
+				// observation.
+				costRedirect += c.futureCost(iatEntry{dt: float64(now - e.t), t: now}, now, window)
+			case videoEstOK:
+				costRedirect += c.futureCost(iatEntry{dt: videoEst, t: now}, now, window)
+			}
+			// No information at all: no expected future cost.
+		}
+		serve = costServe < costRedirect
+	}
+
+	// The disk-write budget can veto a fill-bearing serve (Section 2's
+	// write-vs-read contention); pure hits pass untouched.
+	if serve && len(missing) > 0 && c.fillGate != nil && !c.fillGate(len(missing), now) {
+		serve = false
+		victims = nil
+	}
+
+	// Record this arrival in the popularity state (always, including
+	// redirects — popularity is built from the full request stream).
+	c.observe(r.Video, c0, c1, now)
+
+	if !serve {
+		// Cached chunks of S changed popularity; re-key them.
+		if c.opt.FileLevel {
+			c.rekeyVideo(r.Video)
+		} else {
+			for ci := c0; ci <= c1; ci++ {
+				id := chunk.ID{Video: r.Video, Index: ci}
+				if c.tree.Contains(id.Key()) {
+					c.tree.Insert(id.Key(), c.treeKey(c.iat[c.iatKey(id)]))
+				}
+			}
+		}
+		return core.Outcome{Decision: core.Redirect}
+	}
+
+	// Evict the victims (keep their IAT history; they may return).
+	evicted := make([]chunk.ID, 0, len(victims))
+	for _, vid := range victims {
+		id := chunk.FromKey(vid)
+		c.evictChunk(id)
+		evicted = append(evicted, id)
+	}
+	// Fill missing chunks and re-key every requested chunk.
+	for ci := c0; ci <= c1; ci++ {
+		id := chunk.ID{Video: r.Video, Index: ci}
+		k := c.iatKey(id)
+		e := c.iat[k]
+		if e.dt == unknownDT {
+			// First fill of a never-repeated chunk (warmup or
+			// whole-request admission): the honest IAT guess for
+			// something seen once is the elapsed trace time.
+			e.dt = math.Max(float64(now-c.firstTime), 1)
+			c.iat[k] = e
+		}
+		c.tree.Insert(id.Key(), c.treeKey(e))
+		set := c.videos[r.Video]
+		if set == nil {
+			set = make(map[uint32]struct{})
+			c.videos[r.Video] = set
+		}
+		set[ci] = struct{}{}
+	}
+	if c.opt.FileLevel {
+		// All cached chunks of the video share the updated entry;
+		// keep their tree keys consistent with it.
+		c.rekeyVideo(r.Video)
+	}
+	return core.Outcome{
+		Decision:      core.Serve,
+		FilledChunks:  len(missing),
+		FilledBytes:   int64(len(missing)) * c.cfg.ChunkSize,
+		EvictedChunks: len(evicted),
+		FilledIDs:     missing,
+		EvictedIDs:    evicted,
+	}
+}
+
+// observe applies the Eq. 8 EWMA update for every chunk of the request
+// (once per video in the file-level ablation).
+func (c *Cache) observe(v chunk.VideoID, c0, c1 uint32, now int64) {
+	g := c.opt.Gamma
+	if c.opt.FileLevel {
+		c0, c1 = 0, 0
+	}
+	for ci := c0; ci <= c1; ci++ {
+		k := c.iatKey(chunk.ID{Video: v, Index: ci})
+		e, ok := c.iat[k]
+		switch {
+		case !ok:
+			e = iatEntry{dt: unknownDT, t: now}
+		case e.dt == unknownDT:
+			// Second observation bootstraps dt from the raw gap.
+			e = iatEntry{dt: float64(now - e.t), t: now}
+		default:
+			e = iatEntry{dt: g*float64(now-e.t) + (1-g)*e.dt, t: now}
+		}
+		c.iat[k] = e
+	}
+}
+
+// videoEstimate returns the largest IAT among the video's cached
+// chunks, the estimator for unvisited chunks of a partially cached
+// video (end of Section 6).
+func (c *Cache) videoEstimate(v chunk.VideoID, now int64) (float64, bool) {
+	if c.opt.NoVideoEstimate {
+		return 0, false
+	}
+	set := c.videos[v]
+	if len(set) == 0 {
+		return 0, false
+	}
+	maxIAT := 0.0
+	found := false
+	for ci := range set {
+		e, ok := c.iat[c.iatKey(chunk.ID{Video: v, Index: ci})]
+		if !ok || e.dt == unknownDT {
+			continue
+		}
+		if iat := c.iatAt(e, now); !found || iat > maxIAT {
+			maxIAT = iat
+			found = true
+		}
+		if c.opt.FileLevel {
+			break // all chunks share one entry
+		}
+	}
+	return maxIAT, found
+}
+
+// rekeyVideo refreshes the tree keys of every cached chunk of v from
+// the video's (shared, file-level) IAT entry.
+func (c *Cache) rekeyVideo(v chunk.VideoID) {
+	set := c.videos[v]
+	if len(set) == 0 {
+		return
+	}
+	e := c.iat[c.iatKey(chunk.ID{Video: v})]
+	key := c.treeKey(e)
+	for ci := range set {
+		c.tree.Insert((chunk.ID{Video: v, Index: ci}).Key(), key)
+	}
+}
+
+// evictChunk removes one chunk from disk bookkeeping, keeping its IAT
+// history.
+func (c *Cache) evictChunk(id chunk.ID) {
+	c.tree.Remove(id.Key())
+	if set := c.videos[id.Video]; set != nil {
+		delete(set, id.Index)
+		if len(set) == 0 {
+			delete(c.videos, id.Video)
+		}
+	}
+}
+
+// cleanup prunes IAT history of chunks that are not cached and whose
+// popularity is too stale to influence any future decision. The
+// horizon is a small multiple of the cache age — beyond it, T/IAT is
+// negligible.
+func (c *Cache) cleanup(now int64) {
+	age := c.CacheAge(now)
+	if age <= 0 {
+		age = float64(now - c.firstTime)
+	}
+	cutoff := now - int64(8*age) - 1
+	for k, e := range c.iat {
+		if e.t >= cutoff {
+			continue
+		}
+		if c.opt.FileLevel {
+			// The entry is shared by the whole video; keep it while
+			// any chunk of the video is cached.
+			if len(c.videos[chunk.FromKey(k).Video]) > 0 {
+				continue
+			}
+		} else if c.tree.Contains(k) {
+			continue
+		}
+		delete(c.iat, k)
+	}
+}

@@ -1,0 +1,438 @@
+package cafe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/trace"
+)
+
+const testK = 1024
+
+func newCache(t *testing.T, diskChunks int, alpha float64, opt Options) *Cache {
+	t.Helper()
+	c, err := New(core.Config{ChunkSize: testK, DiskChunks: diskChunks}, alpha, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func req(t int64, v chunk.VideoID, c0, c1 int) trace.Request {
+	return trace.Request{Time: t, Video: v, Start: int64(c0) * testK, End: int64(c1+1)*testK - 1}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := core.Config{ChunkSize: testK, DiskChunks: 4}
+	if _, err := New(core.Config{}, 1, Options{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := New(cfg, 0, Options{}); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := New(cfg, 1, Options{Gamma: 2}); err == nil {
+		t.Error("gamma>1 should fail")
+	}
+	if _, err := New(cfg, 1, Options{Gamma: -0.5}); err == nil {
+		t.Error("gamma<0 should fail")
+	}
+	if _, err := New(cfg, 1, Options{WindowScale: -1}); err == nil {
+		t.Error("negative window scale should fail")
+	}
+	c, err := New(cfg, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.opt.Gamma != DefaultGamma || c.opt.WindowScale != 1 {
+		t.Errorf("defaults not applied: %+v", c.opt)
+	}
+}
+
+func TestWarmupFills(t *testing.T) {
+	c := newCache(t, 10, 2, Options{})
+	out := c.HandleRequest(req(0, 1, 0, 3))
+	if out.Decision != core.Serve || out.FilledChunks != 4 || out.EvictedChunks != 0 {
+		t.Fatalf("warmup outcome = %+v", out)
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+// fillDisk populates the cache with single-chunk videos, each requested
+// twice so they have concrete IATs (period = gap).
+func fillDisk(t *testing.T, c *Cache, start int64, gap int64) int64 {
+	t.Helper()
+	tm := start
+	v := chunk.VideoID(100000)
+	for c.Len() < c.cfg.DiskChunks {
+		c.HandleRequest(req(tm, v, 0, 0))
+		c.HandleRequest(req(tm+gap, v, 0, 0))
+		tm += gap + 1
+		v++
+	}
+	return tm
+}
+
+func TestNeverSeenVideoRedirectedWhenFull(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1, 2, 4} {
+		c := newCache(t, 8, alpha, Options{})
+		tm := fillDisk(t, c, 0, 10)
+		out := c.HandleRequest(req(tm+100, 7, 0, 0))
+		if out.Decision != core.Redirect {
+			t.Errorf("alpha=%v: never-seen video should be redirected (Section 9.2)", alpha)
+		}
+	}
+}
+
+func TestPopularVideoAdmitted(t *testing.T) {
+	c := newCache(t, 8, 2, Options{})
+	tm := fillDisk(t, c, 0, 1000) // residents have IAT ~1000
+	// Video 7 requested with a short period: far more popular than
+	// the residents. The first sighting redirects; the second has a
+	// bootstrapped IAT of 10s and must be admitted.
+	first := c.HandleRequest(req(tm+10, 7, 0, 0))
+	if first.Decision != core.Redirect {
+		t.Fatal("first sighting should redirect")
+	}
+	out := c.HandleRequest(req(tm+20, 7, 0, 0))
+	if out.Decision != core.Serve {
+		t.Fatal("popular new video should displace stale residents")
+	}
+	if out.FilledChunks != 1 || out.EvictedChunks != 1 {
+		t.Errorf("outcome = %+v", out)
+	}
+	if !c.Contains(chunk.ID{Video: 7, Index: 0}) {
+		t.Error("admitted chunk missing from disk")
+	}
+}
+
+func TestUnpopularVideoRedirectedWhenIngressCostly(t *testing.T) {
+	// Residents have IAT ~10; a new video with IAT ~5000 must not
+	// displace them at alpha=2.
+	c := newCache(t, 8, 2, Options{})
+	tm := fillDisk(t, c, 0, 10)
+	// Keep residents fresh while the candidate builds sparse history.
+	refresh := func(at int64) {
+		v := chunk.VideoID(100000)
+		for i := 0; i < c.cfg.DiskChunks; i++ {
+			c.HandleRequest(req(at, v, 0, 0))
+			v++
+		}
+	}
+	refresh(tm + 1)
+	c.HandleRequest(req(tm+10, 7, 0, 0))
+	refresh(tm + 4000)
+	out := c.HandleRequest(req(tm+5010, 7, 0, 0))
+	if out.Decision != core.Redirect {
+		t.Error("unpopular video should be redirected at alpha=2")
+	}
+}
+
+func TestFullHitServesWithoutFill(t *testing.T) {
+	c := newCache(t, 10, 2, Options{})
+	c.HandleRequest(req(0, 1, 0, 3))
+	out := c.HandleRequest(req(10, 1, 0, 3))
+	if out.Decision != core.Serve || out.FilledChunks != 0 || out.EvictedChunks != 0 {
+		t.Errorf("full hit outcome = %+v", out)
+	}
+}
+
+func TestOversizedRequestRedirected(t *testing.T) {
+	c := newCache(t, 3, 1, Options{})
+	out := c.HandleRequest(req(0, 1, 0, 3))
+	if out.Decision != core.Redirect {
+		t.Error("request wider than disk must be redirected")
+	}
+}
+
+func TestDiskNeverExceedsCapacity(t *testing.T) {
+	c := newCache(t, 8, 1, Options{})
+	rng := rand.New(rand.NewSource(42))
+	tm := int64(0)
+	for i := 0; i < 3000; i++ {
+		v := chunk.VideoID(rng.Intn(50))
+		c0 := rng.Intn(4)
+		c1 := c0 + rng.Intn(4)
+		c.HandleRequest(req(tm, v, c0, c1))
+		tm += int64(rng.Intn(5))
+		if c.Len() > 8 {
+			t.Fatalf("disk overflow at request %d: %d chunks", i, c.Len())
+		}
+	}
+}
+
+func TestRequestedChunksNeverEvicted(t *testing.T) {
+	// Video 1 has chunks 0,1 cached and is popular; requesting 0..3
+	// must evict other content, not chunks 0,1.
+	c := newCache(t, 4, 1, Options{})
+	c.HandleRequest(req(0, 1, 0, 1))
+	c.HandleRequest(req(5, 2, 0, 1)) // disk now full
+	c.HandleRequest(req(10, 1, 0, 1))
+	c.HandleRequest(req(20, 1, 0, 1)) // video 1 popular
+	out := c.HandleRequest(req(30, 1, 0, 3))
+	if out.Decision != core.Serve {
+		t.Fatal("expanding a popular video should serve")
+	}
+	for i := uint32(0); i < 4; i++ {
+		if !c.Contains(chunk.ID{Video: 1, Index: i}) {
+			t.Errorf("video 1 chunk %d should be cached", i)
+		}
+	}
+	if c.Contains(chunk.ID{Video: 2, Index: 0}) || c.Contains(chunk.ID{Video: 2, Index: 1}) {
+		t.Error("video 2 should have been evicted")
+	}
+}
+
+// Theorem 1 property: the stored tree key preserves IAT order at any
+// future evaluation time. For random chunk states (t_x, dt_x) and any
+// probe time t >= max(t_x), key order must equal IAT order (inverted:
+// smaller key <=> larger IAT).
+func TestTheorem1Property(t *testing.T) {
+	c := newCache(t, 4, 1, Options{})
+	f := func(tx1, tx2 uint16, dt1, dt2 uint16, probe uint16) bool {
+		e1 := iatEntry{dt: float64(dt1) + 1, t: int64(tx1)}
+		e2 := iatEntry{dt: float64(dt2) + 1, t: int64(tx2)}
+		now := int64(tx1) + int64(tx2) + int64(probe) // >= both t_x
+		k1, k2 := c.treeKey(e1), c.treeKey(e2)
+		i1, i2 := c.iatAt(e1, now), c.iatAt(e2, now)
+		if k1 == k2 {
+			return math.Abs(i1-i2) < 1e-9
+		}
+		return (k1 < k2) == (i1 > i2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The identity t - key_x(t) = IAT_x(t) behind the cache-age choice.
+func TestVirtualAgeIdentity(t *testing.T) {
+	c := newCache(t, 4, 1, Options{})
+	e := iatEntry{dt: 120, t: 1000}
+	now := int64(1500)
+	g := c.opt.Gamma
+	paperKey := (1-g)*float64(now) + c.treeKey(e) // key_x(now)
+	if got := float64(now) - paperKey; math.Abs(got-c.iatAt(e, now)) > 1e-9 {
+		t.Errorf("t - key_x(t) = %v, IAT = %v", got, c.iatAt(e, now))
+	}
+}
+
+func TestEWMAUpdate(t *testing.T) {
+	c := newCache(t, 100, 1, Options{Gamma: 0.25})
+	c.HandleRequest(req(0, 1, 0, 0))
+	// First observation: dt unknown.
+	if e := c.iat[(chunk.ID{Video: 1}).Key()]; e.dt == unknownDT {
+		// During the fill the dt was assigned (elapsed ~ 0 -> 1).
+		t.Errorf("filled chunk should have a concrete dt, got %v", e.dt)
+	}
+	c2 := newCache(t, 100, 1, Options{Gamma: 0.25})
+	// Track without filling: request too large for disk -> observe only.
+	big := trace.Request{Time: 0, Video: 1, Start: 0, End: 1000 * testK}
+	c2.HandleRequest(big)
+	e := c2.iat[(chunk.ID{Video: 1}).Key()]
+	if e.dt != unknownDT || e.t != 0 {
+		t.Fatalf("first sight should record unknown dt, got %+v", e)
+	}
+	big.Time = 100
+	c2.HandleRequest(big)
+	e = c2.iat[(chunk.ID{Video: 1}).Key()]
+	if e.dt != 100 || e.t != 100 {
+		t.Fatalf("second sight should bootstrap dt=gap, got %+v", e)
+	}
+	big.Time = 300
+	c2.HandleRequest(big)
+	e = c2.iat[(chunk.ID{Video: 1}).Key()]
+	want := 0.25*200 + 0.75*100 // Eq. 8
+	if math.Abs(e.dt-want) > 1e-9 {
+		t.Fatalf("EWMA dt = %v, want %v", e.dt, want)
+	}
+}
+
+func TestUnseenChunkInheritsVideoIAT(t *testing.T) {
+	c := newCache(t, 100, 1, Options{})
+	c.HandleRequest(req(0, 1, 0, 1))
+	c.HandleRequest(req(50, 1, 0, 1))
+	est, ok := c.videoEstimate(1, 50)
+	if !ok {
+		t.Fatal("video with cached chunks should yield an estimate")
+	}
+	// Fill at t=0 assigned dt=1 (elapsed clamp); the t=50 request
+	// EWMA-updated it: dt = g*50 + (1-g)*1, and at now=50 the IAT is
+	// (1-g)*dt since t_x = now.
+	g := c.opt.Gamma
+	want := (1 - g) * (g*50 + (1-g)*1)
+	if math.Abs(est-want) > 1e-9 {
+		t.Errorf("estimate = %v, want %v", est, want)
+	}
+	if _, ok := c.videoEstimate(999, 50); ok {
+		t.Error("unknown video should yield no estimate")
+	}
+	c.opt.NoVideoEstimate = true
+	if _, ok := c.videoEstimate(1, 50); ok {
+		t.Error("ablation switch should disable the estimate")
+	}
+}
+
+// The video estimate makes Cafe admit unseen chunks of a cached,
+// popular video — the scenario that motivates the estimator.
+func TestUnseenChunksOfPopularVideoAdmitted(t *testing.T) {
+	c := newCache(t, 8, 2, Options{})
+	tm := fillDisk(t, c, 0, 5000) // stale residents
+	// Video 7's chunk 0 is hot.
+	for i := int64(0); i < 5; i++ {
+		c.HandleRequest(req(tm+10*i, 7, 0, 0))
+	}
+	// First-ever request spanning unseen chunks 1..2 of video 7.
+	out := c.HandleRequest(req(tm+60, 7, 1, 2))
+	if out.Decision != core.Serve {
+		t.Error("unseen chunks of a hot, partially cached video should be admitted")
+	}
+}
+
+func TestCacheAgeEmptyAndFull(t *testing.T) {
+	c := newCache(t, 4, 1, Options{})
+	if got := c.CacheAge(100); got != 0 {
+		t.Errorf("empty cache age = %v", got)
+	}
+	fillDisk(t, c, 0, 10)
+	if got := c.CacheAge(1000); got <= 0 {
+		t.Errorf("cache age should be positive, got %v", got)
+	}
+}
+
+func TestTimeRegressionPanics(t *testing.T) {
+	c := newCache(t, 4, 1, Options{})
+	c.HandleRequest(req(10, 1, 0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("time regression should panic")
+		}
+	}()
+	c.HandleRequest(req(9, 1, 0, 0))
+}
+
+func TestRedirectUpdatesPopularity(t *testing.T) {
+	// A video redirected repeatedly builds IAT history and eventually
+	// qualifies — the second-chance behaviour.
+	c := newCache(t, 8, 2, Options{})
+	tm := fillDisk(t, c, 0, 2000)
+	first := c.HandleRequest(req(tm+10, 7, 0, 0))
+	if first.Decision != core.Redirect {
+		t.Fatal("first sighting should redirect")
+	}
+	second := c.HandleRequest(req(tm+20, 7, 0, 0))
+	if second.Decision != core.Serve {
+		t.Error("rapid second request should be admitted once history exists")
+	}
+}
+
+func TestFileLevelAblation(t *testing.T) {
+	c := newCache(t, 16, 2, Options{FileLevel: true})
+	tm := int64(0)
+	// All chunks of video 1 share popularity; requesting chunk 0
+	// repeatedly makes chunk 5 look equally popular.
+	c.HandleRequest(req(tm, 1, 0, 0))
+	c.HandleRequest(req(tm+10, 1, 0, 0))
+	c.HandleRequest(req(tm+20, 1, 5, 5))
+	if !c.Contains(chunk.ID{Video: 1, Index: 5}) {
+		t.Error("file-level cache should have admitted chunk 5")
+	}
+	e := c.iat[c.iatKey(chunk.ID{Video: 1, Index: 5})]
+	e2 := c.iat[c.iatKey(chunk.ID{Video: 1, Index: 0})]
+	if e != e2 {
+		t.Error("file-level entries should be shared")
+	}
+	if c.Len() != 2 {
+		t.Errorf("disk should hold 2 chunks, got %d", c.Len())
+	}
+}
+
+func TestCleanupPrunesStaleHistory(t *testing.T) {
+	c := newCache(t, 4, 1, Options{})
+	fillDisk(t, c, 0, 2)
+	c.HandleRequest(req(100, 7, 0, 0)) // history for uncached video 7
+	keyOfV7 := (chunk.ID{Video: 7}).Key()
+	if _, ok := c.iat[keyOfV7]; !ok {
+		t.Fatal("history should exist before cleanup")
+	}
+	// Run enough far-future requests to trigger cleanup with a small
+	// cache age.
+	tm := int64(1 << 30)
+	for i := 0; i < cleanupInterval+1; i++ {
+		v := chunk.VideoID(200 + i%4)
+		c.HandleRequest(req(tm, v, 0, 0))
+		tm += 2
+	}
+	if _, ok := c.iat[keyOfV7]; ok {
+		t.Error("stale uncached history should be pruned")
+	}
+	// Cached chunks' entries must survive cleanup.
+	id, _, ok := c.tree.Min()
+	if !ok {
+		t.Fatal("disk should not be empty")
+	}
+	if _, ok := c.iat[c.iatKey(chunk.FromKey(id))]; !ok {
+		t.Error("cached chunk lost its IAT state")
+	}
+}
+
+// Serving must be chosen iff strictly cheaper: equal costs redirect.
+// Construct an exact tie: never-seen single chunk, victim with
+// IAT exactly equal to window, alpha=1.
+func TestTieBreaksToRedirect(t *testing.T) {
+	c := newCache(t, 1, 1, Options{})
+	c.HandleRequest(req(0, 1, 0, 0))
+	c.HandleRequest(req(100, 1, 0, 0))
+	// Disk full with video 1 (IAT known). A never-seen video 2:
+	// costServe = CF + (T/IAT_victim)*1, costRedirect = CR + 0.
+	// The victim is the min element so T/IAT_victim = 1 exactly.
+	// costServe = 1 + 1 = 2 > costRedirect = 1 -> redirect.
+	out := c.HandleRequest(req(200, 2, 0, 0))
+	if out.Decision != core.Redirect {
+		t.Error("never-seen video must lose the cost comparison")
+	}
+}
+
+func TestAlphaMonotonicity(t *testing.T) {
+	// Higher alpha must never increase ingress on an identical
+	// workload.
+	run := func(alpha float64) int64 {
+		c := newCache(t, 32, alpha, Options{})
+		rng := rand.New(rand.NewSource(7))
+		var filled int64
+		tm := int64(0)
+		for i := 0; i < 4000; i++ {
+			v := chunk.VideoID(zipfIsh(rng, 200))
+			c0 := 0
+			c1 := rng.Intn(3)
+			out := c.HandleRequest(req(tm, v, c0, c1))
+			filled += int64(out.FilledChunks)
+			tm += int64(rng.Intn(20))
+		}
+		return filled
+	}
+	f1, f2, f4 := run(1), run(2), run(4)
+	if !(f1 >= f2 && f2 >= f4) {
+		t.Errorf("ingress should fall with alpha: %d, %d, %d", f1, f2, f4)
+	}
+}
+
+// zipfIsh draws a crude Zipf-like rank in [0, n).
+func zipfIsh(rng *rand.Rand, n int) int {
+	r := rng.Float64()
+	return int(float64(n) * r * r * r)
+}
+
+func TestName(t *testing.T) {
+	c := newCache(t, 1, 1, Options{})
+	if c.Name() != "cafe" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+var _ core.Cache = (*Cache)(nil)

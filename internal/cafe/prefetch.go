@@ -1,0 +1,93 @@
+package cafe
+
+import (
+	"videocdn/internal/chunk"
+)
+
+// PrefetchChunk proactively fills one chunk outside the request path —
+// the paper's "proactive caching for spare ingress" future-work hook
+// (Section 10). It returns whether the chunk was admitted.
+//
+// Admission is conservative so prefetching cannot pollute the cache:
+// the chunk needs an IAT estimate (its own history, or the video's
+// cached-chunk estimate), and when the disk is full it must be
+// strictly more popular (smaller estimated IAT) than the least popular
+// resident, which it then displaces. Callers are responsible for
+// spending ingress only when it is actually spare (e.g. off-peak); see
+// internal/prefetch.
+func (c *Cache) PrefetchChunk(id chunk.ID, now int64) bool {
+	if now < c.lastTime {
+		// Prefetch uses the same logical clock as requests.
+		return false
+	}
+	if !c.started {
+		c.firstTime = now
+		c.started = true
+	}
+	c.lastTime = now
+	if c.tree.Contains(id.Key()) {
+		return false
+	}
+	k := c.iatKey(id)
+	e, ok := c.iat[k]
+	var est float64
+	switch {
+	case ok && e.dt != unknownDT:
+		est = c.iatAt(e, now)
+	case ok:
+		est = float64(now - e.t)
+		if est < 1 {
+			est = 1
+		}
+	default:
+		v, vok := c.videoEstimate(id.Video, now)
+		if !vok {
+			return false // nothing known; refuse blind ingress
+		}
+		est = v
+	}
+	if free := c.cfg.DiskChunks - c.tree.Len(); free <= 0 {
+		// Displace only a strictly less popular resident.
+		if est >= c.CacheAge(now) {
+			return false
+		}
+		minID, _, okMin := c.tree.Min()
+		if !okMin {
+			return false
+		}
+		c.evictChunk(chunk.FromKey(minID))
+	}
+	if !ok || e.dt == unknownDT {
+		// Materialize the estimate as the chunk's state so the tree
+		// key and future cache-age lookups stay consistent.
+		e = iatEntry{dt: est, t: now}
+		c.iat[k] = e
+	}
+	c.tree.Insert(id.Key(), c.treeKey(e))
+	set := c.videos[id.Video]
+	if set == nil {
+		set = make(map[uint32]struct{})
+		c.videos[id.Video] = set
+	}
+	set[id.Index] = struct{}{}
+	return true
+}
+
+// HighestCachedIndex returns the largest cached chunk index of the
+// video, ok=false when none is cached. Prefetch planners use it for
+// sequential read-ahead.
+func (c *Cache) HighestCachedIndex(v chunk.VideoID) (uint32, bool) {
+	set := c.videos[v]
+	if len(set) == 0 {
+		return 0, false
+	}
+	var best uint32
+	first := true
+	for ci := range set {
+		if first || ci > best {
+			best = ci
+			first = false
+		}
+	}
+	return best, true
+}

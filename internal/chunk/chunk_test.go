@@ -1,0 +1,179 @@
+package chunk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByteRangeRange(t *testing.T) {
+	const k = 2 << 20 // 2 MB
+	tests := []struct {
+		name   string
+		r      ByteRange
+		c0, c1 uint32
+	}{
+		{"single byte at zero", ByteRange{0, 0}, 0, 0},
+		{"first chunk exactly", ByteRange{0, k - 1}, 0, 0},
+		{"crosses first boundary", ByteRange{0, k}, 0, 1},
+		{"starts at boundary", ByteRange{k, 2*k - 1}, 1, 1},
+		{"mid-chunk to mid-chunk", ByteRange{k / 2, k + k/2}, 0, 1},
+		{"large range", ByteRange{0, 10*k - 1}, 0, 9},
+		{"interior single chunk", ByteRange{5*k + 17, 5*k + 100}, 5, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c0, c1 := tt.r.Range(k)
+			if c0 != tt.c0 || c1 != tt.c1 {
+				t.Errorf("Range(%v) = [%d,%d], want [%d,%d]", tt.r, c0, c1, tt.c0, tt.c1)
+			}
+		})
+	}
+}
+
+func TestByteRangeCountAndChunkBytes(t *testing.T) {
+	const k = 1024
+	r := ByteRange{Start: 100, End: 5000}
+	if got := r.Count(k); got != 5 { // chunks 0..4
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := r.ChunkBytes(k); got != 5*k {
+		t.Errorf("ChunkBytes = %d, want %d", got, 5*k)
+	}
+	if got := r.Bytes(); got != 4901 {
+		t.Errorf("Bytes = %d, want 4901", got)
+	}
+}
+
+func TestByteRangeValid(t *testing.T) {
+	if (ByteRange{-1, 5}).Valid() {
+		t.Error("negative start should be invalid")
+	}
+	if (ByteRange{6, 5}).Valid() {
+		t.Error("end < start should be invalid")
+	}
+	if !(ByteRange{0, 0}).Valid() {
+		t.Error("[0,0] should be valid")
+	}
+}
+
+func TestRangePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Range on invalid byte range should panic")
+		}
+	}()
+	ByteRange{5, 1}.Range(1024)
+}
+
+func TestRangePanicsOnBadChunkSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Range with k=0 should panic")
+		}
+	}()
+	ByteRange{0, 10}.Range(0)
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	ids := []ID{
+		{0, 0},
+		{1, 2},
+		{0xFFFFFFFF, 0xFFFFFFFF},
+		{12345, 678},
+	}
+	for _, id := range ids {
+		if got := FromKey(id.Key()); got != id {
+			t.Errorf("FromKey(Key(%v)) = %v", id, got)
+		}
+	}
+}
+
+func TestKeyRoundTripProperty(t *testing.T) {
+	f := func(v uint32, idx uint32) bool {
+		id := ID{Video: VideoID(v), Index: idx}
+		return FromKey(id.Key()) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Key with >32-bit video should panic")
+		}
+	}()
+	ID{Video: 1 << 33, Index: 0}.Key()
+}
+
+func TestKeyIsInjectiveProperty(t *testing.T) {
+	f := func(v1, i1, v2, i2 uint32) bool {
+		a := ID{VideoID(v1), i1}
+		b := ID{VideoID(v2), i2}
+		return (a == b) == (a.Key() == b.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the chunk range always covers the byte range — converting
+// back to byte extents encloses [Start, End].
+func TestRangeCoversBytesProperty(t *testing.T) {
+	const k = 4096
+	f := func(start uint32, length uint16) bool {
+		r := ByteRange{Start: int64(start), End: int64(start) + int64(length)}
+		c0, c1 := r.Range(k)
+		lo := int64(c0) * k
+		hi := int64(c1)*k + k - 1
+		return lo <= r.Start && r.End <= hi && c0 <= c1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count agrees with len(Chunks) and chunk indices are
+// consecutive starting at c0.
+func TestChunksConsistencyProperty(t *testing.T) {
+	const k = 2048
+	f := func(v uint32, start uint32, length uint16) bool {
+		r := ByteRange{Start: int64(start), End: int64(start) + int64(length)}
+		ids := Chunks(VideoID(v), r, k)
+		if len(ids) != r.Count(k) {
+			return false
+		}
+		c0, _ := r.Range(k)
+		for i, id := range ids {
+			if id.Video != VideoID(v) || id.Index != c0+uint32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumChunks(t *testing.T) {
+	const k = 100
+	tests := []struct {
+		size int64
+		want int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {99, 1}, {100, 1}, {101, 2}, {1000, 10}, {1001, 11},
+	}
+	for _, tt := range tests {
+		if got := NumChunks(tt.size, k); got != tt.want {
+			t.Errorf("NumChunks(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := (ID{Video: 7, Index: 3}).String(); got != "7/3" {
+		t.Errorf("String = %q, want 7/3", got)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDecisionString(t *testing.T) {
+	tests := []struct {
+		d    Decision
+		want string
+	}{
+		{Serve, "serve"},
+		{Redirect, "redirect"},
+		{Decision(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("Decision(%d).String() = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{ChunkSize: 1024, DiskChunks: 10}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{ChunkSize: 0, DiskChunks: 10}).Validate(); !errors.Is(err, ErrBadChunkSize) {
+		t.Errorf("zero chunk size: got %v", err)
+	}
+	if err := (Config{ChunkSize: -5, DiskChunks: 10}).Validate(); !errors.Is(err, ErrBadChunkSize) {
+		t.Errorf("negative chunk size: got %v", err)
+	}
+	if err := (Config{ChunkSize: 1024, DiskChunks: 0}).Validate(); !errors.Is(err, ErrBadDiskSize) {
+		t.Errorf("zero disk: got %v", err)
+	}
+}
+
+func TestSentinelErrorsDistinct(t *testing.T) {
+	errs := []error{ErrBadChunkSize, ErrBadDiskSize, ErrBadAlpha, ErrBadGamma, ErrBadWindow, ErrBadFutureN}
+	for i, a := range errs {
+		if a.Error() == "" {
+			t.Errorf("error %d has empty message", i)
+		}
+		for j, b := range errs {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("errors %d and %d alias", i, j)
+			}
+		}
+	}
+}

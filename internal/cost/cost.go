@@ -1,0 +1,132 @@
+// Package cost implements the paper's ingress-vs-redirect cost model
+// (Section 4.1) and the cache-efficiency accounting built on it
+// (Section 4.2).
+//
+// Every cache-filled byte costs C_F and every redirected byte costs
+// C_R. Only the ratio alpha = C_F/C_R matters, so the pair is
+// normalized to C_F + C_R = 2 (Eq. 3), giving Eq. 4:
+//
+//	C_F = 2·alpha/(alpha+1)    C_R = 2/(alpha+1)
+//
+// alpha > 1 models an ingress-constrained server, alpha = 1 a server
+// indifferent between fill and redirect, alpha < 1 cheap ingress.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model carries the normalized per-byte costs for one server.
+type Model struct {
+	Alpha float64 // alpha_F2R = CF / CR
+	CF    float64 // cost per cache-filled byte
+	CR    float64 // cost per redirected byte
+}
+
+// NewModel builds the normalized cost model for the given alpha_F2R
+// (Eq. 4). It returns an error for non-positive or non-finite alpha.
+func NewModel(alpha float64) (Model, error) {
+	if alpha <= 0 || math.IsInf(alpha, 0) || math.IsNaN(alpha) {
+		return Model{}, fmt.Errorf("cost: alpha_F2R must be positive and finite, got %v", alpha)
+	}
+	return Model{
+		Alpha: alpha,
+		CF:    2 * alpha / (alpha + 1),
+		CR:    2 / (alpha + 1),
+	}, nil
+}
+
+// MustModel is NewModel for statically known alphas; it panics on error.
+func MustModel(alpha float64) Model {
+	m, err := NewModel(alpha)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// MinFR returns min(C_F, C_R), the cost assumed for an uncertain future
+// fill-or-redirect event in Eqs. 6-7 and 13-14.
+func (m Model) MinFR() float64 { return math.Min(m.CF, m.CR) }
+
+// Counters accumulates the three byte quantities that determine a
+// server's total cost (Eq. 1) and cache efficiency (Eq. 2).
+//
+// Requested counts the byte length of every incoming request
+// (b1-b0+1), regardless of the decision. Filled counts ingress bytes:
+// whole chunks brought in on serves. Redirected counts the byte length
+// of redirected requests. Bytes served straight from cache appear in
+// Requested but in neither of the other two.
+type Counters struct {
+	Requested  int64
+	Filled     int64
+	Redirected int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Requested += other.Requested
+	c.Filled += other.Filled
+	c.Redirected += other.Redirected
+}
+
+// Sub returns c minus other (useful for windowed deltas).
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		Requested:  c.Requested - other.Requested,
+		Filled:     c.Filled - other.Filled,
+		Redirected: c.Redirected - other.Redirected,
+	}
+}
+
+// TotalCost is Eq. 1: filled·C_F + redirected·C_R.
+func (c Counters) TotalCost(m Model) float64 {
+	return float64(c.Filled)*m.CF + float64(c.Redirected)*m.CR
+}
+
+// Efficiency is Eq. 2:
+//
+//	1 - filled/requested·C_F - redirected/requested·C_R  ∈ [-1, 1]
+//
+// It returns 0 for an empty window (no requested bytes).
+func (c Counters) Efficiency(m Model) float64 {
+	if c.Requested == 0 {
+		return 0
+	}
+	r := float64(c.Requested)
+	return 1 - float64(c.Filled)/r*m.CF - float64(c.Redirected)/r*m.CR
+}
+
+// IngressRatio is the paper's "Ingress %": filled bytes as a fraction
+// of requested (≈ egress) bytes. Can exceed 1 when partially requested
+// chunks are filled whole.
+func (c Counters) IngressRatio() float64 {
+	if c.Requested == 0 {
+		return 0
+	}
+	return float64(c.Filled) / float64(c.Requested)
+}
+
+// RedirectRatio is the fraction of requested bytes that were redirected.
+func (c Counters) RedirectRatio() float64 {
+	if c.Requested == 0 {
+		return 0
+	}
+	return float64(c.Redirected) / float64(c.Requested)
+}
+
+// HitRatio is the fraction of requested bytes served straight from
+// cache (neither redirected nor, in the byte-accounting sense,
+// attributable to fresh ingress). Clamped at 0 for the pathological
+// case Filled > Requested within a window.
+func (c Counters) HitRatio() float64 {
+	if c.Requested == 0 {
+		return 0
+	}
+	h := 1 - c.IngressRatio() - c.RedirectRatio()
+	if h < 0 {
+		return 0
+	}
+	return h
+}

@@ -1,0 +1,206 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestNewModelKnownValues(t *testing.T) {
+	tests := []struct {
+		alpha, cf, cr float64
+	}{
+		{1, 1, 1},
+		{2, 4.0 / 3.0, 2.0 / 3.0},
+		{4, 1.6, 0.4},
+		{0.5, 2.0 / 3.0, 4.0 / 3.0},
+	}
+	for _, tt := range tests {
+		m, err := NewModel(tt.alpha)
+		if err != nil {
+			t.Fatalf("NewModel(%v): %v", tt.alpha, err)
+		}
+		if !almostEqual(m.CF, tt.cf) || !almostEqual(m.CR, tt.cr) {
+			t.Errorf("alpha=%v: CF=%v CR=%v, want %v %v", tt.alpha, m.CF, m.CR, tt.cf, tt.cr)
+		}
+	}
+}
+
+func TestNewModelRejectsBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewModel(alpha); err == nil {
+			t.Errorf("NewModel(%v) should fail", alpha)
+		}
+	}
+}
+
+func TestMustModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustModel(-1) should panic")
+		}
+	}()
+	MustModel(-1)
+}
+
+// Property (Eqs. 3-4): CF+CR = 2 and CF/CR = alpha for any positive alpha.
+func TestModelNormalizationProperty(t *testing.T) {
+	f := func(x float64) bool {
+		alpha := math.Abs(x)
+		if alpha < 1e-6 || alpha > 1e6 || math.IsNaN(alpha) {
+			return true // skip degenerate draws outside the sane range
+		}
+		m, err := NewModel(alpha)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.CF+m.CR-2) < 1e-9 && math.Abs(m.CF/m.CR-alpha) < 1e-9*alpha
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinFR(t *testing.T) {
+	if m := MustModel(2); !almostEqual(m.MinFR(), m.CR) {
+		t.Errorf("alpha=2: MinFR should be CR, got %v", m.MinFR())
+	}
+	if m := MustModel(0.5); !almostEqual(m.MinFR(), m.CF) {
+		t.Errorf("alpha=0.5: MinFR should be CF, got %v", m.MinFR())
+	}
+	if m := MustModel(1); !almostEqual(m.MinFR(), 1) {
+		t.Errorf("alpha=1: MinFR should be 1, got %v", m.MinFR())
+	}
+}
+
+func TestEfficiencyKnownCases(t *testing.T) {
+	m := MustModel(1)
+	tests := []struct {
+		name string
+		c    Counters
+		want float64
+	}{
+		// At alpha=1 (CF=CR=1) efficiency is simply the fraction of
+		// bytes served straight from cache (Section 4.2).
+		{"all hits", Counters{Requested: 100, Filled: 0, Redirected: 0}, 1},
+		{"all redirected", Counters{Requested: 100, Redirected: 100}, 0},
+		{"all filled", Counters{Requested: 100, Filled: 100}, 0},
+		{"half hits half redirect", Counters{Requested: 100, Redirected: 50}, 0.5},
+		{"empty", Counters{}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Efficiency(m); !almostEqual(got, tt.want) {
+			t.Errorf("%s: Efficiency = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+// The footnote case: with alpha>1, a server filling everything has
+// negative efficiency (worse than the alpha=1 normalization).
+func TestNegativeEfficiencyWhenIngressCostly(t *testing.T) {
+	m := MustModel(2)
+	c := Counters{Requested: 100, Filled: 100}
+	if got := c.Efficiency(m); got >= -0.3 {
+		t.Errorf("Efficiency = %v, want about 1-CF = %v", got, 1-m.CF)
+	}
+}
+
+// Property: efficiency stays within [-1, 1] whenever filled+redirected
+// bytes do not exceed requested bytes (chunk-rounding can push filled
+// above requested in real traces; the bound in the paper assumes the
+// normalized decomposition).
+func TestEfficiencyBoundsProperty(t *testing.T) {
+	f := func(req uint32, fillFrac, redirFrac uint8, alphaRaw uint8) bool {
+		if req == 0 {
+			return true
+		}
+		// Split requested into fill/redirect/hit portions.
+		ff := float64(fillFrac) / 255
+		rf := float64(redirFrac) / 255 * (1 - ff)
+		c := Counters{
+			Requested:  int64(req),
+			Filled:     int64(ff * float64(req)),
+			Redirected: int64(rf * float64(req)),
+		}
+		alpha := 0.25 + float64(alphaRaw)/32 // 0.25..8.2
+		m := MustModel(alpha)
+		e := c.Efficiency(m)
+		return e >= -1-1e-9 && e <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: maximizing efficiency == minimizing total cost. For any two
+// counter sets with the same requested volume, the one with lower total
+// cost has higher efficiency.
+func TestEfficiencyCostEquivalenceProperty(t *testing.T) {
+	m := MustModel(2)
+	f := func(f1, r1, f2, r2 uint16) bool {
+		const req = 1 << 20
+		a := Counters{Requested: req, Filled: int64(f1), Redirected: int64(r1)}
+		b := Counters{Requested: req, Filled: int64(f2), Redirected: int64(r2)}
+		ca, cb := a.TotalCost(m), b.TotalCost(m)
+		ea, eb := a.Efficiency(m), b.Efficiency(m)
+		if ca < cb {
+			return ea > eb
+		}
+		if ca > cb {
+			return ea < eb
+		}
+		return almostEqual(ea, eb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	m := MustModel(2) // CF=4/3 CR=2/3
+	c := Counters{Requested: 300, Filled: 30, Redirected: 60}
+	want := 30*m.CF + 60*m.CR
+	if got := c.TotalCost(m); !almostEqual(got, want) {
+		t.Errorf("TotalCost = %v, want %v", got, want)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	c := Counters{Requested: 200, Filled: 50, Redirected: 30}
+	if got := c.IngressRatio(); !almostEqual(got, 0.25) {
+		t.Errorf("IngressRatio = %v", got)
+	}
+	if got := c.RedirectRatio(); !almostEqual(got, 0.15) {
+		t.Errorf("RedirectRatio = %v", got)
+	}
+	if got := c.HitRatio(); !almostEqual(got, 0.6) {
+		t.Errorf("HitRatio = %v", got)
+	}
+	var zero Counters
+	if zero.IngressRatio() != 0 || zero.RedirectRatio() != 0 || zero.HitRatio() != 0 {
+		t.Error("zero counters should give zero ratios")
+	}
+}
+
+func TestHitRatioClamped(t *testing.T) {
+	// Filled can exceed requested (whole-chunk fills of partial
+	// requests); HitRatio must not go negative.
+	c := Counters{Requested: 10, Filled: 100}
+	if got := c.HitRatio(); got != 0 {
+		t.Errorf("HitRatio = %v, want clamped 0", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Counters{Requested: 10, Filled: 2, Redirected: 3}
+	b := Counters{Requested: 5, Filled: 1, Redirected: 1}
+	a.Add(b)
+	if a != (Counters{15, 3, 4}) {
+		t.Errorf("Add: got %+v", a)
+	}
+	if d := a.Sub(b); d != (Counters{10, 2, 3}) {
+		t.Errorf("Sub: got %+v", d)
+	}
+}

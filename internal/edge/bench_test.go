@@ -1,0 +1,84 @@
+package edge
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"videocdn/internal/cafe"
+	"videocdn/internal/core"
+	"videocdn/internal/store"
+)
+
+// BenchmarkEdgeHitPath measures the end-to-end HTTP latency of a
+// cache-hit request through the edge server (store read + range
+// slicing + transfer), the steady-state hot path of a deployed cache.
+func BenchmarkEdgeHitPath(b *testing.B) {
+	cache, err := cafe.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1, cafe.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	catalog := MapCatalog{1: 16 * testK}
+	o, err := NewOrigin(catalog, testK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	origin := httptest.NewServer(o)
+	defer origin.Close()
+	now := int64(0)
+	s, err := NewServer(Config{
+		Cache: cache, Store: store.NewMem(),
+		OriginURL: origin.URL, RedirectURL: "http://secondary.example",
+		ChunkSize: testK, Alpha: 1,
+		Clock: func() int64 { now++; return now },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edgeSrv := httptest.NewServer(s)
+	defer edgeSrv.Close()
+	url := fmt.Sprintf("%s/video?v=1&start=0&end=%d", edgeSrv.URL, 8*testK-1)
+	// Warm the cache.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	b.SetBytes(8 * testK)
+}
+
+// BenchmarkOriginChunk measures raw synthetic-content generation and
+// serving at the origin.
+func BenchmarkOriginChunk(b *testing.B) {
+	o, err := NewOrigin(DeterministicCatalog{MinBytes: 1 << 20, MaxBytes: 8 << 20}, 2<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	origin := httptest.NewServer(o)
+	defer origin.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(origin.URL + "/chunk?v=1&c=0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,179 @@
+package edge
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"videocdn/internal/chunk"
+)
+
+// Origin is the upstream content server edges cache-fill from. It
+// serves deterministic synthetic bytes for every video in its catalog.
+//
+// Routes:
+//
+//	GET /chunk?v=<video>&c=<index>   one whole chunk (possibly short at EOF)
+//	GET /size?v=<video>              the video size in bytes (text)
+//	GET /video?v=<video>             the video, honoring a Range header
+type Origin struct {
+	catalog   Catalog
+	chunkSize int64
+	mux       *http.ServeMux
+}
+
+// NewOrigin builds an origin over the catalog with the given chunk
+// size.
+func NewOrigin(catalog Catalog, chunkSize int64) (*Origin, error) {
+	if catalog == nil {
+		return nil, fmt.Errorf("edge: nil catalog")
+	}
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("edge: chunk size must be positive")
+	}
+	o := &Origin{catalog: catalog, chunkSize: chunkSize, mux: http.NewServeMux()}
+	o.mux.HandleFunc("/chunk", o.handleChunk)
+	o.mux.HandleFunc("/size", o.handleSize)
+	o.mux.HandleFunc("/video", o.handleVideo)
+	return o, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) { o.mux.ServeHTTP(w, r) }
+
+func parseVideo(r *http.Request) (chunk.VideoID, error) {
+	v, err := strconv.ParseUint(r.URL.Query().Get("v"), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad or missing video id: %v", err)
+	}
+	return chunk.VideoID(v), nil
+}
+
+func (o *Origin) handleChunk(w http.ResponseWriter, r *http.Request) {
+	v, err := parseVideo(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c, err := strconv.ParseUint(r.URL.Query().Get("c"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad or missing chunk index", http.StatusBadRequest)
+		return
+	}
+	size, ok := o.catalog.SizeOf(v)
+	if !ok {
+		http.Error(w, "no such video", http.StatusNotFound)
+		return
+	}
+	start := int64(c) * o.chunkSize
+	if start >= size {
+		http.Error(w, "chunk beyond end of video", http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	n := o.chunkSize
+	if start+n > size {
+		n = size - start
+	}
+	buf := make([]byte, n)
+	ChunkData(v, uint32(c), buf)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	if _, err := w.Write(buf); err != nil {
+		return // client went away
+	}
+}
+
+func (o *Origin) handleSize(w http.ResponseWriter, r *http.Request) {
+	v, err := parseVideo(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	size, ok := o.catalog.SizeOf(v)
+	if !ok {
+		http.Error(w, "no such video", http.StatusNotFound)
+		return
+	}
+	fmt.Fprintf(w, "%d", size)
+}
+
+func (o *Origin) handleVideo(w http.ResponseWriter, r *http.Request) {
+	v, err := parseVideo(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	size, ok := o.catalog.SizeOf(v)
+	if !ok {
+		http.Error(w, "no such video", http.StatusNotFound)
+		return
+	}
+	b0, b1, err := parseRange(r, size)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	w.Header().Set("Content-Type", "video/mp4")
+	w.Header().Set("Content-Length", strconv.FormatInt(b1-b0+1, 10))
+	if b0 != 0 || b1 != size-1 {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", b0, b1, size))
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	// Stream chunk by chunk.
+	buf := make([]byte, o.chunkSize)
+	c0 := uint32(b0 / o.chunkSize)
+	c1 := uint32(b1 / o.chunkSize)
+	for c := c0; c <= c1; c++ {
+		lo := int64(c) * o.chunkSize
+		n := o.chunkSize
+		if lo+n > size {
+			n = size - lo
+		}
+		ChunkData(v, c, buf[:n])
+		from, to := int64(0), n-1
+		if lo < b0 {
+			from = b0 - lo
+		}
+		if lo+to > b1 {
+			to = b1 - lo
+		}
+		if _, err := w.Write(buf[from : to+1]); err != nil {
+			return
+		}
+	}
+}
+
+// parseRange interprets a Range header (or start/end query parameters)
+// against the video size, defaulting to the whole video.
+func parseRange(r *http.Request, size int64) (b0, b1 int64, err error) {
+	b0, b1 = 0, size-1
+	if h := r.Header.Get("Range"); h != "" {
+		var s, e int64
+		if n, _ := fmt.Sscanf(h, "bytes=%d-%d", &s, &e); n == 2 {
+			b0, b1 = s, e
+		} else if n, _ := fmt.Sscanf(h, "bytes=%d-", &s); n == 1 {
+			b0 = s
+		} else {
+			return 0, 0, fmt.Errorf("unparseable Range %q", h)
+		}
+	} else {
+		q := r.URL.Query()
+		if qs := q.Get("start"); qs != "" {
+			if b0, err = strconv.ParseInt(qs, 10, 64); err != nil {
+				return 0, 0, fmt.Errorf("bad start: %v", err)
+			}
+		}
+		if qe := q.Get("end"); qe != "" {
+			if b1, err = strconv.ParseInt(qe, 10, 64); err != nil {
+				return 0, 0, fmt.Errorf("bad end: %v", err)
+			}
+		}
+	}
+	if b1 >= size {
+		b1 = size - 1
+	}
+	if b0 < 0 || b0 > b1 {
+		return 0, 0, fmt.Errorf("range [%d,%d] out of bounds for size %d", b0, b1, size)
+	}
+	return b0, b1, nil
+}

@@ -1,0 +1,128 @@
+package edge
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"videocdn/internal/cafe"
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/xlru"
+)
+
+func postPrefetch(t *testing.T, rig *testRig, query string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(rig.edgeSrv.URL+"/prefetch?"+query, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func TestPrefetchEndpoint(t *testing.T) {
+	cache, err := cafe.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1, cafe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := MapCatalog{1: 6 * testK}
+	rig := newRig(t, cache, catalog)
+
+	// Establish popularity: fetch the first two chunks twice.
+	rig.get(t, 1, 0, 2*testK-1)
+	rig.advance(10)
+	rig.get(t, 1, 0, 2*testK-1)
+	rig.advance(1)
+
+	resp, body := postPrefetch(t, rig, "v=1&chunks=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.HasPrefix(body, "accepted 2") {
+		t.Fatalf("body = %q, want accepted 2", body)
+	}
+	// Prefetched chunks must be in both the cache and the store.
+	for _, idx := range []uint32{2, 3} {
+		id := chunk.ID{Video: 1, Index: idx}
+		if !cache.Contains(id) {
+			t.Errorf("chunk %d not in cache", idx)
+		}
+		if !rig.chunkStr.Has(id) {
+			t.Errorf("chunk %d not in store", idx)
+		}
+	}
+	// A later request for those chunks is a pure hit (no new fills).
+	rig.advance(5)
+	before := rig.edge.SnapshotStats().FilledBytes
+	rig.get(t, 1, 2*testK, 4*testK-1)
+	after := rig.edge.SnapshotStats().FilledBytes
+	if after != before {
+		t.Errorf("prefetched range should hit without fills (%d -> %d)", before, after)
+	}
+}
+
+func TestPrefetchStopsAtEndOfVideo(t *testing.T) {
+	cache, err := cafe.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1, cafe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := MapCatalog{1: 3 * testK} // 3 chunks total
+	rig := newRig(t, cache, catalog)
+	rig.get(t, 1, 0, 2*testK-1)
+	rig.advance(10)
+	rig.get(t, 1, 0, 2*testK-1)
+	rig.advance(1)
+	// Only chunk 2 remains; asking for 10 must accept exactly 1.
+	resp, body := postPrefetch(t, rig, "v=1&chunks=10")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(body, "accepted 1") {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+}
+
+func TestPrefetchUnsupportedAlgorithm(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newRig(t, cache, MapCatalog{1: 4 * testK})
+	resp, _ := postPrefetch(t, rig, "v=1")
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("xlru prefetch status = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestPrefetchValidation(t *testing.T) {
+	cache, err := cafe.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1, cafe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newRig(t, cache, MapCatalog{1: 4 * testK})
+	// GET not allowed.
+	resp, err := http.Get(rig.edgeSrv.URL + "/prefetch?v=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+	// Bad params.
+	if resp, _ := postPrefetch(t, rig, "v=abc"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad video status = %d", resp.StatusCode)
+	}
+	if resp, _ := postPrefetch(t, rig, "v=1&chunks=0"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("chunks=0 status = %d", resp.StatusCode)
+	}
+	// Unknown video -> 502 from origin size lookup.
+	if resp, _ := postPrefetch(t, rig, "v=99"); resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("unknown video status = %d", resp.StatusCode)
+	}
+	// Unknown video on a cold cache with no popularity: accepted 0.
+	if resp, body := postPrefetch(t, rig, "v=1&chunks=1"); resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(body, "accepted 0") {
+		t.Errorf("cold prefetch: status %d body %q", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,463 @@
+package edge
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/cost"
+	"videocdn/internal/store"
+	"videocdn/internal/trace"
+)
+
+// Config assembles an edge cache server.
+type Config struct {
+	// Cache is the decision engine (xLRU, Cafe, ...). The server
+	// serializes access to it.
+	Cache core.Cache
+	// Store holds chunk bytes; its contents are kept in lockstep with
+	// the cache's placement decisions.
+	Store store.Store
+	// OriginURL is the base URL of the origin (e.g. the NewOrigin
+	// handler) used for cache fills.
+	OriginURL string
+	// RedirectURL is the base URL of the alternative server location
+	// that declined requests are 302-redirected to (Section 2's
+	// secondary map). The video path and query are preserved.
+	RedirectURL string
+	// ChunkSize must match the cache's configuration.
+	ChunkSize int64
+	// Alpha is the server's alpha_F2R, used for the /stats efficiency
+	// report (the Cache already embeds it for decisions).
+	Alpha float64
+	// Clock returns the current trace time in seconds. Defaults to
+	// wall-clock seconds since server start.
+	Clock func() int64
+	// Client performs origin fetches. Defaults to a client with a
+	// 30-second timeout.
+	Client *http.Client
+}
+
+// Server is the HTTP edge cache.
+//
+// Routes:
+//
+//	GET /video?v=<id>    serve (200/206), or 302 to RedirectURL
+//	GET /stats           JSON counters and efficiency
+//	GET /healthz         liveness
+type Server struct {
+	cfg   Config
+	model cost.Model
+	mux   *http.ServeMux
+
+	mu       sync.Mutex // guards cache and counters
+	counters cost.Counters
+	served   int64
+	redirs   int64
+	fillErrs int64
+
+	sizeMu sync.RWMutex            // video sizes are immutable; cache them so
+	sizes  map[chunk.VideoID]int64 // origin outages cannot break cache hits
+
+	flightMu sync.Mutex // coalesces concurrent origin fetches per chunk
+	flights  map[uint64]*flight
+}
+
+// flight is one in-progress origin fetch that concurrent requests for
+// the same chunk wait on instead of re-fetching.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// NewServer validates the config and builds the edge server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Cache == nil {
+		return nil, fmt.Errorf("edge: nil cache")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("edge: nil store")
+	}
+	if cfg.OriginURL == "" {
+		return nil, fmt.Errorf("edge: origin URL required")
+	}
+	if cfg.RedirectURL == "" {
+		return nil, fmt.Errorf("edge: redirect URL required")
+	}
+	if cfg.ChunkSize <= 0 {
+		return nil, fmt.Errorf("edge: chunk size must be positive")
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	model, err := cost.NewModel(cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		start := time.Now()
+		cfg.Clock = func() int64 { return int64(time.Since(start) / time.Second) }
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	s := &Server{
+		cfg: cfg, model: model, mux: http.NewServeMux(),
+		sizes:   make(map[chunk.VideoID]int64),
+		flights: make(map[uint64]*flight),
+	}
+	s.mux.HandleFunc("/video", s.handleVideo)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/prefetch", s.handlePrefetch)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// prefetcher is the optional capability some caches (Cafe) implement
+// for proactive, popularity-gated fills (the paper's Section 10
+// "proactive caching").
+type prefetcher interface {
+	PrefetchChunk(id chunk.ID, now int64) bool
+	HighestCachedIndex(v chunk.VideoID) (uint32, bool)
+}
+
+// handlePrefetch serves POST /prefetch?v=<id>&chunks=<n>: sequential
+// read-ahead of up to n chunks past the video's highest cached index.
+// Responds 501 when the algorithm does not support prefetching, 200
+// with "accepted <k>" otherwise. Operators call this from off-peak
+// cron jobs to spend spare ingress.
+func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	p, ok := s.cfg.Cache.(prefetcher)
+	if !ok {
+		http.Error(w, fmt.Sprintf("algorithm %q does not support prefetch", s.cfg.Cache.Name()),
+			http.StatusNotImplemented)
+		return
+	}
+	v, err := parseVideo(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := 1
+	if qs := r.URL.Query().Get("chunks"); qs != "" {
+		if n, err = strconv.Atoi(qs); err != nil || n < 1 || n > 1024 {
+			http.Error(w, "chunks must be in [1,1024]", http.StatusBadRequest)
+			return
+		}
+	}
+	size, err := s.originSize(v)
+	if err != nil {
+		http.Error(w, "origin: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	maxChunk := uint32((size - 1) / s.cfg.ChunkSize)
+	now := s.cfg.Clock()
+
+	accepted := 0
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		hi, ok := p.HighestCachedIndex(v)
+		if !ok || hi >= maxChunk {
+			s.mu.Unlock()
+			break
+		}
+		id := chunk.ID{Video: v, Index: hi + 1}
+		admitted := p.PrefetchChunk(id, now)
+		s.mu.Unlock()
+		if !admitted {
+			break
+		}
+		if err := s.fill(id); err != nil {
+			s.mu.Lock()
+			s.fillErrs++
+			s.mu.Unlock()
+			http.Error(w, "cache fill: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		s.mu.Lock()
+		s.counters.Filled += s.cfg.ChunkSize
+		s.mu.Unlock()
+		accepted++
+	}
+	fmt.Fprintf(w, "accepted %d\n", accepted)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
+	v, err := parseVideo(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	size, err := s.originSize(v)
+	if err != nil {
+		http.Error(w, "origin: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	b0, b1, err := parseRange(r, size)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	req := trace.Request{Time: s.cfg.Clock(), Video: v, Start: b0, End: b1}
+
+	s.mu.Lock()
+	out := s.cfg.Cache.HandleRequest(req)
+	s.mu.Unlock()
+
+	if out.Decision == core.Redirect {
+		s.mu.Lock()
+		s.redirs++
+		s.counters.Add(cost.Counters{Requested: req.Bytes(), Redirected: req.Bytes()})
+		s.mu.Unlock()
+		http.Redirect(w, r, s.cfg.RedirectURL+r.URL.RequestURI(), http.StatusFound)
+		return
+	}
+
+	// Materialize the decision: fetch filled chunks, drop evicted.
+	for _, id := range out.FilledIDs {
+		if err := s.fill(id); err != nil {
+			s.mu.Lock()
+			s.fillErrs++
+			s.mu.Unlock()
+			http.Error(w, "cache fill: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+	}
+	for _, id := range out.EvictedIDs {
+		if err := s.cfg.Store.Delete(id); err != nil {
+			// Losing a delete leaks bytes but is not fatal; surface in
+			// stats via fillErrs.
+			s.mu.Lock()
+			s.fillErrs++
+			s.mu.Unlock()
+		}
+	}
+
+	s.mu.Lock()
+	s.served++
+	s.counters.Add(cost.Counters{Requested: req.Bytes(), Filled: out.FilledBytes})
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "video/mp4")
+	w.Header().Set("Content-Length", strconv.FormatInt(b1-b0+1, 10))
+	if b0 != 0 || b1 != size-1 {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", b0, b1, size))
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	if err := s.stream(w, v, b0, b1); err != nil {
+		return // client gone or store hiccup after headers; nothing to do
+	}
+}
+
+// stream writes [b0,b1] of the video from the chunk store.
+func (s *Server) stream(w io.Writer, v chunk.VideoID, b0, b1 int64) error {
+	k := s.cfg.ChunkSize
+	c0 := uint32(b0 / k)
+	c1 := uint32(b1 / k)
+	var buf []byte
+	for c := c0; c <= c1; c++ {
+		id := chunk.ID{Video: v, Index: c}
+		data, err := s.cfg.Store.Get(id, buf[:0])
+		if err != nil {
+			// The cache believed the chunk was present but the store
+			// disagrees (e.g. a lost write). Self-heal from origin.
+			if err2 := s.fill(id); err2 != nil {
+				return err
+			}
+			if data, err = s.cfg.Store.Get(id, buf[:0]); err != nil {
+				return err
+			}
+		}
+		buf = data
+		lo := int64(c) * k
+		from, to := int64(0), int64(len(data)-1)
+		if lo < b0 {
+			from = b0 - lo
+		}
+		if lo+to > b1 {
+			to = b1 - lo
+		}
+		if from > to {
+			continue
+		}
+		if _, err := w.Write(data[from : to+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fill fetches one whole chunk from origin into the store, coalescing
+// concurrent fetches of the same chunk into a single origin request
+// (duplicate fills waste exactly the ingress this CDN exists to save).
+func (s *Server) fill(id chunk.ID) error {
+	key := id.Key()
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		return f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	f.err = s.fetchChunk(id)
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.err
+}
+
+// fetchChunk performs the actual origin round trip.
+func (s *Server) fetchChunk(id chunk.ID) error {
+	url := fmt.Sprintf("%s/chunk?v=%d&c=%d", s.cfg.OriginURL, id.Video, id.Index)
+	resp, err := s.cfg.Client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("origin returned %s for %s", resp.Status, id)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.ChunkSize+1))
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) > s.cfg.ChunkSize {
+		return fmt.Errorf("origin chunk %s larger than chunk size", id)
+	}
+	return s.cfg.Store.Put(id, data)
+}
+
+// originSize returns the video's size, consulting the local size cache
+// first: sizes are immutable, and depending on the origin for every
+// request would let an origin outage break even pure cache hits.
+func (s *Server) originSize(v chunk.VideoID) (int64, error) {
+	s.sizeMu.RLock()
+	size, ok := s.sizes[v]
+	s.sizeMu.RUnlock()
+	if ok {
+		return size, nil
+	}
+	resp, err := s.cfg.Client.Get(fmt.Sprintf("%s/size?v=%d", s.cfg.OriginURL, v))
+	if err != nil {
+		s.noteFillErr()
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.noteFillErr()
+		return 0, fmt.Errorf("origin returned %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32))
+	if err != nil {
+		s.noteFillErr()
+		return 0, err
+	}
+	size, err = strconv.ParseInt(string(body), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	s.sizeMu.Lock()
+	// Bound the cache: a few million entries is plenty for any chunk
+	// disk this server could front; reset rather than track recency —
+	// entries are one origin round-trip to recover.
+	if len(s.sizes) >= maxSizeCacheEntries {
+		s.sizes = make(map[chunk.VideoID]int64)
+	}
+	s.sizes[v] = size
+	s.sizeMu.Unlock()
+	return size, nil
+}
+
+// maxSizeCacheEntries caps the video-size cache (~16 bytes/entry).
+const maxSizeCacheEntries = 1 << 21
+
+func (s *Server) noteFillErr() {
+	s.mu.Lock()
+	s.fillErrs++
+	s.mu.Unlock()
+}
+
+// Stats is the JSON body of /stats.
+type Stats struct {
+	Algorithm       string  `json:"algorithm"`
+	Alpha           float64 `json:"alpha_f2r"`
+	Served          int64   `json:"served"`
+	Redirected      int64   `json:"redirected"`
+	RequestedBytes  int64   `json:"requested_bytes"`
+	FilledBytes     int64   `json:"filled_bytes"`
+	RedirectedBytes int64   `json:"redirected_bytes"`
+	Efficiency      float64 `json:"efficiency"`
+	IngressRatio    float64 `json:"ingress_ratio"`
+	RedirectRatio   float64 `json:"redirect_ratio"`
+	CachedChunks    int     `json:"cached_chunks"`
+	FillErrors      int64   `json:"fill_errors"`
+}
+
+// SnapshotStats returns a consistent copy of the server counters.
+func (s *Server) SnapshotStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Algorithm:       s.cfg.Cache.Name(),
+		Alpha:           s.model.Alpha,
+		Served:          s.served,
+		Redirected:      s.redirs,
+		RequestedBytes:  s.counters.Requested,
+		FilledBytes:     s.counters.Filled,
+		RedirectedBytes: s.counters.Redirected,
+		Efficiency:      s.counters.Efficiency(s.model),
+		IngressRatio:    s.counters.IngressRatio(),
+		RedirectRatio:   s.counters.RedirectRatio(),
+		CachedChunks:    s.cfg.Cache.Len(),
+		FillErrors:      s.fillErrs,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.SnapshotStats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleMetrics exposes the counters in the Prometheus text exposition
+// format, so a stock Prometheus scrape of /metrics works without any
+// client library.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.SnapshotStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	labels := fmt.Sprintf("{algorithm=%q}", st.Algorithm)
+	write := func(name, help, typ string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s%s %g\n", name, help, name, typ, name, labels, v)
+	}
+	write("videocdn_requests_served_total", "Requests served from this edge.", "counter", float64(st.Served))
+	write("videocdn_requests_redirected_total", "Requests 302-redirected to the alternative location.", "counter", float64(st.Redirected))
+	write("videocdn_requested_bytes_total", "Bytes requested by clients.", "counter", float64(st.RequestedBytes))
+	write("videocdn_filled_bytes_total", "Bytes cache-filled from origin (ingress).", "counter", float64(st.FilledBytes))
+	write("videocdn_redirected_bytes_total", "Bytes redirected away.", "counter", float64(st.RedirectedBytes))
+	write("videocdn_fill_errors_total", "Origin fetch or store failures.", "counter", float64(st.FillErrors))
+	write("videocdn_cached_chunks", "Chunks currently on disk.", "gauge", float64(st.CachedChunks))
+	write("videocdn_cache_efficiency", "Cache efficiency per the paper's Eq. 2.", "gauge", st.Efficiency)
+	write("videocdn_ingress_ratio", "Filled bytes over requested bytes.", "gauge", st.IngressRatio)
+	write("videocdn_redirect_ratio", "Redirected bytes over requested bytes.", "gauge", st.RedirectRatio)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"videocdn/internal/cafe"
+	"videocdn/internal/core"
+	"videocdn/internal/cost"
+	"videocdn/internal/psychic"
+	"videocdn/internal/sim"
+)
+
+// AblationRow is one design-choice variant's steady-state metrics.
+type AblationRow struct {
+	Name     string
+	Eff      float64
+	Ingress  float64
+	Redirect float64
+}
+
+// AblationResult quantifies the design choices DESIGN.md calls out:
+// Cafe's EWMA factor gamma, the future window T, chunk-level vs
+// file-level tracking, the unseen-chunk estimator, and Psychic's
+// future-list bound N. These go beyond the paper's own evaluation.
+type AblationResult struct {
+	Server string
+	Alpha  float64
+	Rows   []AblationRow
+}
+
+// Ablations runs every variant on the European trace at alpha=2.
+func Ablations(sc Scale) (*AblationResult, error) {
+	const server = "europe"
+	const alpha = 2.0
+	reqs, err := TraceFor(server, sc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{ChunkSize: sc.ChunkSize, DiskChunks: sc.DiskChunks}
+	model, err := cost.NewModel(alpha)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Server: server, Alpha: alpha}
+	add := func(name string, c core.Cache) error {
+		r, err := sim.Replay(c, reqs, model, sim.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name: name, Eff: r.Efficiency(), Ingress: r.IngressRatio(), Redirect: r.RedirectRatio(),
+		})
+		return nil
+	}
+
+	// Cafe baseline and gamma sensitivity (Eq. 8).
+	for _, gamma := range []float64{0.05, 0.25, 0.5, 0.9} {
+		c, err := cafe.New(cfg, alpha, cafe.Options{Gamma: gamma})
+		if err != nil {
+			return nil, err
+		}
+		if err := add(fmt.Sprintf("cafe gamma=%.2f", gamma), c); err != nil {
+			return nil, err
+		}
+	}
+	// Future window T scaling (paper: T = cache age is best).
+	for _, ws := range []float64{0.25, 4} {
+		c, err := cafe.New(cfg, alpha, cafe.Options{WindowScale: ws})
+		if err != nil {
+			return nil, err
+		}
+		if err := add(fmt.Sprintf("cafe window=%.2gx age", ws), c); err != nil {
+			return nil, err
+		}
+	}
+	// Chunk-awareness ablations.
+	cfl, err := cafe.New(cfg, alpha, cafe.Options{FileLevel: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := add("cafe file-level IATs", cfl); err != nil {
+		return nil, err
+	}
+	cnv, err := cafe.New(cfg, alpha, cafe.Options{NoVideoEstimate: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := add("cafe no video estimate", cnv); err != nil {
+		return nil, err
+	}
+	// Psychic future-list bound (paper: N=10 suffices).
+	for _, n := range []int{1, 2, 10, 50} {
+		c, err := psychic.New(cfg, alpha, reqs, psychic.Options{N: n})
+		if err != nil {
+			return nil, err
+		}
+		if err := add(fmt.Sprintf("psychic N=%d", n), c); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Print renders the ablation table.
+func (r *AblationResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablations (%s server, alpha=%.2g)\n", r.Server, r.Alpha)
+	fmt.Fprintf(w, "%-26s %10s %10s %10s\n", "variant", "eff", "ingress", "redirect")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-26s %10s %10s %10s\n", row.Name, pct(row.Eff), pct(row.Ingress), pct(row.Redirect))
+	}
+}

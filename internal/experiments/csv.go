@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"videocdn/internal/sim"
+)
+
+// CSV writers: every figure result can dump its raw data for external
+// plotting. Columns are stable; ratios are unit fractions (not
+// percentages).
+
+// CSV writes Figure 2's per-(server, alpha) rows.
+func (r *Fig2Result) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "server,alpha,psychic_eff,optimal_lp_eff,delta,requests,chunks,disk_chunks"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%g,%.6f,%.6f,%.6f,%d,%d,%d\n",
+			row.Server, row.Alpha, row.Psychic, row.Bound, row.Delta,
+			row.Requests, row.Chunks, row.DiskChunks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes Figure 3's full hourly series for every algorithm.
+func (r *Fig3Result) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "algo,hour,ingress,redirect,efficiency"); err != nil {
+		return err
+	}
+	for _, algo := range OnlineAlgos {
+		for _, p := range r.Series[algo] {
+			if _, err := fmt.Fprintf(w, "%s,%.2f,%.6f,%.6f,%.6f\n",
+				algo, p.Hour, p.Ingress, p.Redirect, p.Eff); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CSV writes the alpha sweep backing Figures 4 and 5.
+func (r *AlphaSweepResult) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "alpha,algo,efficiency,ingress,redirect"); err != nil {
+		return err
+	}
+	alphas := append([]float64{}, r.Alphas...)
+	sort.Float64s(alphas)
+	for _, a := range alphas {
+		for _, res := range sortedAlgoResults(r.Results[a]) {
+			if _, err := fmt.Fprintf(w, "%g,%s,%.6f,%.6f,%.6f\n",
+				a, res.name, res.eff, res.ing, res.red); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CSV writes Figure 6's disk sweep.
+func (r *Fig6Result) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "disk_chunks,algo,efficiency,ingress,redirect"); err != nil {
+		return err
+	}
+	for _, d := range r.Disks {
+		for _, res := range sortedAlgoResults(r.Results[d]) {
+			if _, err := fmt.Fprintf(w, "%d,%s,%.6f,%.6f,%.6f\n",
+				d, res.name, res.eff, res.ing, res.red); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CSV writes Figure 7's per-server table.
+func (r *Fig7Result) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "server,algo,efficiency,ingress,redirect"); err != nil {
+		return err
+	}
+	for _, s := range r.Servers {
+		for _, res := range sortedAlgoResults(r.Results[s]) {
+			if _, err := fmt.Fprintf(w, "%s,%s,%.6f,%.6f,%.6f\n",
+				s, res.name, res.eff, res.ing, res.red); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// algoRow is a flattened (algo, metrics) row in deterministic order.
+type algoRow struct {
+	name          string
+	eff, ing, red float64
+}
+
+func sortedAlgoResults(m map[string]*sim.Result) []algoRow {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([]algoRow, 0, len(names))
+	for _, n := range names {
+		res := m[n]
+		rows = append(rows, algoRow{
+			name: n, eff: res.Efficiency(), ing: res.IngressRatio(), red: res.RedirectRatio(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	sc := tinyScale()
+
+	sweep, err := AlphaSweep(sc, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := sweep.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "alpha,algo,efficiency") {
+		t.Errorf("sweep CSV header wrong: %q", firstLine(out))
+	}
+	// 2 alphas x 4 algos (incl. lru baseline) + header.
+	if n := strings.Count(out, "\n"); n != 1+2*4 {
+		t.Errorf("sweep CSV has %d lines", n)
+	}
+
+	f3, err := Fig3(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := f3.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "algo,hour,ingress") {
+		t.Errorf("fig3 CSV header wrong: %q", firstLine(sb.String()))
+	}
+	if strings.Count(sb.String(), "\n") < 10 {
+		t.Error("fig3 CSV suspiciously short")
+	}
+
+	f6, err := Fig6(sc, 2, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := f6.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 1+2*3 {
+		t.Errorf("fig6 CSV has %d lines", n)
+	}
+
+	f7, err := Fig7(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := f7.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 1+6*3 {
+		t.Errorf("fig7 CSV has %d lines", n)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"videocdn/internal/core"
+	"videocdn/internal/sim"
+)
+
+// Fig3Point is one time bucket of one algorithm's series.
+type Fig3Point struct {
+	Hour     float64
+	Ingress  float64 // filled / requested bytes in the bucket
+	Redirect float64 // redirected / requested bytes
+	Eff      float64 // bucket efficiency (Eq. 2)
+}
+
+// Fig3Result reproduces Figure 3: instantaneous redirect ratio,
+// ingress percentage and cache efficiency over the whole trace, for
+// xLRU, Cafe and Psychic on the European server at alpha = 2.
+type Fig3Result struct {
+	Server string
+	Alpha  float64
+	Series map[string][]Fig3Point // algo -> hourly points
+	Steady map[string]*sim.Result
+}
+
+// Fig3 runs the month-long (scaled) time-series experiment.
+func Fig3(sc Scale) (*Fig3Result, error) {
+	const server = "europe"
+	const alpha = 2.0
+	reqs, err := TraceFor(server, sc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{ChunkSize: sc.ChunkSize, DiskChunks: sc.DiskChunks}
+	res := &Fig3Result{
+		Server: server,
+		Alpha:  alpha,
+		Series: map[string][]Fig3Point{},
+		Steady: map[string]*sim.Result{},
+	}
+	all, err := runMany(OnlineAlgos, cfg, alpha, reqs, sim.Options{BucketSeconds: 3600})
+	if err != nil {
+		return nil, err
+	}
+	for algo, r := range all {
+		res.Steady[algo] = r
+		res.Series[algo] = toPoints(r)
+	}
+	return res, nil
+}
+
+func toPoints(r *sim.Result) []Fig3Point {
+	var pts []Fig3Point
+	for _, b := range r.Series.Buckets() {
+		if b.Counters.Requested == 0 {
+			continue
+		}
+		pts = append(pts, Fig3Point{
+			Hour:     float64(b.Start) / 3600,
+			Ingress:  b.Counters.IngressRatio(),
+			Redirect: b.Counters.RedirectRatio(),
+			Eff:      b.Counters.Efficiency(r.Model),
+		})
+	}
+	return pts
+}
+
+// Print renders a condensed series (every stride-th hour) plus the
+// steady-state summary with the paper's headline deltas.
+func (r *Fig3Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 3: %s server, alpha_F2R=%.2g — hourly ingress %%, redirect %%, efficiency\n",
+		r.Server, r.Alpha)
+	stride := 6
+	fmt.Fprintf(w, "%6s", "hour")
+	for _, algo := range OnlineAlgos {
+		fmt.Fprintf(w, " | %-22s", algo+" (ing/red/eff)")
+	}
+	fmt.Fprintln(w)
+	n := len(r.Series[AlgoXLRU])
+	for i := 0; i < n; i += stride {
+		fmt.Fprintf(w, "%6.0f", r.Series[AlgoXLRU][i].Hour)
+		for _, algo := range OnlineAlgos {
+			pts := r.Series[algo]
+			if i >= len(pts) {
+				fmt.Fprintf(w, " | %-22s", "-")
+				continue
+			}
+			p := pts[i]
+			fmt.Fprintf(w, " | %5.1f%% %5.1f%% %6.3f", 100*p.Ingress, 100*p.Redirect, p.Eff)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Steady state (second half of trace):")
+	for _, algo := range OnlineAlgos {
+		s := r.Steady[algo]
+		fmt.Fprintf(w, "%-8s eff=%s ingress=%s redirect=%s\n",
+			algo, pct(s.Efficiency()), pct(s.IngressRatio()), pct(s.RedirectRatio()))
+	}
+	xl := r.Steady[AlgoXLRU].Efficiency()
+	fmt.Fprintf(w, "Cafe gain over xLRU:    %+.1f points (paper: +10.1)\n",
+		100*(r.Steady[AlgoCafe].Efficiency()-xl))
+	fmt.Fprintf(w, "Psychic gain over xLRU: %+.1f points (paper: +12.7)\n",
+		100*(r.Steady[AlgoPsychic].Efficiency()-xl))
+}
+
+// PeakTroughRatio reports the diurnal swing of an algorithm's hourly
+// ingress series (tests use it to confirm Figure 3's daily pattern).
+func (r *Fig3Result) PeakTroughRatio(algo string) float64 {
+	pts := r.Series[algo]
+	if len(pts) == 0 {
+		return 0
+	}
+	// Use requested-byte-weighted ingress per hour-of-day.
+	var byHour [24]struct{ ing, n float64 }
+	for _, p := range pts {
+		h := int(p.Hour) % 24
+		byHour[h].ing += p.Ingress
+		byHour[h].n++
+	}
+	minV, maxV := -1.0, -1.0
+	for _, b := range byHour {
+		if b.n == 0 {
+			continue
+		}
+		v := b.ing / b.n
+		if minV < 0 || v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if minV <= 0 {
+		return 0
+	}
+	return maxV / minV
+}

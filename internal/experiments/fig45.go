@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"videocdn/internal/core"
+	"videocdn/internal/sim"
+)
+
+// AlphaSweepResult backs both Figure 4 (efficiency vs alpha) and
+// Figure 5 (ingress/redirect operating points), which the paper
+// derives from the same runs.
+type AlphaSweepResult struct {
+	Server  string
+	Alphas  []float64
+	Results map[float64]map[string]*sim.Result // alpha -> algo -> result
+}
+
+// AlphaSweep replays the European trace at every alpha for the three
+// algorithms (plus the always-fill LRU baseline as an extension).
+func AlphaSweep(sc Scale, alphas []float64) (*AlphaSweepResult, error) {
+	if len(alphas) == 0 {
+		alphas = []float64{0.5, 1, 2, 4}
+	}
+	const server = "europe"
+	reqs, err := TraceFor(server, sc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{ChunkSize: sc.ChunkSize, DiskChunks: sc.DiskChunks}
+	res := &AlphaSweepResult{
+		Server:  server,
+		Alphas:  alphas,
+		Results: map[float64]map[string]*sim.Result{},
+	}
+	algos := append([]string{}, OnlineAlgos...)
+	algos = append(algos, AlgoLRU)
+	for _, alpha := range alphas {
+		all, err := runMany(algos, cfg, alpha, reqs, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Results[alpha] = all
+	}
+	return res, nil
+}
+
+// PrintFig4 renders efficiency-vs-alpha bar groups plus the paper's
+// cost-perspective sentence (inefficiency reduction at alpha=2).
+func (r *AlphaSweepResult) PrintFig4(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4: efficiency vs alpha_F2R (%s server)\n", r.Server)
+	fmt.Fprintf(w, "%6s %10s %10s %10s %12s\n", "alpha", "xlru", "cafe", "psychic", "lru(always)")
+	alphas := append([]float64{}, r.Alphas...)
+	sort.Float64s(alphas)
+	for _, a := range alphas {
+		m := r.Results[a]
+		fmt.Fprintf(w, "%6.2g %10s %10s %10s %12s\n", a,
+			pct(m[AlgoXLRU].Efficiency()), pct(m[AlgoCafe].Efficiency()),
+			pct(m[AlgoPsychic].Efficiency()), pct(m[AlgoLRU].Efficiency()))
+	}
+	if m, ok := r.Results[2.0]; ok {
+		xl, cf := m[AlgoXLRU].Efficiency(), m[AlgoCafe].Efficiency()
+		if 1-xl > 0 {
+			fmt.Fprintf(w,
+				"\nCost view at alpha=2: Cafe cuts inefficiency %s -> %s, a relative %.0f%% reduction (paper: 38%%->27%%, -29%%)\n",
+				pct(1-xl), pct(1-cf), 100*(1-(1-cf)/(1-xl)))
+		}
+	}
+}
+
+// PrintFig5 renders the operating points: ingress %% (x) vs redirect %%
+// (y) for each alpha, left-to-right alpha = 4, 2, 1, 0.5 like the
+// paper.
+func (r *AlphaSweepResult) PrintFig5(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5: operating points in the fill-redirect tradeoff (%s server)\n", r.Server)
+	fmt.Fprintf(w, "%-8s", "algo")
+	alphas := append([]float64{}, r.Alphas...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(alphas)))
+	for _, a := range alphas {
+		fmt.Fprintf(w, " | alpha=%-4.2g (ing, red)", a)
+	}
+	fmt.Fprintln(w)
+	for _, algo := range OnlineAlgos {
+		fmt.Fprintf(w, "%-8s", algo)
+		for _, a := range alphas {
+			res := r.Results[a][algo]
+			fmt.Fprintf(w, " | %7s, %7s     ", pct(res.IngressRatio()), pct(res.RedirectRatio()))
+		}
+		fmt.Fprintln(w)
+	}
+	// The paper's observation: xLRU cannot push ingress below ~15%
+	// even at alpha=4, while Cafe/Psychic comply to a few percent.
+	if m, ok := r.Results[4.0]; ok {
+		fmt.Fprintf(w, "\nalpha=4 ingress floors: xlru=%s cafe=%s psychic=%s (paper: ~15%% vs a few %%)\n",
+			pct(m[AlgoXLRU].IngressRatio()), pct(m[AlgoCafe].IngressRatio()), pct(m[AlgoPsychic].IngressRatio()))
+	}
+}

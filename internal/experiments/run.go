@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videocdn/internal/belady"
+	"videocdn/internal/cafe"
+	"videocdn/internal/core"
+	"videocdn/internal/cost"
+	"videocdn/internal/gdsp"
+	"videocdn/internal/lruk"
+	"videocdn/internal/psychic"
+	"videocdn/internal/purelru"
+	"videocdn/internal/sim"
+	"videocdn/internal/trace"
+	"videocdn/internal/xlru"
+)
+
+// Algorithms, in the order the paper's bar groups use.
+const (
+	AlgoXLRU    = "xlru"
+	AlgoCafe    = "cafe"
+	AlgoPsychic = "psychic"
+	AlgoLRU     = "lru"    // always-fill baseline (extension)
+	AlgoGDSP    = "gdsp"   // Greedy-Dual-Size-Popularity baseline (related work)
+	AlgoLRUK    = "lruk"   // LRU-2 baseline (related work)
+	AlgoBelady  = "belady" // offline optimal replacement, always-fill (related work)
+)
+
+// OnlineAlgos is the paper's per-figure trio.
+var OnlineAlgos = []string{AlgoXLRU, AlgoCafe, AlgoPsychic}
+
+// newCache constructs an algorithm by name. Psychic needs the full
+// trace for its future index.
+func newCache(name string, cfg core.Config, alpha float64, reqs []trace.Request) (core.Cache, error) {
+	switch name {
+	case AlgoXLRU:
+		return xlru.New(cfg, alpha)
+	case AlgoCafe:
+		return cafe.New(cfg, alpha, cafe.Options{})
+	case AlgoPsychic:
+		return psychic.New(cfg, alpha, reqs, psychic.Options{})
+	case AlgoLRU:
+		return purelru.New(cfg)
+	case AlgoGDSP:
+		return gdsp.New(cfg)
+	case AlgoLRUK:
+		return lruk.New(cfg, lruk.DefaultK)
+	case AlgoBelady:
+		return belady.New(cfg, reqs)
+	default:
+		return nil, fmt.Errorf("experiments: unknown algorithm %q", name)
+	}
+}
+
+// runOne replays reqs through the named algorithm and returns the
+// result.
+func runOne(name string, cfg core.Config, alpha float64, reqs []trace.Request, opt sim.Options) (*sim.Result, error) {
+	c, err := newCache(name, cfg, alpha, reqs)
+	if err != nil {
+		return nil, err
+	}
+	m, err := cost.NewModel(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Replay(c, reqs, m, opt)
+}
+
+// runMany replays reqs through several algorithms concurrently (they
+// share nothing but the read-only trace).
+func runMany(algos []string, cfg core.Config, alpha float64, reqs []trace.Request, opt sim.Options) (map[string]*sim.Result, error) {
+	m, err := cost.NewModel(alpha)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]sim.Job, 0, len(algos))
+	for _, name := range algos {
+		c, err := newCache(name, cfg, alpha, reqs)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, sim.Job{Name: name, Cache: c, Model: m})
+	}
+	return sim.ReplayAll(jobs, reqs, opt)
+}
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%5.1f%%", 100*v) }
+
+// coreConfig builds the shared cache configuration for a scale.
+func coreConfig(sc Scale) core.Config {
+	return core.Config{ChunkSize: sc.ChunkSize, DiskChunks: sc.DiskChunks}
+}
+
+// simOptions returns the default replay options used by the figures.
+func simOptions() sim.Options { return sim.Options{} }

@@ -1,0 +1,128 @@
+package gdsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/trace"
+)
+
+const testK = 1024
+
+func req(t int64, v chunk.VideoID, c0, c1 int) trace.Request {
+	return trace.Request{Time: t, Video: v, Start: int64(c0) * testK, End: int64(c1+1)*testK - 1}
+}
+
+func newCache(t *testing.T, disk int) *Cache {
+	t.Helper()
+	c, err := New(core.Config{ChunkSize: testK, DiskChunks: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(core.Config{}); err == nil {
+		t.Error("bad config should fail")
+	}
+}
+
+func TestAlwaysServes(t *testing.T) {
+	c := newCache(t, 4)
+	rng := rand.New(rand.NewSource(1))
+	tm := int64(0)
+	for i := 0; i < 400; i++ {
+		out := c.HandleRequest(req(tm, chunk.VideoID(rng.Intn(20)), 0, rng.Intn(3)))
+		if out.Decision != core.Serve {
+			t.Fatal("GDSP must serve everything that fits")
+		}
+		if c.Len() > 4 {
+			t.Fatal("disk overflow")
+		}
+		tm++
+	}
+}
+
+func TestFrequencyProtectsHotChunks(t *testing.T) {
+	c := newCache(t, 3)
+	// Chunk A accessed 5 times; B and C once each.
+	for i := int64(0); i < 5; i++ {
+		c.HandleRequest(req(i, 1, 0, 0))
+	}
+	c.HandleRequest(req(10, 2, 0, 0))
+	c.HandleRequest(req(11, 3, 0, 0))
+	// Disk full {A,B,C}. A new chunk must evict a freq-1 chunk, not A.
+	c.HandleRequest(req(12, 4, 0, 0))
+	if !c.Contains(chunk.ID{Video: 1, Index: 0}) {
+		t.Error("high-frequency chunk should survive eviction")
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestInflationAgesOldFrequencies(t *testing.T) {
+	c := newCache(t, 2)
+	// A becomes hot early (freq 3 -> H = 3).
+	for i := int64(0); i < 3; i++ {
+		c.HandleRequest(req(i, 1, 0, 0))
+	}
+	c.HandleRequest(req(3, 2, 0, 0)) // B: H = 1; disk full {A,B}
+	// Churn: many one-shot chunks; every eviction raises L. After L
+	// passes 3, even A becomes evictable despite its old frequency.
+	tm := int64(10)
+	for v := chunk.VideoID(10); v < 20; v++ {
+		c.HandleRequest(req(tm, v, 0, 0))
+		tm++
+	}
+	if c.Contains(chunk.ID{Video: 1, Index: 0}) {
+		t.Error("inflation should eventually age out stale hot chunks")
+	}
+}
+
+func TestOversizedRedirected(t *testing.T) {
+	c := newCache(t, 2)
+	if out := c.HandleRequest(req(0, 1, 0, 4)); out.Decision != core.Redirect {
+		t.Error("oversized request must redirect")
+	}
+}
+
+func TestRequestedChunksNotEvicted(t *testing.T) {
+	c := newCache(t, 3)
+	c.HandleRequest(req(0, 1, 0, 1)) // A0, A1 (freq 1)
+	c.HandleRequest(req(1, 2, 0, 0)) // B0; disk full
+	// Request A0..A2: A2 missing, eviction must take B0 (or another
+	// non-requested chunk), never A0/A1.
+	out := c.HandleRequest(req(2, 1, 0, 2))
+	if out.Decision != core.Serve || out.EvictedChunks != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	for i := uint32(0); i < 3; i++ {
+		if !c.Contains(chunk.ID{Video: 1, Index: i}) {
+			t.Errorf("requested chunk %d missing", i)
+		}
+	}
+	if c.Contains(chunk.ID{Video: 2, Index: 0}) {
+		t.Error("non-requested chunk should have been the victim")
+	}
+}
+
+func TestTimeRegressionPanics(t *testing.T) {
+	c := newCache(t, 2)
+	c.HandleRequest(req(5, 1, 0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("regression should panic")
+		}
+	}()
+	c.HandleRequest(req(4, 1, 0, 0))
+}
+
+func TestName(t *testing.T) {
+	if newCache(t, 1).Name() != "gdsp" {
+		t.Error("bad name")
+	}
+}

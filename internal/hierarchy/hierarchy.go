@@ -1,0 +1,215 @@
+// Package hierarchy simulates multi-tier CDN deployments: chains and
+// fan-in trees of cache servers in which a tier's redirected requests
+// become the next tier's request stream — the "higher level, larger
+// serving site in a cache hierarchy, which captures redirects of its
+// downstream servers" of Section 2, and a building block for the
+// CDN-wide optimization the paper leaves as future work (Section 10).
+//
+// Each tier has its own algorithm and alpha_F2R, so an
+// ingress-constrained edge (alpha = 2) can be composed with a deep,
+// indifferent parent (alpha = 1) and the combined lines of defense
+// evaluated end to end.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+
+	"videocdn/internal/core"
+	"videocdn/internal/cost"
+	"videocdn/internal/trace"
+)
+
+// Tier is one level of the hierarchy.
+type Tier struct {
+	// Name labels the tier in results ("edge", "parent", ...).
+	Name string
+	// Cache is the tier's decision engine.
+	Cache core.Cache
+	// Alpha is the tier's alpha_F2R, used for its efficiency metric.
+	Alpha float64
+}
+
+// TierResult is one tier's accounting after a replay.
+type TierResult struct {
+	Name     string
+	Model    cost.Model
+	Counters cost.Counters
+	Served   int
+	Redirect int
+}
+
+// Efficiency is the tier's cache efficiency (Eq. 2) over its own
+// incoming stream.
+func (t *TierResult) Efficiency() float64 { return t.Counters.Efficiency(t.Model) }
+
+// Result is the outcome of a hierarchy replay.
+type Result struct {
+	Tiers []TierResult
+	// TotalRequested is the byte volume entering the first tier(s).
+	TotalRequested int64
+	// AbsorbedBytes[i] is the byte volume tier i served from cache or
+	// fill (i.e. did not pass on).
+	AbsorbedBytes []int64
+	// OriginBytes is the volume redirected past the last tier — the
+	// traffic the CDN failed to absorb.
+	OriginBytes int64
+	// FillBytes[i] is tier i's ingress (cache-fill) volume.
+	FillBytes []int64
+}
+
+// AbsorbedShare returns tier i's absorbed fraction of the total.
+func (r *Result) AbsorbedShare(i int) float64 {
+	if r.TotalRequested == 0 {
+		return 0
+	}
+	return float64(r.AbsorbedBytes[i]) / float64(r.TotalRequested)
+}
+
+// OriginShare is the fraction of requested bytes that fell through
+// every line of defense.
+func (r *Result) OriginShare() float64 {
+	if r.TotalRequested == 0 {
+		return 0
+	}
+	return float64(r.OriginBytes) / float64(r.TotalRequested)
+}
+
+// Chain replays reqs through a linear chain of tiers: tier 0 sees the
+// user traffic; requests redirected by tier i are offered, with the
+// same timestamps, to tier i+1; redirects of the last tier count as
+// origin traffic.
+func Chain(tiers []Tier, reqs []trace.Request) (*Result, error) {
+	if len(tiers) == 0 {
+		return nil, errors.New("hierarchy: no tiers")
+	}
+	if len(reqs) == 0 {
+		return nil, errors.New("hierarchy: empty trace")
+	}
+	res := &Result{
+		AbsorbedBytes: make([]int64, len(tiers)),
+		FillBytes:     make([]int64, len(tiers)),
+	}
+	for i, tier := range tiers {
+		model, err := cost.NewModel(tier.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: tier %q: %w", tier.Name, err)
+		}
+		res.Tiers = append(res.Tiers, TierResult{Name: tier.Name, Model: model})
+		if tier.Cache == nil {
+			return nil, fmt.Errorf("hierarchy: tier %q has no cache", tier.Name)
+		}
+		_ = i
+	}
+	stream := reqs
+	for i := range tiers {
+		tr := &res.Tiers[i]
+		var next []trace.Request
+		for _, r := range stream {
+			bytes := r.Bytes()
+			if i == 0 {
+				res.TotalRequested += bytes
+			}
+			out := tiers[i].Cache.HandleRequest(r)
+			tr.Counters.Requested += bytes
+			switch out.Decision {
+			case core.Serve:
+				tr.Served++
+				tr.Counters.Filled += out.FilledBytes
+				res.AbsorbedBytes[i] += bytes
+				res.FillBytes[i] += out.FilledBytes
+			case core.Redirect:
+				tr.Redirect++
+				tr.Counters.Redirected += bytes
+				next = append(next, r)
+			default:
+				return nil, fmt.Errorf("hierarchy: tier %q returned unknown decision", tiers[i].Name)
+			}
+		}
+		stream = next
+	}
+	for _, r := range stream {
+		res.OriginBytes += r.Bytes()
+	}
+	return res, nil
+}
+
+// FanIn replays reqs through a two-level tree: assign routes each
+// request to one of the edges (e.g. by user network); every edge's
+// redirects merge, in timestamp order, into the shared parent; the
+// parent's redirects count as origin traffic.
+//
+// The result's Tiers are the edges in order followed by the parent;
+// AbsorbedBytes is indexed the same way.
+func FanIn(edges []Tier, parent Tier, reqs []trace.Request, assign func(trace.Request) int) (*Result, error) {
+	if len(edges) == 0 {
+		return nil, errors.New("hierarchy: no edges")
+	}
+	if assign == nil {
+		return nil, errors.New("hierarchy: nil assign function")
+	}
+	if len(reqs) == 0 {
+		return nil, errors.New("hierarchy: empty trace")
+	}
+	n := len(edges)
+	res := &Result{
+		AbsorbedBytes: make([]int64, n+1),
+		FillBytes:     make([]int64, n+1),
+	}
+	for _, e := range edges {
+		model, err := cost.NewModel(e.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: edge %q: %w", e.Name, err)
+		}
+		if e.Cache == nil {
+			return nil, fmt.Errorf("hierarchy: edge %q has no cache", e.Name)
+		}
+		res.Tiers = append(res.Tiers, TierResult{Name: e.Name, Model: model})
+	}
+	pmodel, err := cost.NewModel(parent.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: parent: %w", err)
+	}
+	if parent.Cache == nil {
+		return nil, errors.New("hierarchy: parent has no cache")
+	}
+	res.Tiers = append(res.Tiers, TierResult{Name: parent.Name, Model: pmodel})
+
+	// Single pass: requests are already time-ordered, so edge decisions
+	// and the merged parent stream stay time-ordered by construction.
+	for _, r := range reqs {
+		i := assign(r)
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("hierarchy: assign(%v) = %d out of range", r.Video, i)
+		}
+		bytes := r.Bytes()
+		res.TotalRequested += bytes
+		tr := &res.Tiers[i]
+		out := edges[i].Cache.HandleRequest(r)
+		tr.Counters.Requested += bytes
+		if out.Decision == core.Serve {
+			tr.Served++
+			tr.Counters.Filled += out.FilledBytes
+			res.AbsorbedBytes[i] += bytes
+			res.FillBytes[i] += out.FilledBytes
+			continue
+		}
+		tr.Redirect++
+		tr.Counters.Redirected += bytes
+		// Parent sees the redirect immediately (same timestamp).
+		pr := &res.Tiers[n]
+		pout := parent.Cache.HandleRequest(r)
+		pr.Counters.Requested += bytes
+		if pout.Decision == core.Serve {
+			pr.Served++
+			pr.Counters.Filled += pout.FilledBytes
+			res.AbsorbedBytes[n] += bytes
+			res.FillBytes[n] += pout.FilledBytes
+		} else {
+			pr.Redirect++
+			pr.Counters.Redirected += bytes
+			res.OriginBytes += bytes
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,286 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+// max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 (classic Dantzig example);
+// optimum x=2, y=6, obj=36. Minimize the negation.
+func TestClassicMaximization(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{-3, -5}}
+	p.AddConstraint([]int{0}, []float64{1}, LE, 4)
+	p.AddConstraint([]int{1}, []float64{2}, LE, 12)
+	p.AddConstraint([]int{0, 1}, []float64{3, 2}, LE, 18)
+	sol := solve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almost(sol.Objective, -36) || !almost(sol.X[0], 2) || !almost(sol.X[1], 6) {
+		t.Errorf("got obj=%v x=%v", sol.Objective, sol.X)
+	}
+}
+
+// min x+y s.t. x+y >= 2, x >= 0.5 -> obj 2 (phase-1 path).
+func TestGEConstraints(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, 2)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 0.5)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 2) {
+		t.Errorf("status=%v obj=%v", sol.Status, sol.Objective)
+	}
+}
+
+// min 2x+3y s.t. x+y = 10, x-y = 2 -> x=6,y=4, obj 24 (equalities).
+func TestEqualityConstraints(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{2, 3}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 10)
+	p.AddConstraint([]int{0, 1}, []float64{1, -1}, EQ, 2)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 24) || !almost(sol.X[0], 6) || !almost(sol.X[1], 4) {
+		t.Errorf("status=%v obj=%v x=%v", sol.Status, sol.Objective, sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]int{0}, []float64{1}, LE, 1)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 2)
+	sol := solve(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{-1}}
+	p.AddConstraint([]int{0}, []float64{-1}, LE, 1) // -x <= 1, x unbounded above
+	sol := solve(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+// Negative RHS rows are normalized internally: -x <= -2 means x >= 2.
+func TestNegativeRHSNormalization(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]int{0}, []float64{-1}, LE, -2)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.X[0], 2) {
+		t.Errorf("status=%v x=%v", sol.Status, sol.X)
+	}
+}
+
+// A degenerate LP known to cycle under naive Dantzig pricing
+// (Beale's example); the Bland fallback must terminate it.
+func TestBealeDegenerate(t *testing.T) {
+	// min -0.75x1 + 150x2 - 0.02x3 + 6x4
+	// s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+	//      0.5x1 - 90x2 - 0.02x3 + 3x4 <= 0
+	//      x3 <= 1
+	// optimum -0.05 at x = (0.04?, ...): known optimal value -1/20.
+	p := &Problem{NumVars: 4, Objective: []float64{-0.75, 150, -0.02, 6}}
+	p.AddConstraint([]int{0, 1, 2, 3}, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]int{0, 1, 2, 3}, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]int{2}, []float64{1}, LE, 1)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, -0.05) {
+		t.Errorf("status=%v obj=%v, want optimal -0.05", sol.Status, sol.Objective)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}, Options{}); err == nil {
+		t.Error("no variables should error")
+	}
+	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1}}, Options{}); err == nil {
+		t.Error("objective length mismatch should error")
+	}
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]int{5}, []float64{1}, LE, 1)
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("out-of-range variable should error")
+	}
+}
+
+func TestAddConstraintPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched slices should panic")
+		}
+	}()
+	p := &Problem{NumVars: 1}
+	p.AddConstraint([]int{0, 1}, []float64{1}, LE, 1)
+}
+
+func TestIterationLimit(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{-3, -5}}
+	p.AddConstraint([]int{0}, []float64{1}, LE, 4)
+	p.AddConstraint([]int{1}, []float64{2}, LE, 12)
+	p.AddConstraint([]int{0, 1}, []float64{3, 2}, LE, 18)
+	sol, err := Solve(p, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterationLimit {
+		t.Errorf("status = %v, want iteration-limit", sol.Status)
+	}
+}
+
+// Property: for random feasible bounded LPs (box + simplex-type rows),
+// the solution satisfies all constraints and is at least as good as a
+// random feasible point (weak optimality certificate).
+func TestRandomLPsSolutionFeasibleAndGood(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*4 - 2
+		}
+		// Box: x_j <= u_j keeps it bounded.
+		ub := make([]float64, n)
+		for j := 0; j < n; j++ {
+			ub[j] = 0.5 + rng.Float64()*3
+			p.AddConstraint([]int{j}, []float64{1}, LE, ub[j])
+		}
+		// A few random <= rows with nonnegative coefficients (always
+		// feasible at x=0).
+		rows := 1 + rng.Intn(3)
+		type row struct {
+			vars []int
+			vals []float64
+			rhs  float64
+		}
+		var rs []row
+		for i := 0; i < rows; i++ {
+			var vars []int
+			var vals []float64
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					vars = append(vars, j)
+					vals = append(vals, rng.Float64()*2)
+				}
+			}
+			if len(vars) == 0 {
+				continue
+			}
+			rhs := rng.Float64() * 5
+			p.AddConstraint(vars, vals, LE, rhs)
+			rs = append(rs, row{vars, vals, rhs})
+		}
+		sol, err := Solve(p, Options{})
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		// Feasibility.
+		for j := 0; j < n; j++ {
+			if sol.X[j] < -1e-7 || sol.X[j] > ub[j]+1e-7 {
+				return false
+			}
+		}
+		for _, r := range rs {
+			sum := 0.0
+			for k, v := range r.vars {
+				sum += r.vals[k] * sol.X[v]
+			}
+			if sum > r.rhs+1e-6 {
+				return false
+			}
+		}
+		// Compare against random feasible points.
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * ub[j]
+			}
+			// Scale down until all rows satisfied.
+			for _, r := range rs {
+				sum := 0.0
+				for k, v := range r.vars {
+					sum += r.vals[k] * x[v]
+				}
+				if sum > r.rhs {
+					f := r.rhs / sum
+					for j := range x {
+						x[j] *= f
+					}
+				}
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.Objective[j] * x[j]
+			}
+			if obj < sol.Objective-1e-6 {
+				return false // found a better feasible point than "optimal"
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A transportation-style LP with known optimum.
+func TestTransportationProblem(t *testing.T) {
+	// Two supplies (10, 20), two demands (15, 15), costs:
+	//   c11=1 c12=4
+	//   c21=2 c22=1
+	// Optimal: x11=10, x21=5, x22=15 -> 10+10+15 = 35.
+	p := &Problem{NumVars: 4, Objective: []float64{1, 4, 2, 1}} // x11,x12,x21,x22
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 10)
+	p.AddConstraint([]int{2, 3}, []float64{1, 1}, LE, 20)
+	p.AddConstraint([]int{0, 2}, []float64{1, 1}, EQ, 15)
+	p.AddConstraint([]int{1, 3}, []float64{1, 1}, EQ, 15)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 35) {
+		t.Errorf("status=%v obj=%v, want 35", sol.Status, sol.Objective)
+	}
+}
+
+func BenchmarkMediumLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, mrows := 150, 80
+	p := &Problem{NumVars: n, Objective: make([]float64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = rng.Float64() - 0.5
+	}
+	for j := 0; j < n; j++ {
+		p.AddConstraint([]int{j}, []float64{1}, LE, 1)
+	}
+	for i := 0; i < mrows; i++ {
+		var vars []int
+		var vals []float64
+		for j := 0; j < n; j++ {
+			if rng.Intn(10) == 0 {
+				vars = append(vars, j)
+				vals = append(vals, rng.Float64())
+			}
+		}
+		if len(vars) == 0 {
+			continue
+		}
+		p.AddConstraint(vars, vals, LE, 1+rng.Float64()*3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package lru implements the O(1) recency structure described in
+// Section 5 of the paper: a doubly linked list maintaining entries in
+// access-time order plus a hash map from key to list entry.
+//
+// It provides exactly the operations the xLRU cache needs:
+//
+//   - O(1) lookup of an entry's recorded access time,
+//   - O(1) update ("touch") moving an entry to the head,
+//   - O(1) retrieval of the oldest entry's time (the cache age input),
+//   - O(1) removal of the oldest entries (eviction), and
+//   - insertion only at the head (monotonically increasing times) —
+//     the structural restriction the paper calls out ("insertion of a
+//     video ID with an arbitrary access time smaller than list head is
+//     not possible").
+//
+// Keys are uint64 (video IDs for the popularity tracker, packed
+// chunk.ID keys for the disk cache).
+package lru
+
+import "fmt"
+
+type node struct {
+	key        uint64
+	time       int64
+	prev, next *node
+}
+
+// List is the linked-list + hash-map recency structure. The zero value
+// is not usable; call New.
+type List struct {
+	byKey map[uint64]*node
+	head  *node // most recent
+	tail  *node // least recent
+}
+
+// New returns an empty recency list.
+func New() *List {
+	return &List{byKey: make(map[uint64]*node)}
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.byKey) }
+
+// Contains reports whether key is present.
+func (l *List) Contains(key uint64) bool {
+	_, ok := l.byKey[key]
+	return ok
+}
+
+// Time returns the recorded access time for key, with ok=false if the
+// key is absent.
+func (l *List) Time(key uint64) (t int64, ok bool) {
+	n, ok := l.byKey[key]
+	if !ok {
+		return 0, false
+	}
+	return n.time, true
+}
+
+// Touch inserts key at the head with access time t, or moves an
+// existing entry to the head and updates its time. Times must be
+// non-decreasing across calls; Touch panics on regression because a
+// violated ordering invariant would silently corrupt cache-age logic.
+func (l *List) Touch(key uint64, t int64) {
+	if l.head != nil && t < l.head.time {
+		panic(fmt.Sprintf("lru: time regression: touch at %d after head %d", t, l.head.time))
+	}
+	if n, ok := l.byKey[key]; ok {
+		n.time = t
+		l.moveToHead(n)
+		return
+	}
+	n := &node{key: key, time: t}
+	l.byKey[key] = n
+	l.pushHead(n)
+}
+
+// OldestTime returns the access time of the least recently used entry,
+// with ok=false when the list is empty.
+func (l *List) OldestTime() (t int64, ok bool) {
+	if l.tail == nil {
+		return 0, false
+	}
+	return l.tail.time, true
+}
+
+// OldestKey returns the key of the least recently used entry, with
+// ok=false when the list is empty.
+func (l *List) OldestKey() (key uint64, ok bool) {
+	if l.tail == nil {
+		return 0, false
+	}
+	return l.tail.key, true
+}
+
+// RemoveOldest removes and returns the least recently used entry's key,
+// with ok=false when the list is empty.
+func (l *List) RemoveOldest() (key uint64, ok bool) {
+	if l.tail == nil {
+		return 0, false
+	}
+	n := l.tail
+	l.unlink(n)
+	delete(l.byKey, n.key)
+	return n.key, true
+}
+
+// Remove deletes key from the list, reporting whether it was present.
+func (l *List) Remove(key uint64) bool {
+	n, ok := l.byKey[key]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	delete(l.byKey, key)
+	return true
+}
+
+// ExpireOlderThan removes every entry with time < cutoff and returns
+// how many were removed. The paper's popularity tracker uses this to
+// clean up "historic data that will not be useful anymore according to
+// the cache age".
+func (l *List) ExpireOlderThan(cutoff int64) int {
+	removed := 0
+	for l.tail != nil && l.tail.time < cutoff {
+		n := l.tail
+		l.unlink(n)
+		delete(l.byKey, n.key)
+		removed++
+	}
+	return removed
+}
+
+// AscendOldest calls fn for entries from oldest to newest until fn
+// returns false. It exists for tests and diagnostics.
+func (l *List) AscendOldest(fn func(key uint64, t int64) bool) {
+	for n := l.tail; n != nil; n = n.prev {
+		if !fn(n.key, n.time) {
+			return
+		}
+	}
+}
+
+func (l *List) pushHead(n *node) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *List) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *List) moveToHead(n *node) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushHead(n)
+}

@@ -1,0 +1,257 @@
+package lru
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New()
+	if l.Len() != 0 {
+		t.Error("new list should be empty")
+	}
+	if _, ok := l.OldestTime(); ok {
+		t.Error("OldestTime on empty should report !ok")
+	}
+	if _, ok := l.OldestKey(); ok {
+		t.Error("OldestKey on empty should report !ok")
+	}
+	if _, ok := l.RemoveOldest(); ok {
+		t.Error("RemoveOldest on empty should report !ok")
+	}
+	if l.Remove(42) {
+		t.Error("Remove of absent key should report false")
+	}
+	if l.Contains(42) {
+		t.Error("empty list should not contain anything")
+	}
+}
+
+func TestTouchAndTime(t *testing.T) {
+	l := New()
+	l.Touch(1, 10)
+	l.Touch(2, 20)
+	l.Touch(3, 30)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if tm, ok := l.Time(2); !ok || tm != 20 {
+		t.Errorf("Time(2) = %d,%v", tm, ok)
+	}
+	if tm, ok := l.OldestTime(); !ok || tm != 10 {
+		t.Errorf("OldestTime = %d,%v", tm, ok)
+	}
+	// Re-touch the oldest; key 2 becomes oldest.
+	l.Touch(1, 40)
+	if tm, _ := l.OldestTime(); tm != 20 {
+		t.Errorf("after re-touch OldestTime = %d, want 20", tm)
+	}
+	if k, _ := l.OldestKey(); k != 2 {
+		t.Errorf("OldestKey = %d, want 2", k)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	l := New()
+	for i := uint64(0); i < 5; i++ {
+		l.Touch(i, int64(i))
+	}
+	l.Touch(0, 10) // 0 becomes newest
+	want := []uint64{1, 2, 3, 4, 0}
+	for _, w := range want {
+		k, ok := l.RemoveOldest()
+		if !ok || k != w {
+			t.Fatalf("RemoveOldest = %d,%v, want %d", k, ok, w)
+		}
+	}
+	if l.Len() != 0 {
+		t.Error("list should be empty after draining")
+	}
+}
+
+func TestTouchPanicsOnTimeRegression(t *testing.T) {
+	l := New()
+	l.Touch(1, 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("Touch with decreasing time should panic")
+		}
+	}()
+	l.Touch(2, 99)
+}
+
+func TestTouchSameTime(t *testing.T) {
+	l := New()
+	l.Touch(1, 5)
+	l.Touch(2, 5) // equal time is fine
+	l.Touch(1, 5) // re-touch at same time moves to head
+	if k, _ := l.OldestKey(); k != 2 {
+		t.Errorf("OldestKey = %d, want 2", k)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	l := New()
+	l.Touch(1, 1)
+	l.Touch(2, 2)
+	l.Touch(3, 3)
+	if !l.Remove(2) {
+		t.Fatal("Remove(2) failed")
+	}
+	if l.Contains(2) {
+		t.Error("2 should be gone")
+	}
+	// Removing head and tail.
+	if !l.Remove(3) || !l.Remove(1) {
+		t.Fatal("removing head/tail failed")
+	}
+	if l.Len() != 0 {
+		t.Error("list should be empty")
+	}
+	// Reuse after emptying.
+	l.Touch(9, 9)
+	if k, _ := l.OldestKey(); k != 9 {
+		t.Error("list corrupt after emptying via Remove")
+	}
+}
+
+func TestExpireOlderThan(t *testing.T) {
+	l := New()
+	for i := uint64(0); i < 10; i++ {
+		l.Touch(i, int64(i))
+	}
+	if n := l.ExpireOlderThan(5); n != 5 {
+		t.Errorf("ExpireOlderThan removed %d, want 5", n)
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d, want 5", l.Len())
+	}
+	if tm, _ := l.OldestTime(); tm != 5 {
+		t.Errorf("OldestTime = %d, want 5", tm)
+	}
+	if n := l.ExpireOlderThan(0); n != 0 {
+		t.Errorf("no-op expire removed %d", n)
+	}
+}
+
+func TestAscendOldest(t *testing.T) {
+	l := New()
+	for i := uint64(0); i < 4; i++ {
+		l.Touch(i, int64(i*10))
+	}
+	var keys []uint64
+	var times []int64
+	l.AscendOldest(func(k uint64, tm int64) bool {
+		keys = append(keys, k)
+		times = append(times, tm)
+		return true
+	})
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+		t.Errorf("AscendOldest times not ascending: %v", times)
+	}
+	if len(keys) != 4 {
+		t.Errorf("visited %d, want 4", len(keys))
+	}
+	// Early stop.
+	count := 0
+	l.AscendOldest(func(uint64, int64) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+// Model-based property test: a sequence of random Touch/Remove/
+// RemoveOldest operations behaves identically to a reference model
+// (map + stable ordering by last-touch sequence number).
+func TestAgainstReferenceModel(t *testing.T) {
+	type entry struct {
+		key uint64
+		seq int
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New()
+		var model []entry // oldest first
+		find := func(key uint64) int {
+			for i, e := range model {
+				if e.key == key {
+					return i
+				}
+			}
+			return -1
+		}
+		now := int64(0)
+		for op := 0; op < 500; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // Touch
+				key := uint64(rng.Intn(30))
+				now += int64(rng.Intn(3))
+				l.Touch(key, now)
+				if i := find(key); i >= 0 {
+					model = append(model[:i], model[i+1:]...)
+				}
+				model = append(model, entry{key, op})
+			case 2: // RemoveOldest
+				k, ok := l.RemoveOldest()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if model[0].key != k {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3: // Remove random key
+				key := uint64(rng.Intn(30))
+				ok := l.Remove(key)
+				i := find(key)
+				if ok != (i >= 0) {
+					return false
+				}
+				if ok {
+					model = append(model[:i], model[i+1:]...)
+				}
+			}
+			if l.Len() != len(model) {
+				return false
+			}
+		}
+		// Final drain must match model order exactly.
+		for len(model) > 0 {
+			k, ok := l.RemoveOldest()
+			if !ok || k != model[0].key {
+				return false
+			}
+			model = model[1:]
+		}
+		return l.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTouchHit(b *testing.B) {
+	l := New()
+	for i := uint64(0); i < 1024; i++ {
+		l.Touch(i, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Touch(uint64(i)%1024, int64(1024+i))
+	}
+}
+
+func BenchmarkTouchInsertEvict(b *testing.B) {
+	l := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Touch(uint64(i), int64(i))
+		if l.Len() > 1024 {
+			l.RemoveOldest()
+		}
+	}
+}

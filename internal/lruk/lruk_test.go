@@ -1,0 +1,114 @@
+package lruk
+
+import (
+	"math/rand"
+	"testing"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/trace"
+)
+
+const testK = 1024
+
+func req(t int64, v chunk.VideoID, c0, c1 int) trace.Request {
+	return trace.Request{Time: t, Video: v, Start: int64(c0) * testK, End: int64(c1+1)*testK - 1}
+}
+
+func newCache(t *testing.T, disk, k int) *Cache {
+	t.Helper()
+	c, err := New(core.Config{ChunkSize: testK, DiskChunks: disk}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(core.Config{}, 2); err == nil {
+		t.Error("bad config should fail")
+	}
+	c, err := New(core.Config{ChunkSize: testK, DiskChunks: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.k != DefaultK {
+		t.Errorf("k = %d, want default %d", c.k, DefaultK)
+	}
+}
+
+func TestOneHitWondersEvictedFirst(t *testing.T) {
+	c := newCache(t, 3, 2)
+	// A referenced twice (has a K-distance), B and C once.
+	c.HandleRequest(req(0, 1, 0, 0))
+	c.HandleRequest(req(1, 1, 0, 0))
+	c.HandleRequest(req(2, 2, 0, 0))
+	c.HandleRequest(req(3, 3, 0, 0))
+	// New chunk: the victim must be B (oldest single-reference), not A
+	// even though A's last access (t=1) is older than B's (t=2).
+	c.HandleRequest(req(4, 4, 0, 0))
+	if !c.Contains(chunk.ID{Video: 1, Index: 0}) {
+		t.Error("twice-referenced chunk should survive over one-hit wonders")
+	}
+	if c.Contains(chunk.ID{Video: 2, Index: 0}) {
+		t.Error("oldest one-hit wonder should be the victim")
+	}
+}
+
+func TestKDistanceOrdering(t *testing.T) {
+	c := newCache(t, 2, 2)
+	// A: refs at 0 and 10 -> K-distance key 0.
+	// B: refs at 2 and 4  -> K-distance key 2.
+	c.HandleRequest(req(0, 1, 0, 0))
+	c.HandleRequest(req(2, 2, 0, 0))
+	c.HandleRequest(req(4, 2, 0, 0))
+	c.HandleRequest(req(10, 1, 0, 0))
+	// Victim should be A (older 2nd-most-recent reference: 0 < 2).
+	c.HandleRequest(req(11, 3, 0, 0))
+	if c.Contains(chunk.ID{Video: 1, Index: 0}) {
+		t.Error("chunk with older K-th reference should be evicted")
+	}
+	if !c.Contains(chunk.ID{Video: 2, Index: 0}) {
+		t.Error("chunk with newer K-th reference should survive")
+	}
+}
+
+func TestAlwaysServesWithinCapacity(t *testing.T) {
+	c := newCache(t, 8, 2)
+	rng := rand.New(rand.NewSource(3))
+	tm := int64(0)
+	for i := 0; i < 1000; i++ {
+		out := c.HandleRequest(req(tm, chunk.VideoID(rng.Intn(30)), 0, rng.Intn(4)))
+		if out.Decision != core.Serve {
+			t.Fatal("LRU-K should fill every miss that fits")
+		}
+		if c.Len() > 8 {
+			t.Fatal("disk overflow")
+		}
+		tm += int64(rng.Intn(3))
+	}
+}
+
+func TestOversizedRedirected(t *testing.T) {
+	c := newCache(t, 2, 2)
+	if out := c.HandleRequest(req(0, 1, 0, 4)); out.Decision != core.Redirect {
+		t.Error("oversized request must redirect")
+	}
+}
+
+func TestTimeRegressionPanics(t *testing.T) {
+	c := newCache(t, 2, 2)
+	c.HandleRequest(req(5, 1, 0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("regression should panic")
+		}
+	}()
+	c.HandleRequest(req(4, 1, 0, 0))
+}
+
+func TestName(t *testing.T) {
+	if newCache(t, 1, 2).Name() != "lruk" {
+		t.Error("bad name")
+	}
+}

@@ -1,0 +1,88 @@
+// Package metrics provides time-bucketed accounting for cache replay:
+// per-window ingress/redirect/hit series (Figure 3's time axis) and
+// steady-state summaries that exclude the cache warmup phase, the way
+// Section 9 averages "over the second half of the month".
+package metrics
+
+import (
+	"fmt"
+
+	"videocdn/internal/cost"
+)
+
+// Bucket is one time window of accumulated counters.
+type Bucket struct {
+	// Start is the bucket's start time (inclusive).
+	Start int64
+	// Counters accumulated over [Start, Start+width).
+	Counters cost.Counters
+}
+
+// Series accumulates counters into fixed-width time buckets.
+type Series struct {
+	width   int64
+	origin  int64
+	started bool
+	buckets []cost.Counters
+}
+
+// NewSeries creates a series with the given bucket width in seconds.
+func NewSeries(widthSeconds int64) (*Series, error) {
+	if widthSeconds <= 0 {
+		return nil, fmt.Errorf("metrics: bucket width must be positive, got %d", widthSeconds)
+	}
+	return &Series{width: widthSeconds}, nil
+}
+
+// Add accumulates counters at time t. The first Add anchors the bucket
+// origin; t may not precede it.
+func (s *Series) Add(t int64, c cost.Counters) {
+	if !s.started {
+		s.origin = t - (t % s.width)
+		s.started = true
+	}
+	if t < s.origin {
+		panic(fmt.Sprintf("metrics: time %d precedes series origin %d", t, s.origin))
+	}
+	idx := int((t - s.origin) / s.width)
+	for len(s.buckets) <= idx {
+		s.buckets = append(s.buckets, cost.Counters{})
+	}
+	s.buckets[idx].Add(c)
+}
+
+// Buckets returns the accumulated windows in time order (including
+// empty interior buckets).
+func (s *Series) Buckets() []Bucket {
+	out := make([]Bucket, len(s.buckets))
+	for i, c := range s.buckets {
+		out[i] = Bucket{Start: s.origin + int64(i)*s.width, Counters: c}
+	}
+	return out
+}
+
+// Len returns the number of buckets.
+func (s *Series) Len() int { return len(s.buckets) }
+
+// Width returns the bucket width in seconds.
+func (s *Series) Width() int64 { return s.width }
+
+// Total sums every bucket.
+func (s *Series) Total() cost.Counters {
+	var t cost.Counters
+	for _, c := range s.buckets {
+		t.Add(c)
+	}
+	return t
+}
+
+// From sums the buckets whose start time is >= t.
+func (s *Series) From(t int64) cost.Counters {
+	var out cost.Counters
+	for i, c := range s.buckets {
+		if s.origin+int64(i)*s.width >= t {
+			out.Add(c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"testing"
+
+	"videocdn/internal/cost"
+)
+
+func TestNewSeriesValidation(t *testing.T) {
+	if _, err := NewSeries(0); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := NewSeries(-5); err == nil {
+		t.Error("negative width should fail")
+	}
+}
+
+func TestBucketing(t *testing.T) {
+	s, err := NewSeries(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(5, cost.Counters{Requested: 1})
+	s.Add(9, cost.Counters{Requested: 2})
+	s.Add(10, cost.Counters{Requested: 4})
+	s.Add(35, cost.Counters{Requested: 8})
+	bs := s.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("buckets = %d, want 4 (incl. empty interior)", len(bs))
+	}
+	if bs[0].Counters.Requested != 3 || bs[1].Counters.Requested != 4 {
+		t.Errorf("bucket contents wrong: %+v", bs)
+	}
+	if bs[2].Counters.Requested != 0 {
+		t.Error("interior bucket should be empty")
+	}
+	if bs[3].Counters.Requested != 8 {
+		t.Errorf("last bucket = %+v", bs[3])
+	}
+	if bs[0].Start != 0 || bs[3].Start != 30 {
+		t.Errorf("bucket starts: %d, %d", bs[0].Start, bs[3].Start)
+	}
+}
+
+func TestOriginAnchoring(t *testing.T) {
+	s, _ := NewSeries(100)
+	s.Add(250, cost.Counters{Requested: 1})
+	bs := s.Buckets()
+	if bs[0].Start != 200 {
+		t.Errorf("origin = %d, want aligned 200", bs[0].Start)
+	}
+}
+
+func TestAddBeforeOriginPanics(t *testing.T) {
+	s, _ := NewSeries(10)
+	s.Add(100, cost.Counters{})
+	defer func() {
+		if recover() == nil {
+			t.Error("time before origin should panic")
+		}
+	}()
+	s.Add(50, cost.Counters{})
+}
+
+func TestTotalAndFrom(t *testing.T) {
+	s, _ := NewSeries(10)
+	s.Add(0, cost.Counters{Requested: 1, Filled: 1})
+	s.Add(10, cost.Counters{Requested: 2, Redirected: 2})
+	s.Add(20, cost.Counters{Requested: 4})
+	tot := s.Total()
+	if tot.Requested != 7 || tot.Filled != 1 || tot.Redirected != 2 {
+		t.Errorf("Total = %+v", tot)
+	}
+	half := s.From(10)
+	if half.Requested != 6 || half.Filled != 0 {
+		t.Errorf("From(10) = %+v", half)
+	}
+	if s.Len() != 3 || s.Width() != 10 {
+		t.Errorf("Len/Width = %d/%d", s.Len(), s.Width())
+	}
+}

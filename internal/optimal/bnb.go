@@ -1,0 +1,134 @@
+package optimal
+
+import (
+	"errors"
+	"math"
+
+	"videocdn/internal/lp"
+)
+
+// BnBOptions tune the exact branch-and-bound solver.
+type BnBOptions struct {
+	LP lp.Options
+	// MaxNodes caps explored nodes. Defaults to 400.
+	MaxNodes int
+	// IntTol is the integrality tolerance. Defaults to 1e-6.
+	IntTol float64
+}
+
+// BnBResult is the exact IP outcome.
+type BnBResult struct {
+	// CostChunks is the optimal integral cost (valid when Exact).
+	CostChunks float64
+	// Efficiency is 1 − CostChunks/totalRequestedChunks.
+	Efficiency float64
+	// Bound is the best lower bound proven (equals CostChunks when
+	// Exact).
+	Bound float64
+	// Exact reports whether the search completed within MaxNodes.
+	Exact bool
+	// Nodes explored.
+	Nodes int
+}
+
+// SolveExact runs branch and bound over the LP relaxation to find the
+// exact integral optimum of the paper's IP (Eq. 10) for toy-scale
+// instances. It branches on fractional admission variables a[t] first
+// (they drive the x grid through constraint 10d), then on fractional
+// x.
+func SolveExact(inst Instance, opt BnBOptions) (*BnBResult, error) {
+	s, err := newSpec(inst)
+	if err != nil {
+		return nil, err
+	}
+	if s.nChunks*s.T > maxGridCells {
+		return nil, errors.New("optimal: instance too large for exact branch and bound")
+	}
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 400
+	}
+	if opt.IntTol == 0 {
+		opt.IntTol = 1e-6
+	}
+
+	incumbent := math.Inf(1)
+	bestBound := math.Inf(1)
+	nodes := 0
+	exact := true
+
+	// frac returns the most fractional variable among a then x, or -1
+	// if the solution is integral (y is integral whenever x is).
+	frac := func(x []float64) int {
+		pick, dist := -1, opt.IntTol
+		for t := 0; t < s.T; t++ {
+			v := x[s.aVar(t)]
+			if d := math.Abs(v - math.Round(v)); d > dist {
+				pick, dist = s.aVar(t), d
+			}
+		}
+		if pick >= 0 {
+			return pick
+		}
+		for j := 0; j < s.nChunks; j++ {
+			for t := 0; t < s.T; t++ {
+				v := x[s.xVar(j, t)]
+				if d := math.Abs(v - math.Round(v)); d > dist {
+					pick, dist = s.xVar(j, t), d
+				}
+			}
+		}
+		return pick
+	}
+
+	var rec func(fixes []varFix)
+	rec = func(fixes []varFix) {
+		if nodes >= opt.MaxNodes {
+			exact = false
+			return
+		}
+		nodes++
+		sol, err := lp.Solve(s.buildLP(fixes), opt.LP)
+		if err != nil || sol.Status == lp.IterationLimit {
+			exact = false
+			return
+		}
+		if sol.Status != lp.Optimal {
+			return // infeasible subtree
+		}
+		cost := sol.Objective + s.constant()
+		if len(fixes) == 0 {
+			bestBound = cost
+		}
+		if cost >= incumbent-1e-9 {
+			return // pruned
+		}
+		v := frac(sol.X)
+		if v < 0 {
+			incumbent = cost
+			return
+		}
+		// Explore the "1" branch first: admissions tend to be the
+		// cheap side for skewed workloads, giving an incumbent early.
+		rec(append(fixes, varFix{v: v, one: true}))
+		rec(append(fixes[:len(fixes):len(fixes)], varFix{v: v, one: false}))
+	}
+	rec(nil)
+
+	if math.IsInf(incumbent, 1) {
+		if !exact {
+			return &BnBResult{Bound: bestBound, Exact: false, Nodes: nodes}, nil
+		}
+		return nil, errors.New("optimal: branch and bound found no feasible integral solution")
+	}
+	res := &BnBResult{
+		CostChunks: incumbent,
+		Efficiency: 1 - incumbent/float64(s.totalReq),
+		Bound:      bestBound,
+		Exact:      exact,
+		Nodes:      nodes,
+	}
+	if exact {
+		res.Bound = incumbent
+	}
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package optimal
+
+import (
+	"fmt"
+
+	"videocdn/internal/lp"
+)
+
+// SolveIntervalLP computes the same offline lower bound as SolveLP via
+// the standard interval reformulation of the caching IP, which scales
+// to far larger instances than the naive J×T grid:
+//
+//   - fills happen only at request times of the filled chunk, and
+//   - a cached chunk is either kept for a whole inter-request gap or
+//     evicted at the gap's start (mid-gap eviction is weakly dominated
+//     — evicting earlier only frees space for longer).
+//
+// Per chunk j with occurrences at request indices r_1 < ... < r_k:
+//
+//	f_{j,i} ∈ [0,1]  fill at occurrence i           (cost C_F/2 each)
+//	z_{j,i} ∈ [0,1]  keep j across gap (r_i, r_{i+1})
+//
+// subject to, with presence p_{j,i} = f_{j,i} + z_{j,i-1}:
+//
+//	a_t ≤ p_{j,i}                 (admitted requests see all chunks)
+//	z_{j,i} ≤ p_{j,i}             (can only keep what was present)
+//	Σ occupancy at request t ≤ D_c (disk, one row per request)
+//	a_t ≤ 1
+//
+// Charging C_F/2 per fill mirrors the paper's transition-halving
+// objective (Eq. 10a counts each |Δx| transition as half a fill), so
+// the value lower-bounds the paper's IP optimum — and therefore the
+// cost of every caching policy. Any integral solution of the paper's
+// IP maps to an interval solution of equal or lower charged cost, and
+// this LP relaxes that program.
+func SolveIntervalLP(inst Instance, opt SolveOptions) (*Result, error) {
+	s, err := newSpec(inst)
+	if err != nil {
+		return nil, err
+	}
+	// Occurrence lists per chunk.
+	occ := make([][]int, s.nChunks) // chunk j -> request indices
+	for t, js := range s.reqChunks {
+		for _, j := range js {
+			occ[j] = append(occ[j], t)
+		}
+	}
+	// Variable layout: f occurrences, then z gaps, then a.
+	fIdx := make([][]int, s.nChunks)
+	zIdx := make([][]int, s.nChunks)
+	n := 0
+	for j, os := range occ {
+		fIdx[j] = make([]int, len(os))
+		for i := range os {
+			fIdx[j][i] = n
+			n++
+		}
+		if len(os) > 1 {
+			zIdx[j] = make([]int, len(os)-1)
+			for i := range zIdx[j] {
+				zIdx[j][i] = n
+				n++
+			}
+		}
+	}
+	aIdx := make([]int, s.T)
+	for t := 0; t < s.T; t++ {
+		aIdx[t] = n
+		n++
+	}
+
+	p := &lp.Problem{NumVars: n, Objective: make([]float64, n)}
+	for j := range occ {
+		for _, v := range fIdx[j] {
+			p.Objective[v] = s.cf / 2
+		}
+	}
+	for t := 0; t < s.T; t++ {
+		p.Objective[aIdx[t]] = -s.cr * float64(len(s.reqChunks[t]))
+	}
+
+	// Admission and carry rows.
+	for j, os := range occ {
+		for i := range os {
+			t := os[i]
+			// a_t - f_{j,i} - z_{j,i-1} <= 0.
+			vars := []int{aIdx[t], fIdx[j][i]}
+			vals := []float64{1, -1}
+			if i > 0 {
+				vars = append(vars, zIdx[j][i-1])
+				vals = append(vals, -1)
+			}
+			p.AddConstraint(vars, vals, lp.LE, 0)
+			// z_{j,i} - f_{j,i} - z_{j,i-1} <= 0.
+			if i < len(os)-1 {
+				vars := []int{zIdx[j][i], fIdx[j][i]}
+				vals := []float64{1, -1}
+				if i > 0 {
+					vars = append(vars, zIdx[j][i-1])
+					vals = append(vals, -1)
+				}
+				p.AddConstraint(vars, vals, lp.LE, 0)
+			}
+		}
+	}
+	// Disk occupancy per request time t: chunks at an occurrence
+	// contribute p = f + z_prev; chunks mid-gap contribute the gap's z.
+	type cursor struct{ i int }
+	cur := make([]cursor, s.nChunks)
+	for t := 0; t < s.T; t++ {
+		var vars []int
+		var vals []float64
+		for j, os := range occ {
+			ci := cur[j].i
+			if ci < len(os) && os[ci] == t {
+				// Occurrence at t.
+				vars = append(vars, fIdx[j][ci])
+				vals = append(vals, 1)
+				if ci > 0 {
+					vars = append(vars, zIdx[j][ci-1])
+					vals = append(vals, 1)
+				}
+				cur[j].i++
+			} else if ci > 0 && ci <= len(os)-1 {
+				// Mid-gap (after occurrence ci-1, before ci).
+				vars = append(vars, zIdx[j][ci-1])
+				vals = append(vals, 1)
+			}
+		}
+		if len(vars) > 0 {
+			p.AddConstraint(vars, vals, lp.LE, float64(s.inst.DiskChunks))
+		}
+		p.AddConstraint([]int{aIdx[t]}, []float64{1}, lp.LE, 1)
+	}
+
+	if len(p.Constraints) > maxIntervalRows {
+		return nil, fmt.Errorf("optimal: interval instance too large (%d rows > %d); down-sample the trace",
+			len(p.Constraints), maxIntervalRows)
+	}
+	sol, err := lp.Solve(p, opt.LP)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Status: sol.Status, Iterations: sol.Iterations, Vars: n, Rows: len(p.Constraints)}
+	if sol.Status != lp.Optimal {
+		return res, nil
+	}
+	res.CostChunks = sol.Objective + s.constant()
+	res.Efficiency = 1 - res.CostChunks/float64(s.totalReq)
+	if opt.Keep {
+		res.A = make([]float64, s.T)
+		for t := 0; t < s.T; t++ {
+			res.A[t] = sol.X[aIdx[t]]
+		}
+	}
+	return res, nil
+}

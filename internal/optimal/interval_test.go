@@ -1,0 +1,126 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/trace"
+)
+
+func TestIntervalSingleChunkRepeated(t *testing.T) {
+	in := inst(1, 1,
+		req(0, 1, 0, 0), req(10, 1, 0, 0), req(20, 1, 0, 0))
+	res, err := SolveIntervalLP(in, SolveOptions{Keep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.CostChunks, 0.5) {
+		t.Errorf("cost = %v, want 0.5", res.CostChunks)
+	}
+	for i, a := range res.A {
+		if !almost(a, 1) {
+			t.Errorf("a[%d] = %v, want 1", i, a)
+		}
+	}
+}
+
+func TestIntervalAlternatingBound(t *testing.T) {
+	in := inst(1, 1,
+		req(0, 1, 0, 0), req(1, 2, 0, 0), req(2, 1, 0, 0), req(3, 2, 0, 0))
+	res, err := SolveIntervalLP(in, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostChunks > 2.5+1e-6 {
+		t.Errorf("interval bound %v exceeds feasible cost 2.5", res.CostChunks)
+	}
+}
+
+// The interval LP must lower-bound the exact IP optimum on random tiny
+// instances (it is a relaxation of an equivalent reformulation).
+func TestIntervalLowerBoundsExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var reqs []trace.Request
+		tm := int64(0)
+		for i := 0; i < 8; i++ {
+			tm += int64(1 + rng.Intn(3))
+			reqs = append(reqs, req(tm, chunk.VideoID(rng.Intn(3)), 0, 0))
+		}
+		in := inst(1, 2, reqs...)
+		iv, err := SolveIntervalLP(in, SolveOptions{})
+		if err != nil {
+			return false
+		}
+		ip, err := SolveExact(in, BnBOptions{MaxNodes: 2000})
+		if err != nil || !ip.Exact {
+			return false
+		}
+		return iv.CostChunks <= ip.CostChunks+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Grid and interval formulations should produce similar bounds; on
+// instances with an integral LP optimum they coincide.
+func TestIntervalMatchesGridOnEasyInstance(t *testing.T) {
+	in := inst(10, 1,
+		req(0, 1, 0, 1),
+		req(5, 2, 0, 0),
+		req(9, 1, 0, 1),
+		req(12, 2, 0, 0))
+	grid, err := SolveLP(in, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := SolveIntervalLP(in, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(grid.CostChunks, iv.CostChunks) {
+		t.Errorf("grid %v vs interval %v", grid.CostChunks, iv.CostChunks)
+	}
+}
+
+// The interval formulation handles instances far beyond the grid cap.
+func TestIntervalScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var reqs []trace.Request
+	tm := int64(0)
+	for i := 0; i < 400; i++ {
+		tm += int64(rng.Intn(3) + 1)
+		c0 := rng.Intn(3)
+		reqs = append(reqs, req(tm, chunk.VideoID(rng.Intn(120)), c0, c0+rng.Intn(2)))
+	}
+	in := Instance{Reqs: reqs, ChunkSize: testK, DiskChunks: 12, Alpha: 2}
+	if _, err := SolveLP(in, SolveOptions{}); err == nil {
+		t.Log("note: grid accepted this size too")
+	}
+	res, err := SolveIntervalLP(in, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status.String() != "optimal" {
+		t.Fatalf("status %v after %d iterations", res.Status, res.Iterations)
+	}
+	if res.Efficiency < -1 || res.Efficiency > 1 {
+		t.Errorf("efficiency bound %v out of range", res.Efficiency)
+	}
+	t.Logf("interval: %d vars, %d rows, %d iters, eff bound %.3f",
+		res.Vars, res.Rows, res.Iterations, res.Efficiency)
+}
+
+func TestIntervalRejectsHugeInstances(t *testing.T) {
+	var reqs []trace.Request
+	for i := 0; i < 6000; i++ {
+		reqs = append(reqs, req(int64(i), chunk.VideoID(i%50), 0, 1))
+	}
+	in := Instance{Reqs: reqs, ChunkSize: testK, DiskChunks: 10, Alpha: 1}
+	if _, err := SolveIntervalLP(in, SolveOptions{}); err == nil {
+		t.Error("oversized interval instance should be rejected")
+	}
+}

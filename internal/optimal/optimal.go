@@ -1,0 +1,255 @@
+// Package optimal implements the paper's offline Optimal Cache
+// (Section 7): the caching problem as an Integer Program over binary
+// placement variables, solved via LP relaxation to obtain a guaranteed
+// lower bound on cost — equivalently an upper bound on the cache
+// efficiency any algorithm (online or offline) could reach.
+//
+// With t = 1..T indexing requests, j = 1..J indexing unique chunks,
+// m[j,t] = 1 iff request t includes chunk j, x[j,t] = 1 iff chunk j is
+// cached at time t, and a[t] = 1 iff request t is served (Eq. 10):
+//
+//	min  Σ_{j,t} |x[j,t] − x[j,t−1]|/2 · C_F  +  Σ_t (1−a[t]) · C_R · |R_t|_c
+//	s.t. x[j,t] ≥ a[t]        ∀ j,t with m[j,t] = 1        (10d)
+//	     Σ_j x[j,t] ≤ D_c     ∀ t                          (10f)
+//	     x, a ∈ {0,1}
+//
+// linearized with y[j,t] ≥ ±(x[j,t] − x[j,t−1]) (Eqs. 11-12). The
+// paper's speed-up constraints (10e) and (12c) are deliberately omitted
+// from the relaxation: any LP optimum satisfies them, and fewer rows
+// only loosens — never invalidates — the lower bound.
+//
+// Note the formulation's accounting quirk, inherited from the paper:
+// each transition of x contributes C_F/2, pairing every fill with an
+// eviction ("the cache is initially filled with garbage"), so a chunk
+// filled once and kept to the end of the horizon costs C_F/2 rather
+// than C_F. The bound is a valid lower bound either way.
+//
+// Costs are in chunk units. To compare against byte-accounted caches,
+// evaluate on chunk-aligned requests (trace.AlignToChunks), where
+// bytes = chunks × K exactly.
+package optimal
+
+import (
+	"errors"
+	"fmt"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/lp"
+	"videocdn/internal/trace"
+)
+
+// Instance is one offline caching problem.
+type Instance struct {
+	Reqs       []trace.Request
+	ChunkSize  int64
+	DiskChunks int
+	Alpha      float64 // alpha_F2R
+}
+
+// maxGridCells caps J×T for the naive grid formulation (SolveLP,
+// SolveExact), whose row count is 2·J·T; the paper likewise runs
+// Optimal only on a down-sampled two-day trace. The interval
+// formulation (SolveIntervalLP) scales by occurrences instead and has
+// its own cap.
+const maxGridCells = 40000
+
+// maxIntervalRows caps the interval formulation's row count (the
+// dense basis inverse is rows² floats).
+const maxIntervalRows = 20000
+
+// Result reports a bound or solution.
+type Result struct {
+	Status lp.Status
+	// CostChunks is the objective value (chunk units), including the
+	// constant Σ C_R·|R_t|_c term.
+	CostChunks float64
+	// Efficiency is the corresponding cache-efficiency bound:
+	// 1 − CostChunks / totalRequestedChunks. For the LP relaxation
+	// this is an upper bound on any algorithm's efficiency.
+	Efficiency float64
+	// Iterations is the total simplex iterations spent.
+	Iterations int
+	// Vars and Rows describe the LP size.
+	Vars, Rows int
+	// A and X are the (possibly fractional) decision variables:
+	// A[t] per request, X[j][t] per unique chunk and request index.
+	// Only populated when Keep is set in SolveOptions.
+	A []float64
+}
+
+// SolveOptions tune the solves.
+type SolveOptions struct {
+	LP lp.Options
+	// Keep retains the admission vector A in the result.
+	Keep bool
+}
+
+// problemSpec is the shared IP structure before LP conversion.
+type problemSpec struct {
+	inst      Instance
+	cf, cr    float64
+	chunkIdx  map[uint64]int // chunk key -> j
+	nChunks   int            // J
+	reqChunks [][]int        // per request: unique chunk js
+	totalReq  int            // Σ |R_t|_c
+	// Variable layout: x[j*T+t] (t zero-based), then y (same), then a.
+	T            int
+	xOff, yOff   int
+	aOff, nTotal int
+}
+
+func newSpec(inst Instance) (*problemSpec, error) {
+	if inst.ChunkSize <= 0 || inst.DiskChunks <= 0 {
+		return nil, errors.New("optimal: chunk size and disk size must be positive")
+	}
+	if inst.Alpha <= 0 {
+		return nil, errors.New("optimal: alpha must be positive")
+	}
+	if len(inst.Reqs) == 0 {
+		return nil, errors.New("optimal: empty request sequence")
+	}
+	s := &problemSpec{
+		inst:     inst,
+		cf:       2 * inst.Alpha / (inst.Alpha + 1),
+		cr:       2 / (inst.Alpha + 1),
+		chunkIdx: make(map[uint64]int),
+		T:        len(inst.Reqs),
+	}
+	for _, r := range inst.Reqs {
+		c0, c1 := r.ChunkRange(inst.ChunkSize)
+		js := make([]int, 0, c1-c0+1)
+		for c := c0; c <= c1; c++ {
+			key := (chunk.ID{Video: r.Video, Index: c}).Key()
+			j, ok := s.chunkIdx[key]
+			if !ok {
+				j = s.nChunks
+				s.chunkIdx[key] = j
+				s.nChunks++
+			}
+			js = append(js, j)
+		}
+		s.reqChunks = append(s.reqChunks, js)
+		s.totalReq += len(js)
+	}
+	s.xOff = 0
+	s.yOff = s.nChunks * s.T
+	s.aOff = 2 * s.nChunks * s.T
+	s.nTotal = s.aOff + s.T
+	return s, nil
+}
+
+func (s *problemSpec) xVar(j, t int) int { return s.xOff + j*s.T + t }
+func (s *problemSpec) yVar(j, t int) int { return s.yOff + j*s.T + t }
+func (s *problemSpec) aVar(t int) int    { return s.aOff + t }
+
+// buildLP assembles the relaxed LP. fixes pins selected variables to 0
+// or 1 (used by branch and bound).
+func (s *problemSpec) buildLP(fixes []varFix) *lp.Problem {
+	p := &lp.Problem{NumVars: s.nTotal, Objective: make([]float64, s.nTotal)}
+	// Objective: Σ y·CF/2 − Σ a_t·CR·|R_t|_c (constant added later).
+	for j := 0; j < s.nChunks; j++ {
+		for t := 0; t < s.T; t++ {
+			p.Objective[s.yVar(j, t)] = s.cf / 2
+		}
+	}
+	for t := 0; t < s.T; t++ {
+		p.Objective[s.aVar(t)] = -s.cr * float64(len(s.reqChunks[t]))
+	}
+	// (12a/12b): y[j,t] ≥ |x[j,t] − x[j,t−1]|, x[j,-1] = 0.
+	for j := 0; j < s.nChunks; j++ {
+		for t := 0; t < s.T; t++ {
+			if t == 0 {
+				p.AddConstraint(
+					[]int{s.xVar(j, 0), s.yVar(j, 0)},
+					[]float64{1, -1}, lp.LE, 0)
+				// x[j,-1] − x[j,0] ≤ y is −x ≤ y: vacuous for x,y ≥ 0.
+			} else {
+				p.AddConstraint(
+					[]int{s.xVar(j, t), s.xVar(j, t-1), s.yVar(j, t)},
+					[]float64{1, -1, -1}, lp.LE, 0)
+				p.AddConstraint(
+					[]int{s.xVar(j, t-1), s.xVar(j, t), s.yVar(j, t)},
+					[]float64{1, -1, -1}, lp.LE, 0)
+			}
+		}
+	}
+	// (10d): a[t] ≤ x[j,t] for requested chunks.
+	for t := 0; t < s.T; t++ {
+		for _, j := range s.reqChunks[t] {
+			p.AddConstraint(
+				[]int{s.aVar(t), s.xVar(j, t)},
+				[]float64{1, -1}, lp.LE, 0)
+		}
+	}
+	// (10f): disk capacity each step.
+	vars := make([]int, s.nChunks)
+	vals := make([]float64, s.nChunks)
+	for t := 0; t < s.T; t++ {
+		for j := 0; j < s.nChunks; j++ {
+			vars[j] = s.xVar(j, t)
+			vals[j] = 1
+		}
+		p.AddConstraint(vars, vals, lp.LE, float64(s.inst.DiskChunks))
+	}
+	// a[t] ≤ 1 (x ≤ 1 and y ≤ 1 are implied at any optimum).
+	for t := 0; t < s.T; t++ {
+		p.AddConstraint([]int{s.aVar(t)}, []float64{1}, lp.LE, 1)
+	}
+	for _, f := range fixes {
+		if f.one {
+			p.AddConstraint([]int{f.v}, []float64{1}, lp.GE, 1)
+		} else {
+			p.AddConstraint([]int{f.v}, []float64{1}, lp.LE, 0)
+		}
+	}
+	return p
+}
+
+type varFix struct {
+	v   int
+	one bool
+}
+
+// constant is the fixed Σ C_R·|R_t|_c part of the objective.
+func (s *problemSpec) constant() float64 { return s.cr * float64(s.totalReq) }
+
+func (s *problemSpec) result(sol *lp.Solution, keep bool) *Result {
+	res := &Result{
+		Status:     sol.Status,
+		Iterations: sol.Iterations,
+		Vars:       s.nTotal,
+	}
+	if sol.Status != lp.Optimal {
+		return res
+	}
+	res.CostChunks = sol.Objective + s.constant()
+	res.Efficiency = 1 - res.CostChunks/float64(s.totalReq)
+	if keep {
+		res.A = make([]float64, s.T)
+		for t := 0; t < s.T; t++ {
+			res.A[t] = sol.X[s.aVar(t)]
+		}
+	}
+	return res
+}
+
+// SolveLP computes the LP-relaxation lower bound on cost (upper bound
+// on efficiency) for the instance using the paper's grid formulation.
+func SolveLP(inst Instance, opt SolveOptions) (*Result, error) {
+	s, err := newSpec(inst)
+	if err != nil {
+		return nil, err
+	}
+	if s.nChunks*s.T > maxGridCells {
+		return nil, fmt.Errorf("optimal: grid instance too large (J=%d × T=%d > %d cells); down-sample or use SolveIntervalLP",
+			s.nChunks, s.T, maxGridCells)
+	}
+	p := s.buildLP(nil)
+	sol, err := lp.Solve(p, opt.LP)
+	if err != nil {
+		return nil, err
+	}
+	res := s.result(sol, opt.Keep)
+	res.Rows = len(p.Constraints)
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package optimal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/psychic"
+	"videocdn/internal/trace"
+)
+
+const testK = 1024
+
+func req(t int64, v chunk.VideoID, c0, c1 int) trace.Request {
+	return trace.Request{Time: t, Video: v, Start: int64(c0) * testK, End: int64(c1+1)*testK - 1}
+}
+
+func inst(disk int, alpha float64, reqs ...trace.Request) Instance {
+	return Instance{Reqs: reqs, ChunkSize: testK, DiskChunks: disk, Alpha: alpha}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+// One chunk requested three times, disk 1, alpha=1. Optimal: fill once
+// (cost C_F/2 = 0.5 under the paper's transition accounting), serve
+// everything. LP should find exactly 0.5.
+func TestSingleChunkRepeated(t *testing.T) {
+	in := inst(1, 1,
+		req(0, 1, 0, 0), req(10, 1, 0, 0), req(20, 1, 0, 0))
+	res, err := SolveLP(in, SolveOptions{Keep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status.String() != "optimal" {
+		t.Fatalf("status %v", res.Status)
+	}
+	if !almost(res.CostChunks, 0.5) {
+		t.Errorf("cost = %v, want 0.5", res.CostChunks)
+	}
+	if !almost(res.Efficiency, 1-0.5/3) {
+		t.Errorf("efficiency = %v", res.Efficiency)
+	}
+	for tt, a := range res.A {
+		if !almost(a, 1) {
+			t.Errorf("a[%d] = %v, want 1", tt, a)
+		}
+	}
+}
+
+// Two chunks alternating with a disk of 1: the cache can hold only one;
+// optimal either keeps one chunk (redirect the other's requests) or
+// swaps. With 2+2 requests alternating A,B,A,B and alpha=1:
+// keep A: fill A (0.5) + redirect B twice (2) = 2.5
+// keep B: fill B 0.5... B requested at t2,t4: fill B at t2 (0.5) +
+//
+//	redirect A twice (2) = 2.5
+//
+// swap every time: fills A,B,A,B: transitions: A:0-1-0-1-0? cost 4*?,
+// worse. LP relaxation can do fractional mixtures; bound <= 2.5.
+func TestAlternatingChunksBound(t *testing.T) {
+	in := inst(1, 1,
+		req(0, 1, 0, 0), req(1, 2, 0, 0), req(2, 1, 0, 0), req(3, 2, 0, 0))
+	res, err := SolveLP(in, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostChunks > 2.5+1e-6 {
+		t.Errorf("LP bound %v exceeds a feasible integral cost 2.5", res.CostChunks)
+	}
+	if res.CostChunks < 0.5 {
+		t.Errorf("LP bound %v implausibly low", res.CostChunks)
+	}
+}
+
+// The LP bound must never exceed the cost of any feasible policy; in
+// particular it lower-bounds the Psychic greedy on random tiny traces.
+func TestLPLowerBoundsPsychicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var reqs []trace.Request
+		tm := int64(0)
+		for i := 0; i < 25; i++ {
+			tm += int64(1 + rng.Intn(5))
+			c0 := rng.Intn(2)
+			reqs = append(reqs, req(tm, chunk.VideoID(rng.Intn(4)), c0, c0+rng.Intn(2)))
+		}
+		const disk = 3
+		const alpha = 2.0
+		in := inst(disk, alpha, reqs...)
+		res, err := SolveLP(in, SolveOptions{})
+		if err != nil || res.Status.String() != "optimal" {
+			return false
+		}
+		// Replay Psychic and compute its cost in chunk units (requests
+		// are chunk-aligned by construction).
+		cf := 2 * alpha / (alpha + 1)
+		cr := 2 / (alpha + 1)
+		p, err := psychic.New(core.Config{ChunkSize: testK, DiskChunks: disk}, alpha, reqs, psychic.Options{})
+		if err != nil {
+			return false
+		}
+		costP := 0.0
+		for _, r := range reqs {
+			out := p.HandleRequest(r)
+			if out.Decision == core.Serve {
+				costP += float64(out.FilledChunks) * cf
+			} else {
+				costP += float64(r.Range().Count(testK)) * cr
+			}
+		}
+		// The IP counts a kept-to-horizon fill as CF/2, so allow the
+		// bound to be up to (cached chunks at end)*CF/2 below any
+		// real accounting; using costP directly is still safe because
+		// the bound must be <= even the IP-accounted optimum <= any
+		// policy's IP-accounted cost <= costP.
+		return res.CostChunks <= costP+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := SolveLP(Instance{}, SolveOptions{}); err == nil {
+		t.Error("empty instance should fail")
+	}
+	if _, err := SolveLP(inst(0, 1, req(0, 1, 0, 0)), SolveOptions{}); err == nil {
+		t.Error("zero disk should fail")
+	}
+	if _, err := SolveLP(inst(1, 0, req(0, 1, 0, 0)), SolveOptions{}); err == nil {
+		t.Error("zero alpha should fail")
+	}
+	// Oversized instance rejected.
+	var reqs []trace.Request
+	for i := 0; i < 700; i++ {
+		reqs = append(reqs, req(int64(i), chunk.VideoID(i), 0, 0))
+	}
+	if _, err := SolveLP(Instance{Reqs: reqs, ChunkSize: testK, DiskChunks: 1, Alpha: 1}, SolveOptions{}); err == nil {
+		t.Error("J*T beyond the cap should fail")
+	}
+}
+
+// Branch and bound on the alternating instance: exact optimum 2.5.
+func TestSolveExactAlternating(t *testing.T) {
+	in := inst(1, 1,
+		req(0, 1, 0, 0), req(1, 2, 0, 0), req(2, 1, 0, 0), req(3, 2, 0, 0))
+	res, err := SolveExact(in, BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("toy instance should solve exactly")
+	}
+	if !almost(res.CostChunks, 2.5) {
+		t.Errorf("exact cost = %v, want 2.5", res.CostChunks)
+	}
+}
+
+// Exact >= LP bound, always.
+func TestExactDominatesLPProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var reqs []trace.Request
+		tm := int64(0)
+		for i := 0; i < 8; i++ {
+			tm += int64(1 + rng.Intn(3))
+			reqs = append(reqs, req(tm, chunk.VideoID(rng.Intn(3)), 0, 0))
+		}
+		in := inst(1, 2, reqs...)
+		lpRes, err := SolveLP(in, SolveOptions{})
+		if err != nil {
+			return false
+		}
+		ipRes, err := SolveExact(in, BnBOptions{MaxNodes: 2000})
+		if err != nil || !ipRes.Exact {
+			return false
+		}
+		return ipRes.CostChunks >= lpRes.CostChunks-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// An instance where everything fits on disk: optimum fills each unique
+// chunk once — cost J·C_F/2 (alpha=1 ⇒ C_F=1) as long as serving beats
+// redirecting.
+func TestEverythingFits(t *testing.T) {
+	in := inst(10, 1,
+		req(0, 1, 0, 1),  // chunks 1/0, 1/1
+		req(5, 2, 0, 0),  // 2/0
+		req(9, 1, 0, 1),  // repeat
+		req(12, 2, 0, 0)) // repeat
+	res, err := SolveExact(in, BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("should be exact")
+	}
+	if !almost(res.CostChunks, 1.5) { // 3 unique chunks * 0.5
+		t.Errorf("cost = %v, want 1.5", res.CostChunks)
+	}
+}

@@ -1,0 +1,134 @@
+package optimal
+
+import (
+	"fmt"
+	"math"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/lp"
+	"videocdn/internal/psychic"
+)
+
+// RoundedResult pairs the LP relaxation's bound with a *feasible*
+// integral policy obtained by rounding the LP's admission vector, so
+// the true offline optimum is bracketed:
+//
+//	Rounded.Efficiency  <=  IP optimum  <=  Bound.Efficiency
+//
+// A narrow bracket certifies both sides; the paper leaves this
+// tightness analysis as future work (Section 10 "Optimal cache").
+type RoundedResult struct {
+	// Bound is the LP relaxation (upper bound on efficiency).
+	Bound *Result
+	// Efficiency is the rounded feasible policy's efficiency under
+	// the same chunk-unit accounting as the IP objective.
+	Efficiency float64
+	// CostChunks is the rounded policy's objective value.
+	CostChunks float64
+	// Admitted counts requests with a_t rounded to 1.
+	Admitted int
+	// BracketWidth is Bound.Efficiency - Efficiency.
+	BracketWidth float64
+}
+
+// SolveRounded computes the interval-LP bound, rounds its admission
+// vector at 1/2, and replays the rounded decisions with Belady
+// (farthest-future) eviction — admissions that no longer fit demote to
+// redirects, keeping the policy feasible.
+func SolveRounded(inst Instance, opt SolveOptions) (*RoundedResult, error) {
+	opt.Keep = true
+	bound, err := SolveIntervalLP(inst, opt)
+	if err != nil {
+		return nil, err
+	}
+	if bound.Status != lp.Optimal {
+		return nil, fmt.Errorf("optimal: LP ended %v; cannot round", bound.Status)
+	}
+	s, err := newSpec(inst)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := psychic.BuildIndex(inst.Reqs, inst.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+
+	cached := make(map[uint64]struct{}, inst.DiskChunks)
+	fills := 0
+	redirChunks := 0
+	admitted := 0
+	for t, r := range inst.Reqs {
+		ids := r.Chunks(inst.ChunkSize)
+		for _, id := range ids {
+			ix.Advance(id, t)
+		}
+		admit := bound.A[t] >= 0.5 && len(ids) <= inst.DiskChunks
+		if admit {
+			// Evict farthest-future non-requested chunks to fit.
+			need := 0
+			inReq := make(map[uint64]struct{}, len(ids))
+			for _, id := range ids {
+				inReq[id.Key()] = struct{}{}
+				if _, ok := cached[id.Key()]; !ok {
+					need++
+				}
+			}
+			for len(cached)+need > inst.DiskChunks {
+				victim, ok := farthestFuture(cached, inReq, ix)
+				if !ok {
+					admit = false
+					break
+				}
+				delete(cached, victim)
+			}
+			if admit {
+				for _, id := range ids {
+					if _, ok := cached[id.Key()]; !ok {
+						cached[id.Key()] = struct{}{}
+						fills++
+					}
+				}
+			}
+		}
+		if !admit {
+			redirChunks += len(ids)
+			continue
+		}
+		admitted++
+	}
+	// Same accounting as the IP objective: C_F/2 per fill transition,
+	// C_R per redirected chunk.
+	cost := float64(fills)*s.cf/2 + float64(redirChunks)*s.cr
+	res := &RoundedResult{
+		Bound:      bound,
+		CostChunks: cost,
+		Efficiency: 1 - cost/float64(s.totalReq),
+		Admitted:   admitted,
+	}
+	res.BracketWidth = bound.Efficiency - res.Efficiency
+	return res, nil
+}
+
+// farthestFuture scans the cached set for the chunk whose next request
+// is farthest away (or never), excluding the in-request set. O(n) per
+// eviction — fine at the Optimal experiment's scale.
+func farthestFuture(cached map[uint64]struct{}, skip map[uint64]struct{}, ix *psychic.Index) (uint64, bool) {
+	var victim uint64
+	best := -1.0
+	found := false
+	for key := range cached {
+		if _, s := skip[key]; s {
+			continue
+		}
+		next := math.Inf(1)
+		if t, ok := ix.NextTime(chunk.FromKey(key)); ok {
+			next = float64(t)
+		}
+		if !found || next > best {
+			best = next
+			victim = key
+			found = true
+		}
+	}
+	return victim, found
+}

@@ -1,0 +1,279 @@
+// Package ordtree implements the ordered chunk set used by the Cafe
+// and Psychic caches (Section 6): a balanced binary search tree keyed
+// by a float64 score (Cafe's virtual timestamp, Psychic's next-request
+// time) plus a hash map for O(1) lookup by item ID.
+//
+// Unlike the plain LRU list, items may be (re-)inserted with keys that
+// are not larger than all existing keys — the flexibility Cafe needs
+// because a chunk "gradually moves up this set according to its
+// EWMA-ed IAT value".
+//
+// The tree is a treap whose per-node priorities are a splitmix64 hash
+// of the item ID, making the structure deterministic for a given item
+// set regardless of insertion order — important for reproducible
+// experiments.
+package ordtree
+
+import (
+	"fmt"
+	"math"
+)
+
+type node struct {
+	id   uint64
+	key  float64
+	prio uint64
+	l, r *node
+}
+
+// Tree is an ordered map from item ID to float64 key, iterable in
+// ascending (key, id) order. The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	byID map[uint64]*node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{byID: make(map[uint64]*node)}
+}
+
+// Len returns the number of items.
+func (t *Tree) Len() int { return len(t.byID) }
+
+// Contains reports whether id is present.
+func (t *Tree) Contains(id uint64) bool {
+	_, ok := t.byID[id]
+	return ok
+}
+
+// Key returns the key stored for id, with ok=false if absent.
+func (t *Tree) Key(id uint64) (float64, bool) {
+	n, ok := t.byID[id]
+	if !ok {
+		return 0, false
+	}
+	return n.key, true
+}
+
+// Insert adds id with the given key, replacing any existing entry for
+// id. NaN keys are rejected with a panic: they would break the strict
+// weak ordering and silently corrupt the tree.
+func (t *Tree) Insert(id uint64, key float64) {
+	if math.IsNaN(key) {
+		panic(fmt.Sprintf("ordtree: NaN key for id %d", id))
+	}
+	if old, ok := t.byID[id]; ok {
+		t.root = remove(t.root, old.key, id)
+	}
+	n := &node{id: id, key: key, prio: splitmix64(id)}
+	t.byID[id] = n
+	t.root = insert(t.root, n)
+}
+
+// Remove deletes id, reporting whether it was present.
+func (t *Tree) Remove(id uint64) bool {
+	n, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	t.root = remove(t.root, n.key, id)
+	delete(t.byID, id)
+	return true
+}
+
+// Min returns the item with the smallest (key, id), with ok=false on an
+// empty tree.
+func (t *Tree) Min() (id uint64, key float64, ok bool) {
+	n := t.root
+	if n == nil {
+		return 0, 0, false
+	}
+	for n.l != nil {
+		n = n.l
+	}
+	return n.id, n.key, true
+}
+
+// Max returns the item with the largest (key, id), with ok=false on an
+// empty tree.
+func (t *Tree) Max() (id uint64, key float64, ok bool) {
+	n := t.root
+	if n == nil {
+		return 0, 0, false
+	}
+	for n.r != nil {
+		n = n.r
+	}
+	return n.id, n.key, true
+}
+
+// PopMin removes and returns the minimum item.
+func (t *Tree) PopMin() (id uint64, key float64, ok bool) {
+	id, key, ok = t.Min()
+	if ok {
+		t.Remove(id)
+	}
+	return id, key, ok
+}
+
+// PopMax removes and returns the maximum item.
+func (t *Tree) PopMax() (id uint64, key float64, ok bool) {
+	id, key, ok = t.Max()
+	if ok {
+		t.Remove(id)
+	}
+	return id, key, ok
+}
+
+// Ascend calls fn in ascending (key, id) order until fn returns false.
+func (t *Tree) Ascend(fn func(id uint64, key float64) bool) {
+	ascend(t.root, fn)
+}
+
+// Descend calls fn in descending (key, id) order until fn returns
+// false.
+func (t *Tree) Descend(fn func(id uint64, key float64) bool) {
+	descend(t.root, fn)
+}
+
+// SmallestExcluding returns up to n item IDs with the smallest keys
+// whose IDs are not in skip. Cafe uses this to pick eviction candidates
+// S” while never evicting chunks belonging to the request being
+// served.
+func (t *Tree) SmallestExcluding(n int, skip map[uint64]bool) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	t.Ascend(func(id uint64, _ float64) bool {
+		if skip != nil && skip[id] {
+			return true
+		}
+		out = append(out, id)
+		return len(out) < n
+	})
+	return out
+}
+
+// LargestExcluding is the mirror of SmallestExcluding; Psychic uses it
+// to pick the chunks requested farthest in the future.
+func (t *Tree) LargestExcluding(n int, skip map[uint64]bool) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	t.Descend(func(id uint64, _ float64) bool {
+		if skip != nil && skip[id] {
+			return true
+		}
+		out = append(out, id)
+		return len(out) < n
+	})
+	return out
+}
+
+func ascend(n *node, fn func(uint64, float64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.l, fn) {
+		return false
+	}
+	if !fn(n.id, n.key) {
+		return false
+	}
+	return ascend(n.r, fn)
+}
+
+func descend(n *node, fn func(uint64, float64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !descend(n.r, fn) {
+		return false
+	}
+	if !fn(n.id, n.key) {
+		return false
+	}
+	return descend(n.l, fn)
+}
+
+func less(aKey float64, aID uint64, b *node) bool {
+	if aKey != b.key {
+		return aKey < b.key
+	}
+	return aID < b.id
+}
+
+func insert(n, x *node) *node {
+	if n == nil {
+		return x
+	}
+	if less(x.key, x.id, n) {
+		n.l = insert(n.l, x)
+		if n.l.prio > n.prio {
+			n = rotateRight(n)
+		}
+	} else {
+		n.r = insert(n.r, x)
+		if n.r.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	return n
+}
+
+func remove(n *node, key float64, id uint64) *node {
+	if n == nil {
+		return nil
+	}
+	if n.id == id && n.key == key {
+		return merge(n.l, n.r)
+	}
+	if less(key, id, n) {
+		n.l = remove(n.l, key, id)
+	} else {
+		n.r = remove(n.r, key, id)
+	}
+	return n
+}
+
+func merge(l, r *node) *node {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio > r.prio {
+		l.r = merge(l.r, r)
+		return l
+	}
+	r.l = merge(l, r.l)
+	return r
+}
+
+func rotateRight(n *node) *node {
+	l := n.l
+	n.l = l.r
+	l.r = n
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.r
+	n.r = r.l
+	r.l = n
+	return r
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a strong,
+// cheap bit mixer used to derive deterministic treap priorities from
+// item IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

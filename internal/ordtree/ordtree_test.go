@@ -1,0 +1,335 @@
+package ordtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("new tree should be empty")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty should report !ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty should report !ok")
+	}
+	if _, _, ok := tr.PopMin(); ok {
+		t.Error("PopMin on empty should report !ok")
+	}
+	if tr.Remove(1) {
+		t.Error("Remove of absent should be false")
+	}
+	if got := tr.SmallestExcluding(3, nil); len(got) != 0 {
+		t.Error("SmallestExcluding on empty should be empty")
+	}
+}
+
+func TestInsertLookupRemove(t *testing.T) {
+	tr := New()
+	tr.Insert(1, 5.0)
+	tr.Insert(2, 3.0)
+	tr.Insert(3, 7.0)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if k, ok := tr.Key(2); !ok || k != 3.0 {
+		t.Errorf("Key(2) = %v,%v", k, ok)
+	}
+	if id, k, ok := tr.Min(); !ok || id != 2 || k != 3.0 {
+		t.Errorf("Min = %d,%v,%v", id, k, ok)
+	}
+	if id, k, ok := tr.Max(); !ok || id != 3 || k != 7.0 {
+		t.Errorf("Max = %d,%v,%v", id, k, ok)
+	}
+	if !tr.Remove(2) {
+		t.Fatal("Remove(2) failed")
+	}
+	if tr.Contains(2) {
+		t.Error("2 should be gone")
+	}
+	if id, _, _ := tr.Min(); id != 1 {
+		t.Errorf("new Min = %d, want 1", id)
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tr := New()
+	tr.Insert(1, 5.0)
+	tr.Insert(1, 1.0) // move down
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (replace, not duplicate)", tr.Len())
+	}
+	if k, _ := tr.Key(1); k != 1.0 {
+		t.Errorf("Key = %v, want 1.0", k)
+	}
+	tr.Insert(2, 0.5)
+	if id, _, _ := tr.Min(); id != 2 {
+		t.Errorf("Min = %d, want 2", id)
+	}
+	tr.Insert(1, 0.1) // arbitrary downward move, impossible in plain LRU
+	if id, _, _ := tr.Min(); id != 1 {
+		t.Errorf("Min = %d, want 1 after re-keying", id)
+	}
+}
+
+func TestNaNPanics(t *testing.T) {
+	tr := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN key should panic")
+		}
+	}()
+	tr.Insert(1, math.NaN())
+}
+
+func TestDuplicateKeysOrderedByID(t *testing.T) {
+	tr := New()
+	tr.Insert(30, 1.0)
+	tr.Insert(10, 1.0)
+	tr.Insert(20, 1.0)
+	var ids []uint64
+	tr.Ascend(func(id uint64, _ float64) bool { ids = append(ids, id); return true })
+	want := []uint64{10, 20, 30}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Ascend ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestPopMinPopMax(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 10; i++ {
+		tr.Insert(i, float64(i))
+	}
+	if id, _, _ := tr.PopMin(); id != 0 {
+		t.Errorf("PopMin = %d", id)
+	}
+	if id, _, _ := tr.PopMax(); id != 9 {
+		t.Errorf("PopMax = %d", id)
+	}
+	if tr.Len() != 8 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestSmallestExcluding(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 10; i++ {
+		tr.Insert(i, float64(i))
+	}
+	got := tr.SmallestExcluding(3, map[uint64]bool{0: true, 2: true})
+	want := []uint64{1, 3, 4}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SmallestExcluding = %v, want %v", got, want)
+		}
+	}
+	if got := tr.SmallestExcluding(0, nil); got != nil {
+		t.Error("n=0 should return nil")
+	}
+	// Asking for more than available (after skips).
+	all := map[uint64]bool{}
+	for i := uint64(0); i < 9; i++ {
+		all[i] = true
+	}
+	if got := tr.SmallestExcluding(5, all); len(got) != 1 || got[0] != 9 {
+		t.Errorf("got %v, want [9]", got)
+	}
+}
+
+func TestLargestExcluding(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 10; i++ {
+		tr.Insert(i, float64(i))
+	}
+	got := tr.LargestExcluding(3, map[uint64]bool{9: true})
+	want := []uint64{8, 7, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LargestExcluding = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendDescendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 10; i++ {
+		tr.Insert(i, float64(i))
+	}
+	count := 0
+	tr.Ascend(func(uint64, float64) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("Ascend early stop visited %d", count)
+	}
+	count = 0
+	tr.Descend(func(uint64, float64) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Descend early stop visited %d", count)
+	}
+}
+
+// Model-based property: random insert/replace/remove/pop operations
+// match a reference implementation (sorted slice).
+func TestAgainstReferenceModel(t *testing.T) {
+	type pair struct {
+		id  uint64
+		key float64
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		model := map[uint64]float64{}
+		sorted := func() []pair {
+			ps := make([]pair, 0, len(model))
+			for id, k := range model {
+				ps = append(ps, pair{id, k})
+			}
+			sort.Slice(ps, func(i, j int) bool {
+				if ps[i].key != ps[j].key {
+					return ps[i].key < ps[j].key
+				}
+				return ps[i].id < ps[j].id
+			})
+			return ps
+		}
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(5) {
+			case 0, 1, 2: // insert/replace
+				id := uint64(rng.Intn(50))
+				key := math.Floor(rng.Float64()*100) / 4 // force duplicate keys
+				tr.Insert(id, key)
+				model[id] = key
+			case 3: // remove
+				id := uint64(rng.Intn(50))
+				_, inModel := model[id]
+				if tr.Remove(id) != inModel {
+					return false
+				}
+				delete(model, id)
+			case 4: // pop min
+				id, key, ok := tr.PopMin()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					ps := sorted()
+					if ps[0].id != id || ps[0].key != key {
+						return false
+					}
+					delete(model, id)
+				}
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+		}
+		// Full in-order traversal must match the model.
+		ps := sorted()
+		i := 0
+		okAll := true
+		tr.Ascend(func(id uint64, key float64) bool {
+			if i >= len(ps) || ps[i].id != id || ps[i].key != key {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okAll && i == len(ps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The treap must stay balanced enough for log-time operations: with
+// hashed priorities, depth on n sequential IDs should be O(log n).
+func TestBalancedDepth(t *testing.T) {
+	tr := New()
+	const n = 1 << 14
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(i, float64(i))
+	}
+	var depth func(nd *node) int
+	depth = func(nd *node) int {
+		if nd == nil {
+			return 0
+		}
+		l, r := depth(nd.l), depth(nd.r)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	d := depth(tr.root)
+	// Expected depth ~ 3*log2(n) ≈ 42 with very high probability.
+	if d > 80 {
+		t.Errorf("treap depth %d too large for n=%d", d, n)
+	}
+}
+
+// Structural invariants: BST order on (key,id) and max-heap on prio.
+func TestTreapInvariants(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		tr.Insert(uint64(rng.Intn(500)), math.Floor(rng.Float64()*50))
+		if i%3 == 0 {
+			tr.Remove(uint64(rng.Intn(500)))
+		}
+	}
+	var check func(n *node, lo, hi *node) bool
+	check = func(n, lo, hi *node) bool {
+		if n == nil {
+			return true
+		}
+		if lo != nil && !less(lo.key, lo.id, n) {
+			return false
+		}
+		if hi != nil && !less(n.key, n.id, hi) {
+			return false
+		}
+		if n.l != nil && n.l.prio > n.prio {
+			return false
+		}
+		if n.r != nil && n.r.prio > n.prio {
+			return false
+		}
+		return check(n.l, lo, n) && check(n.r, n, hi)
+	}
+	if !check(tr.root, nil, nil) {
+		t.Error("treap invariants violated")
+	}
+}
+
+func BenchmarkInsertRemove(b *testing.B) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i % 4096)
+		tr.Insert(id, rng.Float64())
+	}
+}
+
+func BenchmarkSmallestExcluding(b *testing.B) {
+	tr := New()
+	for i := uint64(0); i < 4096; i++ {
+		tr.Insert(i, float64(i))
+	}
+	skip := map[uint64]bool{1: true, 3: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SmallestExcluding(8, skip)
+	}
+}

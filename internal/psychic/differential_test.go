@@ -1,0 +1,75 @@
+package psychic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/trace"
+)
+
+// The invariant behind Psychic's eviction choice: every cached chunk's
+// tree key equals its true next-request time (or +Inf), at every step
+// of the replay. A stale key would make "evict the farthest-future
+// chunk" silently wrong.
+func TestTreeKeysMatchFutureIndex(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		rng := rand.New(rand.NewSource(seed))
+		var reqs []trace.Request
+		tm := int64(0)
+		for i := 0; i < 1500; i++ {
+			tm += int64(rng.Intn(6))
+			c0 := rng.Intn(3)
+			reqs = append(reqs, req(tm, chunk.VideoID(rng.Intn(20)), c0, c0+rng.Intn(3)))
+		}
+		c := newCache(t, 24, 2, reqs)
+		for i, r := range reqs {
+			c.HandleRequest(r)
+			if i%50 != 0 {
+				continue
+			}
+			ok := true
+			c.tree.Ascend(func(id uint64, key float64) bool {
+				want := math.Inf(1)
+				if nt, has := c.ix.NextTime(chunk.FromKey(id)); has {
+					want = float64(nt)
+				}
+				if key != want {
+					t.Errorf("seed %d step %d: chunk %s key %v != next time %v",
+						seed, i, chunk.FromKey(id), key, want)
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return
+			}
+		}
+	}
+}
+
+// Keys in the tree are never in the past: a cached chunk's recorded
+// next-request time must be strictly after the current request's
+// position in the trace (times can tie, but the occurrence must be
+// later in sequence; at time granularity, key >= now always holds).
+func TestTreeKeysNeverStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var reqs []trace.Request
+	tm := int64(0)
+	for i := 0; i < 1000; i++ {
+		tm += int64(rng.Intn(4))
+		reqs = append(reqs, req(tm, chunk.VideoID(rng.Intn(15)), 0, rng.Intn(3)))
+	}
+	c := newCache(t, 16, 1, reqs)
+	for _, r := range reqs {
+		c.HandleRequest(r)
+		c.tree.Ascend(func(id uint64, key float64) bool {
+			if key < float64(r.Time) {
+				t.Fatalf("stale key %v < now %d for %s", key, r.Time, chunk.FromKey(id))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,126 @@
+// Package psychic implements the paper's offline greedy cache (Section
+// 8): a cache that knows, for every chunk, the times of its next
+// requests, and uses them to estimate the maximum efficiency any
+// online algorithm could achieve.
+package psychic
+
+import (
+	"fmt"
+	"math"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/trace"
+)
+
+// span delimits one chunk's occurrences inside Index.occ, plus the
+// replay cursor.
+type span struct {
+	start, end int32 // [start, end) into occ
+	cur        int32 // next not-yet-consumed occurrence
+}
+
+// Index is the future-knowledge structure: for every chunk, the
+// (position, time) pairs of the requests that include it, in trace
+// order. A cursor per chunk advances during replay so lookups always
+// see only genuinely future requests.
+//
+// Storage is a single packed []uint64 (position<<32 | time) grouped by
+// chunk — constant per-occurrence overhead, no per-chunk slice headers.
+type Index struct {
+	occ   []uint64
+	spans []span
+	byID  map[uint64]int32 // chunk key -> index into spans
+}
+
+// BuildIndex scans the full request sequence and builds the future
+// index for chunk size k. Request times and positions must fit in 31
+// bits (a month-long trace at second resolution is ~2.4M, far below).
+func BuildIndex(reqs []trace.Request, k int64) (*Index, error) {
+	if len(reqs) > math.MaxInt32 {
+		return nil, fmt.Errorf("psychic: trace too long (%d requests)", len(reqs))
+	}
+	// Pass 1: count occurrences per chunk.
+	counts := make(map[uint64]int32)
+	total := 0
+	for pos, r := range reqs {
+		if r.Time < 0 || r.Time > math.MaxInt32 {
+			return nil, fmt.Errorf("psychic: request %d time %d outside 31-bit range", pos, r.Time)
+		}
+		c0, c1 := r.ChunkRange(k)
+		for c := c0; c <= c1; c++ {
+			counts[(chunk.ID{Video: r.Video, Index: c}).Key()]++
+			total++
+		}
+	}
+	ix := &Index{
+		occ:   make([]uint64, total),
+		spans: make([]span, 0, len(counts)),
+		byID:  make(map[uint64]int32, len(counts)),
+	}
+	// Assign contiguous regions per chunk.
+	var next int32
+	for key, n := range counts {
+		ix.byID[key] = int32(len(ix.spans))
+		ix.spans = append(ix.spans, span{start: next, end: next, cur: next})
+		_ = n
+		next += n
+	}
+	// Pass 2: fill occurrences in trace order (ascending position
+	// within each chunk automatically).
+	for pos, r := range reqs {
+		c0, c1 := r.ChunkRange(k)
+		for c := c0; c <= c1; c++ {
+			si := ix.byID[(chunk.ID{Video: r.Video, Index: c}).Key()]
+			s := &ix.spans[si]
+			ix.occ[s.end] = uint64(pos)<<32 | uint64(uint32(r.Time))
+			s.end++
+		}
+	}
+	return ix, nil
+}
+
+// Advance moves the chunk's cursor past trace position pos, consuming
+// the current occurrence. Called once per (request, chunk) during
+// replay.
+func (ix *Index) Advance(id chunk.ID, pos int) {
+	si, ok := ix.byID[id.Key()]
+	if !ok {
+		return
+	}
+	s := &ix.spans[si]
+	for s.cur < s.end && int(ix.occ[s.cur]>>32) <= pos {
+		s.cur++
+	}
+}
+
+// NextTime returns the arrival time of the chunk's next future request,
+// with ok=false if the chunk is never requested again.
+func (ix *Index) NextTime(id chunk.ID) (int64, bool) {
+	si, ok := ix.byID[id.Key()]
+	if !ok {
+		return 0, false
+	}
+	s := &ix.spans[si]
+	if s.cur >= s.end {
+		return 0, false
+	}
+	return int64(uint32(ix.occ[s.cur])), true
+}
+
+// AppendNextTimes appends up to n future request times for the chunk
+// (the paper's list L_x, bounded by N) to buf and returns it.
+func (ix *Index) AppendNextTimes(id chunk.ID, n int, buf []int64) []int64 {
+	si, ok := ix.byID[id.Key()]
+	if !ok {
+		return buf
+	}
+	s := &ix.spans[si]
+	for i := s.cur; i < s.end && int(i-s.cur) < n; i++ {
+		buf = append(buf, int64(uint32(ix.occ[i])))
+	}
+	return buf
+}
+
+// Occurrences returns the total number of (request, chunk) incidences
+// indexed — a memory/scale diagnostic.
+func (ix *Index) Occurrences() int { return len(ix.occ) }

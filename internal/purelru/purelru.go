@@ -1,0 +1,93 @@
+// Package purelru implements the classic proxy-style cache that the
+// paper argues standard solutions amount to (Section 2): every request
+// is served, every miss is cache-filled, and replacement is plain LRU
+// at chunk granularity.
+//
+// It has no admission control and no redirection, so its redirect
+// ratio is 0 and its ingress is maximal. It exists as the strawman
+// baseline/ablation quantifying what xLRU's popularity gate and Cafe's
+// cost model buy.
+package purelru
+
+import (
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/lru"
+	"videocdn/internal/trace"
+)
+
+// Cache is an always-fill LRU chunk cache. Not safe for concurrent
+// use.
+type Cache struct {
+	cfg      core.Config
+	disk     *lru.List
+	lastTime int64
+}
+
+// New builds the always-fill LRU cache.
+func New(cfg core.Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{cfg: cfg, disk: lru.New()}, nil
+}
+
+// Name implements core.Cache.
+func (c *Cache) Name() string { return "lru" }
+
+// Len implements core.Cache.
+func (c *Cache) Len() int { return c.disk.Len() }
+
+// Contains implements core.Cache.
+func (c *Cache) Contains(id chunk.ID) bool { return c.disk.Contains(id.Key()) }
+
+// HandleRequest implements core.Cache. The only redirects it ever
+// issues are for requests wider than the entire disk, which cannot be
+// held at all.
+func (c *Cache) HandleRequest(r trace.Request) core.Outcome {
+	now := r.Time
+	if now < c.lastTime {
+		panic("purelru: requests must arrive in non-decreasing time order")
+	}
+	c.lastTime = now
+
+	c0, c1 := r.ChunkRange(c.cfg.ChunkSize)
+	nChunks := int(c1-c0) + 1
+	if nChunks > c.cfg.DiskChunks {
+		return core.Outcome{Decision: core.Redirect}
+	}
+	var missing []chunk.ID
+	for ci := c0; ci <= c1; ci++ {
+		id := chunk.ID{Video: r.Video, Index: ci}
+		if c.disk.Contains(id.Key()) {
+			c.disk.Touch(id.Key(), now)
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	evict := len(missing) - (c.cfg.DiskChunks - c.disk.Len())
+	if evict < 0 {
+		evict = 0
+	}
+	var evicted []chunk.ID
+	for i := 0; i < evict; i++ {
+		key, ok := c.disk.RemoveOldest()
+		if !ok {
+			break
+		}
+		evicted = append(evicted, chunk.FromKey(key))
+	}
+	for _, id := range missing {
+		c.disk.Touch(id.Key(), now)
+	}
+	return core.Outcome{
+		Decision:      core.Serve,
+		FilledChunks:  len(missing),
+		FilledBytes:   int64(len(missing)) * c.cfg.ChunkSize,
+		EvictedChunks: len(evicted),
+		FilledIDs:     missing,
+		EvictedIDs:    evicted,
+	}
+}
+
+var _ core.Cache = (*Cache)(nil)

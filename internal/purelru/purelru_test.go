@@ -1,0 +1,100 @@
+package purelru
+
+import (
+	"math/rand"
+	"testing"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/trace"
+)
+
+const testK = 1024
+
+func req(t int64, v chunk.VideoID, c0, c1 int) trace.Request {
+	return trace.Request{Time: t, Video: v, Start: int64(c0) * testK, End: int64(c1+1)*testK - 1}
+}
+
+func newCache(t *testing.T, diskChunks int) *Cache {
+	t.Helper()
+	c, err := New(core.Config{ChunkSize: testK, DiskChunks: diskChunks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(core.Config{}); err == nil {
+		t.Error("bad config should fail")
+	}
+}
+
+func TestAlwaysServes(t *testing.T) {
+	c := newCache(t, 4)
+	rng := rand.New(rand.NewSource(1))
+	tm := int64(0)
+	for i := 0; i < 500; i++ {
+		out := c.HandleRequest(req(tm, chunk.VideoID(rng.Intn(20)), 0, rng.Intn(3)))
+		if out.Decision != core.Serve {
+			t.Fatal("pure LRU must serve everything that fits")
+		}
+		tm++
+		if c.Len() > 4 {
+			t.Fatal("disk overflow")
+		}
+	}
+}
+
+func TestFillsOnlyMisses(t *testing.T) {
+	c := newCache(t, 10)
+	out := c.HandleRequest(req(0, 1, 0, 2))
+	if out.FilledChunks != 3 || out.FilledBytes != 3*testK || out.EvictedChunks != 0 {
+		t.Errorf("outcome = %+v", out)
+	}
+	out = c.HandleRequest(req(1, 1, 1, 3))
+	if out.FilledChunks != 1 {
+		t.Errorf("partial hit should fill 1, got %+v", out)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newCache(t, 2)
+	c.HandleRequest(req(0, 1, 0, 0))
+	c.HandleRequest(req(1, 2, 0, 0))
+	c.HandleRequest(req(2, 1, 0, 0)) // touch video 1
+	out := c.HandleRequest(req(3, 3, 0, 0))
+	if out.EvictedChunks != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if c.Contains(chunk.ID{Video: 2}) {
+		t.Error("video 2 (LRU) should have been evicted")
+	}
+	if !c.Contains(chunk.ID{Video: 1}) || !c.Contains(chunk.ID{Video: 3}) {
+		t.Error("videos 1 and 3 should be cached")
+	}
+}
+
+func TestOversizedRedirected(t *testing.T) {
+	c := newCache(t, 2)
+	if out := c.HandleRequest(req(0, 1, 0, 4)); out.Decision != core.Redirect {
+		t.Error("oversized request must redirect")
+	}
+}
+
+func TestTimeRegressionPanics(t *testing.T) {
+	c := newCache(t, 2)
+	c.HandleRequest(req(5, 1, 0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("regression should panic")
+		}
+	}()
+	c.HandleRequest(req(4, 1, 0, 0))
+}
+
+func TestName(t *testing.T) {
+	if newCache(t, 1).Name() != "lru" {
+		t.Error("bad name")
+	}
+}

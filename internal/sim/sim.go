@@ -1,0 +1,177 @@
+// Package sim replays request traces through cache algorithms and
+// produces the measurements reported in the paper's evaluation
+// (Section 9): ingress percentage, redirect ratio and overall cache
+// efficiency, both as hourly time series and as steady-state averages
+// over the tail of the trace (excluding cache warmup).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"videocdn/internal/core"
+	"videocdn/internal/cost"
+	"videocdn/internal/metrics"
+	"videocdn/internal/trace"
+)
+
+// Options tune a replay.
+type Options struct {
+	// BucketSeconds is the series resolution. Defaults to 3600 (1h).
+	BucketSeconds int64
+	// SteadyFraction is the fraction of trace *time* to skip before
+	// steady-state accounting begins. Defaults to 0.5 (the paper's
+	// "average over the second half of the month").
+	SteadyFraction float64
+	// Progress, if non-nil, is called every ProgressEvery requests.
+	Progress      func(done, total int)
+	ProgressEvery int
+}
+
+// Result is the outcome of one replay.
+type Result struct {
+	// Algorithm is the cache's Name().
+	Algorithm string
+	// Model is the cost model used for efficiency accounting.
+	Model cost.Model
+	// Total accumulates the whole trace; Steady only the tail
+	// configured by SteadyFraction.
+	Total, Steady cost.Counters
+	// Series is the bucketed time series over the full replay.
+	Series *metrics.Series
+	// Requests replayed, and how many were served vs redirected.
+	Requests, Served, Redirected int
+	// FilledChunks / EvictedChunks totals (disk churn).
+	FilledChunks, EvictedChunks int64
+}
+
+// Efficiency is the steady-state cache efficiency (Eq. 2).
+func (r *Result) Efficiency() float64 { return r.Steady.Efficiency(r.Model) }
+
+// IngressRatio is the steady-state ingress-to-egress percentage.
+func (r *Result) IngressRatio() float64 { return r.Steady.IngressRatio() }
+
+// RedirectRatio is the steady-state redirected-bytes ratio.
+func (r *Result) RedirectRatio() float64 { return r.Steady.RedirectRatio() }
+
+// Job is one independent replay task for ReplayAll.
+type Job struct {
+	// Name keys the result map (defaults to the cache's Name()).
+	Name  string
+	Cache core.Cache
+	Model cost.Model
+}
+
+// ReplayAll replays the same trace through several independent caches
+// concurrently (one goroutine per job; the trace is shared read-only).
+// It returns the first error encountered, if any.
+func ReplayAll(jobs []Job, reqs []trace.Request, opt Options) (map[string]*Result, error) {
+	results := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Replay(jobs[i].Cache, reqs, jobs[i].Model, opt)
+		}(i)
+	}
+	wg.Wait()
+	out := make(map[string]*Result, len(jobs))
+	for i, job := range jobs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("sim: job %q: %w", jobName(job), errs[i])
+		}
+		out[jobName(job)] = results[i]
+	}
+	return out, nil
+}
+
+func jobName(j Job) string {
+	if j.Name != "" {
+		return j.Name
+	}
+	if j.Cache != nil {
+		return j.Cache.Name()
+	}
+	return "?"
+}
+
+// Replay drives the full trace through the cache under the given cost
+// model. The trace must be time-ordered. Accounting follows Section
+// 4.2: requested bytes are the byte range of every request; fills
+// count whole chunks; redirects count the request's byte range.
+func Replay(c core.Cache, reqs []trace.Request, model cost.Model, opt Options) (*Result, error) {
+	if c == nil {
+		return nil, errors.New("sim: nil cache")
+	}
+	if len(reqs) == 0 {
+		return nil, errors.New("sim: empty trace")
+	}
+	if opt.BucketSeconds == 0 {
+		opt.BucketSeconds = 3600
+	}
+	if opt.SteadyFraction == 0 {
+		opt.SteadyFraction = 0.5
+	}
+	if opt.SteadyFraction < 0 || opt.SteadyFraction >= 1 {
+		return nil, fmt.Errorf("sim: SteadyFraction must be in [0,1), got %v", opt.SteadyFraction)
+	}
+	series, err := metrics.NewSeries(opt.BucketSeconds)
+	if err != nil {
+		return nil, err
+	}
+	start := reqs[0].Time
+	end := reqs[len(reqs)-1].Time
+	steadyFrom := start + int64(opt.SteadyFraction*float64(end-start))
+
+	res := &Result{Algorithm: c.Name(), Model: model, Series: series}
+	last := start
+	for i, r := range reqs {
+		if r.Time < last {
+			return nil, fmt.Errorf("sim: request %d out of order (t=%d after %d)", i, r.Time, last)
+		}
+		last = r.Time
+		out := c.HandleRequest(r)
+
+		var cnt cost.Counters
+		cnt.Requested = r.Bytes()
+		switch out.Decision {
+		case core.Serve:
+			if out.FilledBytes < 0 || out.FilledChunks < 0 {
+				return nil, fmt.Errorf("sim: request %d: negative fill accounting %+v", i, out)
+			}
+			if out.FilledIDs != nil && len(out.FilledIDs) != out.FilledChunks {
+				return nil, fmt.Errorf("sim: request %d: FilledIDs/FilledChunks mismatch (%d vs %d)",
+					i, len(out.FilledIDs), out.FilledChunks)
+			}
+			if out.EvictedIDs != nil && len(out.EvictedIDs) != out.EvictedChunks {
+				return nil, fmt.Errorf("sim: request %d: EvictedIDs/EvictedChunks mismatch (%d vs %d)",
+					i, len(out.EvictedIDs), out.EvictedChunks)
+			}
+			cnt.Filled = out.FilledBytes
+			res.Served++
+		case core.Redirect:
+			if out.FilledChunks != 0 || out.FilledBytes != 0 {
+				return nil, fmt.Errorf("sim: request %d: redirect with nonzero fill %+v", i, out)
+			}
+			cnt.Redirected = r.Bytes()
+			res.Redirected++
+		default:
+			return nil, fmt.Errorf("sim: request %d: unknown decision %v", i, out.Decision)
+		}
+		res.FilledChunks += int64(out.FilledChunks)
+		res.EvictedChunks += int64(out.EvictedChunks)
+		res.Total.Add(cnt)
+		if r.Time >= steadyFrom {
+			res.Steady.Add(cnt)
+		}
+		series.Add(r.Time, cnt)
+		if opt.Progress != nil && opt.ProgressEvery > 0 && (i+1)%opt.ProgressEvery == 0 {
+			opt.Progress(i+1, len(reqs))
+		}
+	}
+	res.Requests = len(reqs)
+	return res, nil
+}

@@ -1,0 +1,213 @@
+// Package store provides the byte-level chunk stores behind the HTTP
+// edge server: the cache algorithms decide *which* chunks live on
+// disk, a Store holds their *bytes*.
+//
+// Two implementations are provided: an in-memory store (tests, small
+// deployments, benchmarks) and a filesystem store that lays chunks out
+// as fixed-size files sharded across directories — the "divide the
+// disk into small fixed-size chunks" allocation scheme of Section 4,
+// which avoids allocating and deallocating variable-size extents.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"videocdn/internal/chunk"
+)
+
+// ErrNotFound is returned by Get for absent chunks.
+var ErrNotFound = errors.New("store: chunk not found")
+
+// Store holds chunk bytes. Implementations are safe for concurrent
+// use.
+type Store interface {
+	// Put stores data as the chunk's contents, replacing any previous
+	// value.
+	Put(id chunk.ID, data []byte) error
+	// Get returns the chunk's contents (a copy appended to buf, which
+	// may be nil) or ErrNotFound.
+	Get(id chunk.ID, buf []byte) ([]byte, error)
+	// Delete removes the chunk; deleting an absent chunk is a no-op.
+	Delete(id chunk.ID) error
+	// Has reports whether the chunk is present.
+	Has(id chunk.ID) bool
+	// Len returns the number of stored chunks.
+	Len() int
+}
+
+// ---------- In-memory store ----------
+
+// Mem is a map-backed Store.
+type Mem struct {
+	mu sync.RWMutex
+	m  map[uint64][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{m: make(map[uint64][]byte)}
+}
+
+// Put implements Store.
+func (s *Mem) Put(id chunk.ID, data []byte) error {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.m[id.Key()] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *Mem) Get(id chunk.ID, buf []byte) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.m[id.Key()]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return append(buf, data...), nil
+}
+
+// Delete implements Store.
+func (s *Mem) Delete(id chunk.ID) error {
+	s.mu.Lock()
+	delete(s.m, id.Key())
+	s.mu.Unlock()
+	return nil
+}
+
+// Has implements Store.
+func (s *Mem) Has(id chunk.ID) bool {
+	s.mu.RLock()
+	_, ok := s.m[id.Key()]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Len implements Store.
+func (s *Mem) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// ---------- Filesystem store ----------
+
+// FS stores each chunk as a file "<shard>/<video>-<index>" under a
+// root directory, with 256 shards to keep directories small.
+type FS struct {
+	root string
+	mu   sync.RWMutex
+	n    int
+	seen map[uint64]struct{}
+}
+
+// NewFS creates (or reuses) the root directory and scans existing
+// chunks.
+func NewFS(root string) (*FS, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating root: %w", err)
+	}
+	s := &FS{root: root, seen: make(map[uint64]struct{})}
+	// Recover existing chunks (restart support).
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			var v uint64
+			var idx uint32
+			if _, err := fmt.Sscanf(f.Name(), "%d-%d", &v, &idx); err == nil {
+				s.seen[(chunk.ID{Video: chunk.VideoID(v), Index: idx}).Key()] = struct{}{}
+				s.n++
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *FS) path(id chunk.ID) string {
+	shard := fmt.Sprintf("%02x", uint8(id.Key()>>3%256))
+	return filepath.Join(s.root, shard, fmt.Sprintf("%d-%d", id.Video, id.Index))
+}
+
+// Put implements Store.
+func (s *FS) Put(id chunk.ID, data []byte) error {
+	p := s.path(id)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.seen[id.Key()]; !ok {
+		s.seen[id.Key()] = struct{}{}
+		s.n++
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *FS) Get(id chunk.ID, buf []byte) ([]byte, error) {
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	return append(buf, data...), nil
+}
+
+// Delete implements Store.
+func (s *FS) Delete(id chunk.ID) error {
+	err := os.Remove(s.path(id))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.seen[id.Key()]; ok {
+		delete(s.seen, id.Key())
+		s.n--
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Has implements Store.
+func (s *FS) Has(id chunk.ID) bool {
+	s.mu.RLock()
+	_, ok := s.seen[id.Key()]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Len implements Store.
+func (s *FS) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+var (
+	_ Store = (*Mem)(nil)
+	_ Store = (*FS)(nil)
+)

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"videocdn/internal/chunk"
+)
+
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMem(), "fs": fs}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			id := chunk.ID{Video: 7, Index: 3}
+			data := []byte("hello chunk")
+			if s.Has(id) {
+				t.Error("fresh store should not have the chunk")
+			}
+			if err := s.Put(id, data); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Has(id) || s.Len() != 1 {
+				t.Errorf("Has/Len wrong after Put")
+			}
+			got, err := s.Get(id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("Get = %q", got)
+			}
+			if err := s.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			if s.Has(id) || s.Len() != 0 {
+				t.Error("chunk should be gone")
+			}
+			if _, err := s.Get(id, nil); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Get after delete: %v", err)
+			}
+			// Deleting absent chunk is a no-op.
+			if err := s.Delete(id); err != nil {
+				t.Errorf("double delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			id := chunk.ID{Video: 1, Index: 1}
+			if err := s.Put(id, []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(id, []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "v2" {
+				t.Errorf("Get = %q", got)
+			}
+			if s.Len() != 1 {
+				t.Errorf("Len = %d after replace", s.Len())
+			}
+		})
+	}
+}
+
+func TestGetAppendsToBuf(t *testing.T) {
+	s := NewMem()
+	id := chunk.ID{Video: 2}
+	if err := s.Put(id, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("x")
+	got, err := s.Get(id, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "xabc" {
+		t.Errorf("Get with buf = %q", got)
+	}
+}
+
+func TestMemCopiesData(t *testing.T) {
+	s := NewMem()
+	id := chunk.ID{Video: 3}
+	data := []byte("orig")
+	if err := s.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // mutate the caller's slice
+	got, _ := s.Get(id, nil)
+	if string(got) != "orig" {
+		t.Error("store must not alias caller memory")
+	}
+}
+
+func TestFSRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []chunk.ID{{Video: 1, Index: 0}, {Video: 1, Index: 1}, {Video: 9, Index: 4}}
+	for _, id := range ids {
+		if err := s1.Put(id, []byte(id.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen and verify the index was recovered.
+	s2, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != len(ids) {
+		t.Fatalf("recovered Len = %d, want %d", s2.Len(), len(ids))
+	}
+	for _, id := range ids {
+		if !s2.Has(id) {
+			t.Errorf("chunk %s not recovered", id)
+		}
+		got, err := s2.Get(id, nil)
+		if err != nil || string(got) != id.String() {
+			t.Errorf("recovered Get(%s) = %q, %v", id, got, err)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						id := chunk.ID{Video: chunk.VideoID(g), Index: uint32(i)}
+						data := []byte(fmt.Sprintf("%d-%d", g, i))
+						if err := s.Put(id, data); err != nil {
+							t.Error(err)
+							return
+						}
+						got, err := s.Get(id, nil)
+						if err != nil || !bytes.Equal(got, data) {
+							t.Errorf("Get(%s) = %q, %v", id, got, err)
+							return
+						}
+						if i%3 == 0 {
+							if err := s.Delete(id); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzTextReader feeds arbitrary bytes to the text parser: it must
+// never panic, and anything it accepts must survive a
+// write-read round trip unchanged.
+func FuzzTextReader(f *testing.F) {
+	f.Add([]byte("10 7 0 99\n20 8 5 10\n"))
+	f.Add([]byte("# comment\n\n1 1 0 0\n"))
+	f.Add([]byte("garbage line"))
+	f.Add([]byte("1 2 3"))
+	f.Add([]byte("-1 -2 -3 -4\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := ReadAll(NewTextReader(bytes.NewReader(data)))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(NewTextWriter(&buf), reqs); err != nil {
+			t.Fatalf("accepted requests failed to re-encode: %v", err)
+		}
+		got, err := ReadAll(NewTextReader(&buf))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to parse: %v", err)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(reqs), len(got))
+		}
+		for i := range got {
+			if got[i] != reqs[i] {
+				t.Fatalf("round trip changed request %d: %v -> %v", i, reqs[i], got[i])
+			}
+		}
+	})
+}
+
+// FuzzBinaryReader feeds arbitrary bytes to the binary decoder: it must
+// never panic and must terminate (no infinite loops on truncated
+// varints). Valid prefixes round trip.
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with a real encoding.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	_ = w.Write(Request{Time: 1, Video: 2, Start: 3, End: 9})
+	_ = w.Write(Request{Time: 5, Video: 7, Start: 0, End: 1 << 20})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("VCT1"))
+	f.Add([]byte("VCT"))
+	f.Add([]byte("VCT1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewBinaryReader(bytes.NewReader(data))
+		count := 0
+		for {
+			req, err := r.Read()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return // rejection is fine
+			}
+			// Whatever decodes must be internally consistent.
+			if req.End < req.Start || req.Time < 0 {
+				t.Fatalf("decoder produced invalid request %+v", req)
+			}
+			count++
+			if count > 1<<20 {
+				t.Fatal("decoder did not terminate on bounded input")
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestImportCSVBasic(t *testing.T) {
+	in := "time,video,start,end\n100,7,0,999\n110,8,1000,1999\n"
+	got, err := ImportCSV(strings.NewReader(in), ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("imported %d", len(got))
+	}
+	// Rebased: first request at t=0.
+	if got[0].Time != 0 || got[1].Time != 10 {
+		t.Errorf("times = %d,%d (want rebased 0,10)", got[0].Time, got[1].Time)
+	}
+	if got[0].Video != 7 || got[0].Start != 0 || got[0].End != 999 {
+		t.Errorf("request 0 = %+v", got[0])
+	}
+}
+
+func TestImportCSVNoRebase(t *testing.T) {
+	in := "ts,video,bytes\n100,1,500\n"
+	got, err := ImportCSV(strings.NewReader(in), ImportOptions{DisableRebase: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Time != 100 || got[0].End != 499 {
+		t.Errorf("got %+v", got[0])
+	}
+}
+
+func TestImportCSVBytesColumn(t *testing.T) {
+	in := "time,video,start,bytes\n0,1,100,50\n"
+	got, err := ImportCSV(strings.NewReader(in), ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Start != 100 || got[0].End != 149 {
+		t.Errorf("got %+v", got[0])
+	}
+}
+
+func TestImportCSVZeroByteRowsSkipped(t *testing.T) {
+	in := "time,video,bytes\n0,1,0\n1,2,100\n"
+	got, err := ImportCSV(strings.NewReader(in), ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Video != 2 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestImportCSVStringVideosHashed(t *testing.T) {
+	in := "time,path,bytes\n0,/videos/cats.mp4,100\n1,/videos/cats.mp4,100\n2,/videos/dogs.mp4,100\n"
+	got, err := ImportCSV(strings.NewReader(in), ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Video != got[1].Video {
+		t.Error("same path must map to the same video ID")
+	}
+	if got[0].Video == got[2].Video {
+		t.Error("different paths should (almost surely) differ")
+	}
+}
+
+func TestImportCSVRFC3339(t *testing.T) {
+	in := "time,video,bytes\n2026-07-01T00:00:00Z,1,100\n2026-07-01T00:00:30Z,1,100\n"
+	got, err := ImportCSV(strings.NewReader(in), ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Time-got[0].Time != 30 {
+		t.Errorf("delta = %d, want 30", got[1].Time-got[0].Time)
+	}
+}
+
+func TestImportCSVSortsOutOfOrder(t *testing.T) {
+	in := "time,video,bytes\n50,1,10\n10,2,10\n30,3,10\n"
+	got, err := ImportCSV(strings.NewReader(in), ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Video != 2 || got[1].Video != 3 || got[2].Video != 1 {
+		t.Errorf("not sorted: %v", got)
+	}
+}
+
+func TestImportCSVCustomSeparatorAndExtras(t *testing.T) {
+	in := "host;time;video;bytes;status\nx;0;1;100;206\ny;1;2;100;200\n"
+	got, err := ImportCSV(strings.NewReader(in), ImportOptions{Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("imported %d", len(got))
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no header", ""},
+		{"missing time col", "video,bytes\n1,100\n"},
+		{"missing video col", "time,bytes\n0,100\n"},
+		{"missing extent", "time,video\n0,1\n"},
+		{"bad time", "time,video,bytes\nnoon,1,100\n"},
+		{"bad bytes", "time,video,bytes\n0,1,many\n"},
+		{"bad start", "time,video,start,end\n0,1,x,10\n"},
+		{"bad end", "time,video,start,end\n0,1,0,x\n"},
+		{"invalid range", "time,video,start,end\n0,1,10,5\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ImportCSV(strings.NewReader(c.in), ImportOptions{}); err == nil {
+				t.Errorf("input %q should fail", c.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"sort"
+
+	"videocdn/internal/chunk"
+)
+
+// SampleUniformByRank down-samples a trace the way the paper prepares
+// the Optimal-cache experiment (Section 9.1): videos are sorted by hit
+// count over the window and n of them are selected uniformly across
+// that ranking (so the sample spans head, torso and tail popularity);
+// only requests for the selected videos are kept.
+func SampleUniformByRank(reqs []Request, n int) []Request {
+	if n <= 0 {
+		return nil
+	}
+	hits := HitCount(reqs)
+	if len(hits) <= n {
+		return append([]Request(nil), reqs...)
+	}
+	videos := make([]chunk.VideoID, 0, len(hits))
+	for v := range hits {
+		videos = append(videos, v)
+	}
+	sort.Slice(videos, func(i, j int) bool {
+		if hits[videos[i]] != hits[videos[j]] {
+			return hits[videos[i]] > hits[videos[j]]
+		}
+		return videos[i] < videos[j] // deterministic tiebreak
+	})
+	keep := make(map[chunk.VideoID]bool, n)
+	// Pick n evenly spaced ranks across the sorted list.
+	step := float64(len(videos)) / float64(n)
+	for i := 0; i < n; i++ {
+		idx := int(float64(i) * step)
+		if idx >= len(videos) {
+			idx = len(videos) - 1
+		}
+		keep[videos[idx]] = true
+	}
+	return FilterVideos(reqs, keep)
+}
+
+// Truncate keeps at most n requests (prefix).
+func Truncate(reqs []Request, n int) []Request {
+	if len(reqs) <= n {
+		return reqs
+	}
+	return reqs[:n]
+}

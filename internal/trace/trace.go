@@ -1,0 +1,415 @@
+// Package trace defines the request-log model replayed through the
+// caches, and codecs for storing traces on disk.
+//
+// A request (the paper's R, Section 4) carries an arrival timestamp
+// R.t, a video ID R.v and an inclusive byte range [R.b0, R.b1]. The
+// server must fully serve or fully redirect the range.
+//
+// Two interchangeable encodings are provided:
+//
+//   - a line-oriented text format "t video b0 b1\n" that is diffable
+//     and easy to generate from foreign logs, and
+//   - a compact varint binary format with delta-encoded timestamps for
+//     month-scale traces.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"videocdn/internal/chunk"
+)
+
+// Request is one video request arriving at a cache server.
+type Request struct {
+	// Time is the arrival timestamp in seconds relative to the start
+	// of the trace. The algorithms only ever use time differences, so
+	// the origin is arbitrary.
+	Time int64
+	// Video identifies the requested video file.
+	Video chunk.VideoID
+	// Start and End delimit the inclusive requested byte range.
+	Start int64
+	End   int64
+}
+
+// Range returns the request's byte range.
+func (r Request) Range() chunk.ByteRange { return chunk.ByteRange{Start: r.Start, End: r.End} }
+
+// Bytes is the requested byte length (b1 - b0 + 1).
+func (r Request) Bytes() int64 { return r.End - r.Start + 1 }
+
+// ChunkRange returns the inclusive chunk-index range for chunk size k.
+func (r Request) ChunkRange(k int64) (c0, c1 uint32) { return r.Range().Range(k) }
+
+// Chunks returns the chunk IDs spanned by the request for chunk size k.
+func (r Request) Chunks(k int64) []chunk.ID { return chunk.Chunks(r.Video, r.Range(), k) }
+
+// Validate reports whether the request is well-formed.
+func (r Request) Validate() error {
+	if r.Time < 0 {
+		return fmt.Errorf("trace: negative timestamp %d", r.Time)
+	}
+	if r.Start < 0 || r.End < r.Start {
+		return fmt.Errorf("trace: invalid byte range [%d,%d]", r.Start, r.End)
+	}
+	return nil
+}
+
+// Writer serializes requests. Close (or Flush) must be called to drain
+// buffers.
+type Writer interface {
+	Write(Request) error
+	Flush() error
+}
+
+// Reader deserializes requests; Read returns io.EOF at end of trace.
+type Reader interface {
+	Read() (Request, error)
+}
+
+// ---------- Text codec ----------
+
+// TextWriter writes one request per line: "t video b0 b1".
+type TextWriter struct {
+	w *bufio.Writer
+}
+
+// NewTextWriter wraps w in a buffered text-format trace writer.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one request line.
+func (tw *TextWriter) Write(r Request) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(tw.w, "%d %d %d %d\n", r.Time, r.Video, r.Start, r.End)
+	return err
+}
+
+// Flush drains the underlying buffer.
+func (tw *TextWriter) Flush() error { return tw.w.Flush() }
+
+// TextReader parses the text format, skipping blank lines and lines
+// beginning with '#'.
+type TextReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewTextReader wraps r in a text-format trace reader.
+func NewTextReader(r io.Reader) *TextReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<16), 1<<20)
+	return &TextReader{s: s}
+}
+
+// Read returns the next request or io.EOF.
+func (tr *TextReader) Read() (Request, error) {
+	for tr.s.Scan() {
+		tr.line++
+		line := strings.TrimSpace(tr.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return Request{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", tr.line, len(f))
+		}
+		var vals [4]int64
+		for i, s := range f {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return Request{}, fmt.Errorf("trace: line %d field %d: %v", tr.line, i+1, err)
+			}
+			vals[i] = v
+		}
+		if vals[1] < 0 {
+			return Request{}, fmt.Errorf("trace: line %d: negative video ID", tr.line)
+		}
+		req := Request{Time: vals[0], Video: chunk.VideoID(vals[1]), Start: vals[2], End: vals[3]}
+		if err := req.Validate(); err != nil {
+			return Request{}, fmt.Errorf("line %d: %w", tr.line, err)
+		}
+		return req, nil
+	}
+	if err := tr.s.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+// ---------- Binary codec ----------
+
+// binaryMagic guards against feeding a text trace to the binary reader.
+var binaryMagic = [4]byte{'V', 'C', 'T', '1'}
+
+// BinaryWriter writes the compact varint format: a 4-byte magic header,
+// then per request: uvarint time-delta, uvarint video, uvarint start,
+// uvarint length (end-start).
+type BinaryWriter struct {
+	w        *bufio.Writer
+	lastTime int64
+	started  bool
+	buf      [binary.MaxVarintLen64]byte
+}
+
+// NewBinaryWriter wraps w in a binary-format trace writer.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (bw *BinaryWriter) uvarint(v uint64) error {
+	n := binary.PutUvarint(bw.buf[:], v)
+	_, err := bw.w.Write(bw.buf[:n])
+	return err
+}
+
+// Write appends one request. Requests must be written in
+// non-decreasing time order (the delta encoding requires it).
+func (bw *BinaryWriter) Write(r Request) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if !bw.started {
+		if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		bw.started = true
+	}
+	if r.Time < bw.lastTime {
+		return fmt.Errorf("trace: binary writer requires non-decreasing time (%d after %d)", r.Time, bw.lastTime)
+	}
+	if err := bw.uvarint(uint64(r.Time - bw.lastTime)); err != nil {
+		return err
+	}
+	bw.lastTime = r.Time
+	if err := bw.uvarint(uint64(r.Video)); err != nil {
+		return err
+	}
+	if err := bw.uvarint(uint64(r.Start)); err != nil {
+		return err
+	}
+	return bw.uvarint(uint64(r.End - r.Start))
+}
+
+// Flush drains the underlying buffer.
+func (bw *BinaryWriter) Flush() error {
+	if !bw.started { // header even for an empty trace
+		if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		bw.started = true
+	}
+	return bw.w.Flush()
+}
+
+// BinaryReader parses the binary format.
+type BinaryReader struct {
+	r        *bufio.Reader
+	lastTime int64
+	started  bool
+}
+
+// NewBinaryReader wraps r in a binary-format trace reader.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next request or io.EOF.
+func (br *BinaryReader) Read() (Request, error) {
+	if !br.started {
+		var magic [4]byte
+		if _, err := io.ReadFull(br.r, magic[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return Request{}, fmt.Errorf("trace: truncated binary header: %w", err)
+			}
+			return Request{}, err
+		}
+		if magic != binaryMagic {
+			return Request{}, fmt.Errorf("trace: bad binary magic %q", magic)
+		}
+		br.started = true
+	}
+	dt, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Request{}, io.EOF
+		}
+		return Request{}, fmt.Errorf("trace: reading time delta: %w", err)
+	}
+	video, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return Request{}, fmt.Errorf("trace: reading video: %w", err)
+	}
+	start, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return Request{}, fmt.Errorf("trace: reading start: %w", err)
+	}
+	length, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return Request{}, fmt.Errorf("trace: reading length: %w", err)
+	}
+	br.lastTime += int64(dt)
+	return Request{
+		Time:  br.lastTime,
+		Video: chunk.VideoID(video),
+		Start: int64(start),
+		End:   int64(start) + int64(length),
+	}, nil
+}
+
+// ---------- Helpers ----------
+
+// ReadAll drains a Reader into a slice.
+func ReadAll(r Reader) ([]Request, error) {
+	var out []Request
+	for {
+		req, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+	}
+}
+
+// WriteAll writes all requests and flushes.
+func WriteAll(w Writer, reqs []Request) error {
+	for _, r := range reqs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Window returns the requests with Time in [from, to).
+func Window(reqs []Request, from, to int64) []Request {
+	var out []Request
+	for _, r := range reqs {
+		if r.Time >= from && r.Time < to {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterVideos keeps only requests for videos in the keep set.
+func FilterVideos(reqs []Request, keep map[chunk.VideoID]bool) []Request {
+	var out []Request
+	for _, r := range reqs {
+		if keep[r.Video] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CapSize truncates every request's byte range to maxBytes of the
+// video, dropping requests that start at or beyond the cap. The paper
+// caps files at 20 MB for the Optimal experiment (Section 9.1).
+func CapSize(reqs []Request, maxBytes int64) []Request {
+	var out []Request
+	for _, r := range reqs {
+		if r.Start >= maxBytes {
+			continue
+		}
+		if r.End >= maxBytes {
+			r.End = maxBytes - 1
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Merge combines multiple time-ordered traces into one time-ordered
+// stream (k-way merge, stable across inputs: ties keep the input
+// order). It is how several regional request streams are combined
+// into the view a shared parent cache would see.
+func Merge(traces ...[]Request) []Request {
+	total := 0
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make([]Request, 0, total)
+	idx := make([]int, len(traces))
+	for len(out) < total {
+		best := -1
+		var bestTime int64
+		for i, t := range traces {
+			if idx[i] >= len(t) {
+				continue
+			}
+			if best < 0 || t[idx[i]].Time < bestTime {
+				best = i
+				bestTime = t[idx[i]].Time
+			}
+		}
+		out = append(out, traces[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// OffsetVideos returns a copy of the trace with every video ID shifted
+// by offset — namespacing per-region ID spaces before Merge so videos
+// from different generators cannot alias.
+func OffsetVideos(reqs []Request, offset chunk.VideoID) []Request {
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		r.Video += offset
+		out[i] = r
+	}
+	return out
+}
+
+// AlignToChunks widens every request's byte range to whole chunk
+// boundaries for chunk size k, so that requested bytes equal requested
+// chunks × k exactly. The Optimal cache's IP accounts in chunk units
+// (Section 7); aligning the trace makes byte-accounted and
+// chunk-accounted efficiencies directly comparable.
+func AlignToChunks(reqs []Request, k int64) []Request {
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		c0, c1 := r.ChunkRange(k)
+		out[i] = Request{
+			Time:  r.Time,
+			Video: r.Video,
+			Start: int64(c0) * k,
+			End:   int64(c1+1)*k - 1,
+		}
+	}
+	return out
+}
+
+// HitCount tallies requests per video.
+func HitCount(reqs []Request) map[chunk.VideoID]int {
+	m := make(map[chunk.VideoID]int)
+	for _, r := range reqs {
+		m[r.Video]++
+	}
+	return m
+}
+
+// UniqueChunks returns the number of distinct chunks referenced by the
+// trace at chunk size k.
+func UniqueChunks(reqs []Request, k int64) int {
+	seen := make(map[uint64]struct{})
+	for _, r := range reqs {
+		c0, c1 := r.ChunkRange(k)
+		for c := c0; c <= c1; c++ {
+			seen[(chunk.ID{Video: r.Video, Index: c}).Key()] = struct{}{}
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,372 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"videocdn/internal/chunk"
+)
+
+func sampleRequests() []Request {
+	return []Request{
+		{Time: 0, Video: 1, Start: 0, End: 1024},
+		{Time: 5, Video: 2, Start: 100, End: 100},
+		{Time: 5, Video: 1, Start: 2048, End: 1 << 20},
+		{Time: 3600, Video: 99999, Start: 0, End: 12345678},
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(NewTextWriter(&buf), sampleRequests()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleRequests()) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, sampleRequests())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(NewBinaryWriter(&buf), sampleRequests()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleRequests()) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, sampleRequests())
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("want empty, got %v", got)
+	}
+}
+
+func TestBinaryRejectsOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Write(Request{Time: 10, Video: 1, Start: 0, End: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Request{Time: 9, Video: 1, Start: 0, End: 1}); err == nil {
+		t.Error("out-of-order write should fail")
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	r := NewBinaryReader(strings.NewReader("nope-this-is-not-a-trace"))
+	if _, err := r.Read(); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestBinaryTruncatedHeader(t *testing.T) {
+	r := NewBinaryReader(strings.NewReader("VC"))
+	if _, err := r.Read(); err == nil {
+		t.Error("truncated header should fail")
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n10 7 0 99\n   \n# another\n20 8 5 10\n"
+	got, err := ReadAll(NewTextReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Request{{10, 7, 0, 99}, {20, 8, 5, 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"too few fields", "10 7 0\n"},
+		{"too many fields", "10 7 0 99 4\n"},
+		{"non-numeric", "ten 7 0 99\n"},
+		{"negative video", "10 -7 0 99\n"},
+		{"bad range", "10 7 99 0\n"},
+		{"negative time", "-10 7 0 99\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadAll(NewTextReader(strings.NewReader(c.in))); err == nil {
+				t.Errorf("input %q should fail", c.in)
+			}
+		})
+	}
+}
+
+func TestWriterValidates(t *testing.T) {
+	bad := Request{Time: -1, Video: 1, Start: 0, End: 1}
+	if err := NewTextWriter(io.Discard).Write(bad); err == nil {
+		t.Error("text writer should reject invalid request")
+	}
+	if err := NewBinaryWriter(io.Discard).Write(bad); err == nil {
+		t.Error("binary writer should reject invalid request")
+	}
+}
+
+// Property: both codecs round-trip arbitrary sorted request sequences.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := make([]Request, 0, n)
+		tm := int64(0)
+		for i := 0; i < int(n); i++ {
+			tm += rng.Int63n(1000)
+			start := rng.Int63n(1 << 30)
+			reqs = append(reqs, Request{
+				Time:  tm,
+				Video: chunk.VideoID(rng.Int63n(1 << 40)),
+				Start: start,
+				End:   start + rng.Int63n(1<<28),
+			})
+		}
+		for _, mk := range []func() (Writer, func() Reader){
+			func() (Writer, func() Reader) {
+				var buf bytes.Buffer
+				return NewTextWriter(&buf), func() Reader { return NewTextReader(&buf) }
+			},
+			func() (Writer, func() Reader) {
+				var buf bytes.Buffer
+				return NewBinaryWriter(&buf), func() Reader { return NewBinaryReader(&buf) }
+			},
+		} {
+			w, rf := mk()
+			if err := WriteAll(w, reqs); err != nil {
+				return false
+			}
+			got, err := ReadAll(rf())
+			if err != nil {
+				return false
+			}
+			if len(got) != len(reqs) {
+				return false
+			}
+			for i := range got {
+				if got[i] != reqs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequestHelpers(t *testing.T) {
+	r := Request{Time: 1, Video: 3, Start: 0, End: (4 << 20) - 1} // 4 MB
+	if r.Bytes() != 4<<20 {
+		t.Errorf("Bytes = %d", r.Bytes())
+	}
+	c0, c1 := r.ChunkRange(chunk.DefaultSize)
+	if c0 != 0 || c1 != 1 {
+		t.Errorf("ChunkRange = [%d,%d], want [0,1]", c0, c1)
+	}
+	ids := r.Chunks(chunk.DefaultSize)
+	if len(ids) != 2 || ids[0] != (chunk.ID{Video: 3, Index: 0}) || ids[1] != (chunk.ID{Video: 3, Index: 1}) {
+		t.Errorf("Chunks = %v", ids)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	reqs := sampleRequests()
+	got := Window(reqs, 5, 3600)
+	if len(got) != 2 || got[0].Video != 2 || got[1].Video != 1 {
+		t.Errorf("Window = %v", got)
+	}
+}
+
+func TestFilterVideos(t *testing.T) {
+	got := FilterVideos(sampleRequests(), map[chunk.VideoID]bool{1: true})
+	if len(got) != 2 {
+		t.Errorf("FilterVideos kept %d, want 2", len(got))
+	}
+	for _, r := range got {
+		if r.Video != 1 {
+			t.Errorf("kept wrong video %d", r.Video)
+		}
+	}
+}
+
+func TestCapSize(t *testing.T) {
+	reqs := []Request{
+		{Time: 0, Video: 1, Start: 0, End: 100},
+		{Time: 1, Video: 1, Start: 50, End: 500},
+		{Time: 2, Video: 1, Start: 200, End: 300}, // starts beyond cap
+	}
+	got := CapSize(reqs, 200)
+	if len(got) != 2 {
+		t.Fatalf("CapSize kept %d, want 2", len(got))
+	}
+	if got[0].End != 100 || got[1].End != 199 {
+		t.Errorf("CapSize ends = %d,%d", got[0].End, got[1].End)
+	}
+}
+
+func TestHitCount(t *testing.T) {
+	m := HitCount(sampleRequests())
+	if m[1] != 2 || m[2] != 1 || m[99999] != 1 {
+		t.Errorf("HitCount = %v", m)
+	}
+}
+
+func TestUniqueChunks(t *testing.T) {
+	const k = 1024
+	reqs := []Request{
+		{Time: 0, Video: 1, Start: 0, End: 2047},    // chunks 0,1
+		{Time: 1, Video: 1, Start: 1024, End: 3071}, // chunks 1,2
+		{Time: 2, Video: 2, Start: 0, End: 0},       // chunk 0 of video 2
+	}
+	if got := UniqueChunks(reqs, k); got != 4 {
+		t.Errorf("UniqueChunks = %d, want 4", got)
+	}
+}
+
+func TestSampleUniformByRank(t *testing.T) {
+	// 10 videos with hits 10,9,...,1: request i*(i) times.
+	var reqs []Request
+	tm := int64(0)
+	for v := 1; v <= 10; v++ {
+		for i := 0; i < 11-v; i++ {
+			reqs = append(reqs, Request{Time: tm, Video: chunk.VideoID(v), Start: 0, End: 1})
+			tm++
+		}
+	}
+	got := SampleUniformByRank(reqs, 3)
+	hits := HitCount(got)
+	if len(hits) != 3 {
+		t.Fatalf("kept %d videos, want 3", len(hits))
+	}
+	// Must include the top-ranked video (rank 0 is always picked).
+	if _, ok := hits[1]; !ok {
+		t.Errorf("sample should include the most popular video, got %v", hits)
+	}
+}
+
+func TestSampleUniformByRankSmall(t *testing.T) {
+	reqs := sampleRequests()
+	if got := SampleUniformByRank(reqs, 100); len(got) != len(reqs) {
+		t.Errorf("sampling more videos than exist should keep everything")
+	}
+	if got := SampleUniformByRank(reqs, 0); got != nil {
+		t.Errorf("n=0 should return nil")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	reqs := sampleRequests()
+	if got := Truncate(reqs, 2); len(got) != 2 {
+		t.Errorf("Truncate = %d requests", len(got))
+	}
+	if got := Truncate(reqs, 100); len(got) != len(reqs) {
+		t.Errorf("Truncate beyond length should be identity")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Request{{Time: 1, Video: 1, Start: 0, End: 1}, {Time: 5, Video: 1, Start: 0, End: 1}}
+	b := []Request{{Time: 2, Video: 2, Start: 0, End: 1}, {Time: 5, Video: 2, Start: 0, End: 1}}
+	c := []Request{{Time: 0, Video: 3, Start: 0, End: 1}}
+	got := Merge(a, b, c)
+	if len(got) != 5 {
+		t.Fatalf("merged %d requests", len(got))
+	}
+	last := int64(-1)
+	for i, r := range got {
+		if r.Time < last {
+			t.Fatalf("merge out of order at %d", i)
+		}
+		last = r.Time
+	}
+	// Stability: at t=5 input order (a before b) is preserved.
+	if got[3].Video != 1 || got[4].Video != 2 {
+		t.Errorf("tie order not stable: %v", got[3:])
+	}
+	if got[0].Video != 3 {
+		t.Errorf("earliest request should come first, got video %d", got[0].Video)
+	}
+	if out := Merge(); len(out) != 0 {
+		t.Error("empty merge should be empty")
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []Request {
+			var rs []Request
+			tm := int64(0)
+			for i := 0; i < rng.Intn(20); i++ {
+				tm += rng.Int63n(5)
+				rs = append(rs, Request{Time: tm, Video: chunk.VideoID(rng.Intn(5)), Start: 0, End: 1})
+			}
+			return rs
+		}
+		a, b, c := mk(), mk(), mk()
+		got := Merge(a, b, c)
+		if len(got) != len(a)+len(b)+len(c) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Time < got[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOffsetVideos(t *testing.T) {
+	reqs := []Request{{Time: 0, Video: 1, Start: 0, End: 1}, {Time: 1, Video: 2, Start: 0, End: 1}}
+	got := OffsetVideos(reqs, 100)
+	if got[0].Video != 101 || got[1].Video != 102 {
+		t.Errorf("offsets wrong: %v", got)
+	}
+	if reqs[0].Video != 1 {
+		t.Error("input must not be mutated")
+	}
+}
+
+func TestReadAllPropagatesError(t *testing.T) {
+	r := NewTextReader(strings.NewReader("bad line here\n"))
+	if _, err := ReadAll(r); err == nil {
+		t.Error("ReadAll should surface parse errors")
+	}
+	if _, err := ReadAll(NewBinaryReader(iotest{})); err == nil {
+		t.Error("ReadAll should surface IO errors")
+	}
+}
+
+type iotest struct{}
+
+func (iotest) Read([]byte) (int, error) { return 0, errors.New("boom") }

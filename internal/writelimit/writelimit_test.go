@@ -1,0 +1,147 @@
+package writelimit
+
+import (
+	"math/rand"
+	"testing"
+
+	"videocdn/internal/cafe"
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/trace"
+	"videocdn/internal/xlru"
+)
+
+const testK = 1024
+
+func req(t int64, v chunk.VideoID, c0, c1 int) trace.Request {
+	return trace.Request{Time: t, Video: v, Start: int64(c0) * testK, End: int64(c1+1)*testK - 1}
+}
+
+func TestNewBudgetValidation(t *testing.T) {
+	if _, err := NewBudget(0, 10); err == nil {
+		t.Error("zero budget should fail")
+	}
+	if _, err := NewBudget(5, 0); err == nil {
+		t.Error("zero window should fail")
+	}
+}
+
+func TestBudgetWindowing(t *testing.T) {
+	b, err := NewBudget(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Allow(2, 0) || !b.Allow(1, 10) {
+		t.Fatal("allowance within budget denied")
+	}
+	if b.Allow(1, 20) {
+		t.Error("over-budget fill should be denied")
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining = %d", b.Remaining())
+	}
+	// Window rolls over at t=100.
+	if !b.Allow(3, 100) {
+		t.Error("fresh window should grant")
+	}
+	// Multiple windows can elapse at once.
+	if !b.Allow(3, 777) {
+		t.Error("after idle windows budget should reset")
+	}
+	granted, denied := b.Stats()
+	if granted != 4 || denied != 1 {
+		t.Errorf("stats = %d granted, %d denied", granted, denied)
+	}
+}
+
+func TestOversizedFillAlwaysDenied(t *testing.T) {
+	b, err := NewBudget(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Allow(5, 0) {
+		t.Error("fill larger than the whole window budget must be denied")
+	}
+}
+
+func TestGateRedirectsOnCafe(t *testing.T) {
+	c, err := cafe.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1, cafe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBudget(2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFillGate(b.Allow)
+	// First request: 2 chunks, fits -> served.
+	if out := c.HandleRequest(req(0, 1, 0, 1)); out.Decision != core.Serve {
+		t.Fatal("within-budget fill should serve")
+	}
+	// Budget exhausted: a new fill is redirected even with free disk.
+	if out := c.HandleRequest(req(1, 2, 0, 0)); out.Decision != core.Redirect {
+		t.Error("budget-exhausted fill should redirect")
+	}
+	// A pure hit needs no budget.
+	if out := c.HandleRequest(req(2, 1, 0, 1)); out.Decision != core.Serve || out.FilledChunks != 0 {
+		t.Error("pure hit should pass without budget")
+	}
+	// Next window: fills flow again.
+	if out := c.HandleRequest(req(1000, 2, 0, 0)); out.Decision != core.Serve {
+		t.Error("fresh window should serve")
+	}
+	// Removing the gate restores unbounded fills.
+	c.SetFillGate(nil)
+	if out := c.HandleRequest(req(1001, 3, 0, 1)); out.Decision != core.Serve {
+		t.Error("gate removal should restore fills")
+	}
+}
+
+func TestGateRedirectsOnXLRU(t *testing.T) {
+	c, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBudget(1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFillGate(b.Allow)
+	if out := c.HandleRequest(req(0, 1, 0, 0)); out.Decision != core.Serve {
+		t.Fatal("first fill should serve")
+	}
+	if out := c.HandleRequest(req(1, 2, 0, 0)); out.Decision != core.Redirect {
+		t.Error("budget-exhausted xlru fill should redirect")
+	}
+	if out := c.HandleRequest(req(2, 1, 0, 0)); out.Decision != core.Serve {
+		t.Error("hit should serve without budget")
+	}
+}
+
+// With a gate installed, total filled chunks per window never exceed
+// the budget — the hard-cap property.
+func TestFillVolumeNeverExceedsBudget(t *testing.T) {
+	const perWindow, window = 20, 500
+	c, err := cafe.New(core.Config{ChunkSize: testK, DiskChunks: 128}, 1, cafe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBudget(perWindow, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFillGate(b.Allow)
+	rng := rand.New(rand.NewSource(4))
+	fills := map[int64]int{}
+	tm := int64(0)
+	for i := 0; i < 4000; i++ {
+		out := c.HandleRequest(req(tm, chunk.VideoID(rng.Intn(80)), 0, rng.Intn(4)))
+		fills[tm/window] += out.FilledChunks
+		tm += int64(rng.Intn(3))
+	}
+	for w, n := range fills {
+		if n > perWindow {
+			t.Errorf("window %d filled %d chunks > budget %d", w, n, perWindow)
+		}
+	}
+}

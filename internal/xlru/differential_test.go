@@ -1,0 +1,151 @@
+package xlru
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/trace"
+)
+
+// refXLRU is a deliberately naive reimplementation of the xLRU
+// specification (Figure 1 + Eq. 5) on plain maps with O(n) scans. The
+// optimized implementation must agree with it decision for decision —
+// including the exact eviction victims, whose order among equal
+// timestamps is fixed by touch sequence.
+type refXLRU struct {
+	d     int
+	alpha float64
+	pop   map[chunk.VideoID]int64
+	disk  map[uint64]refEntry
+	seq   int64
+}
+
+type refEntry struct {
+	t   int64
+	seq int64
+}
+
+func newRef(d int, alpha float64) *refXLRU {
+	return &refXLRU{d: d, alpha: alpha, pop: map[chunk.VideoID]int64{}, disk: map[uint64]refEntry{}}
+}
+
+func (f *refXLRU) cacheAge(now int64) int64 {
+	if len(f.disk) == 0 {
+		return 0
+	}
+	oldest := refEntry{t: 1 << 62}
+	for _, e := range f.disk {
+		if e.t < oldest.t {
+			oldest = e
+		}
+	}
+	return now - oldest.t
+}
+
+func (f *refXLRU) handle(r trace.Request, k int64) (serve bool, filled int, evicted []uint64) {
+	now := r.Time
+	prev, seen := f.pop[r.Video]
+	f.pop[r.Video] = now
+
+	c0, c1 := r.ChunkRange(k)
+	n := int(c1-c0) + 1
+	if n > f.d {
+		return false, 0, nil
+	}
+	if len(f.disk) >= f.d { // not warming
+		if !seen || float64(now-prev)*f.alpha > float64(f.cacheAge(now)) {
+			return false, 0, nil
+		}
+	}
+	var missing []uint64
+	for ci := c0; ci <= c1; ci++ {
+		key := (chunk.ID{Video: r.Video, Index: ci}).Key()
+		if e, ok := f.disk[key]; ok {
+			e.t = now
+			f.seq++
+			e.seq = f.seq
+			f.disk[key] = e
+		} else {
+			missing = append(missing, key)
+		}
+	}
+	evictN := len(missing) - (f.d - len(f.disk))
+	for i := 0; i < evictN; i++ {
+		// Oldest by (time, seq).
+		var victim uint64
+		best := refEntry{t: 1 << 62, seq: 1 << 62}
+		for key, e := range f.disk {
+			if e.t < best.t || (e.t == best.t && e.seq < best.seq) {
+				best = e
+				victim = key
+			}
+		}
+		delete(f.disk, victim)
+		evicted = append(evicted, victim)
+	}
+	for _, key := range missing {
+		f.seq++
+		f.disk[key] = refEntry{t: now, seq: f.seq}
+	}
+	return true, len(missing), evicted
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1, 2} {
+		for _, seed := range []int64{1, 2, 3} {
+			rng := rand.New(rand.NewSource(seed))
+			const disk = 24
+			c, err := New(core.Config{ChunkSize: testK, DiskChunks: disk}, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newRef(disk, alpha)
+			tm := int64(0)
+			// Stay below cleanupInterval: the reference does not model
+			// popularity-history expiry.
+			for i := 0; i < 3000; i++ {
+				tm += int64(rng.Intn(5)) // ties allowed; seq order disambiguates
+				cc0 := rng.Intn(3)
+				r := req(tm, chunk.VideoID(rng.Intn(25)), cc0, cc0+rng.Intn(3))
+
+				out := c.HandleRequest(r)
+				serve, filled, evicted := ref.handle(r, testK)
+
+				if (out.Decision == core.Serve) != serve {
+					t.Fatalf("alpha=%v seed=%d step %d: decision %v vs ref serve=%v",
+						alpha, seed, i, out.Decision, serve)
+				}
+				if out.FilledChunks != filled {
+					t.Fatalf("alpha=%v seed=%d step %d: filled %d vs ref %d",
+						alpha, seed, i, out.FilledChunks, filled)
+				}
+				if out.EvictedChunks != len(evicted) {
+					t.Fatalf("alpha=%v seed=%d step %d: evicted %d vs ref %d",
+						alpha, seed, i, out.EvictedChunks, len(evicted))
+				}
+				// Victim sets must match exactly (order-insensitive;
+				// the per-step count already pins the sequence).
+				got := make([]uint64, 0, len(out.EvictedIDs))
+				for _, id := range out.EvictedIDs {
+					got = append(got, id.Key())
+				}
+				sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+				want := append([]uint64(nil), evicted...)
+				sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("alpha=%v seed=%d step %d: victims %v vs ref %v",
+							alpha, seed, i, got, want)
+					}
+				}
+				if c.Len() != len(ref.disk) {
+					t.Fatalf("alpha=%v seed=%d step %d: Len %d vs ref %d",
+						alpha, seed, i, c.Len(), len(ref.disk))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package xlru
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"videocdn/internal/core"
+	"videocdn/internal/lru"
+)
+
+// Save/Load mirror the Cafe snapshot support: they serialize the
+// xLRU cache's decision state — both LRU lists with their recorded
+// access times — so a restarted server keeps its warmth.
+
+var snapshotMagic = [8]byte{'X', 'L', 'R', 'U', 'S', 'N', 'P', '1'}
+
+// Save writes the cache's full state to w.
+func (c *Cache) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeU := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := writeU(uint64(c.cfg.ChunkSize)); err != nil {
+		return err
+	}
+	if err := writeU(uint64(c.cfg.DiskChunks)); err != nil {
+		return err
+	}
+	if err := writeU(math.Float64bits(c.alpha)); err != nil {
+		return err
+	}
+	if err := writeU(uint64(c.lastTime)); err != nil {
+		return err
+	}
+	if err := writeU(uint64(c.requests)); err != nil {
+		return err
+	}
+	writeList := func(l *lru.List) error {
+		if err := writeU(uint64(l.Len())); err != nil {
+			return err
+		}
+		var werr error
+		// Oldest-first so Load can rebuild with in-order Touch calls.
+		l.AscendOldest(func(key uint64, t int64) bool {
+			if werr = writeU(key); werr != nil {
+				return false
+			}
+			werr = writeU(uint64(t))
+			return werr == nil
+		})
+		return werr
+	}
+	if err := writeList(c.pop); err != nil {
+		return err
+	}
+	if err := writeList(c.disk); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs an xLRU cache from a Save snapshot.
+func Load(r io.Reader) (*Cache, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("xlru: reading snapshot magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, errors.New("xlru: not an xlru snapshot (bad magic)")
+	}
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	chunkSize, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	diskChunks, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	alphaBits, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	lastTime, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	requests, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	c, err := New(core.Config{ChunkSize: int64(chunkSize), DiskChunks: int(diskChunks)},
+		math.Float64frombits(alphaBits))
+	if err != nil {
+		return nil, fmt.Errorf("xlru: snapshot carries invalid configuration: %w", err)
+	}
+	c.lastTime = int64(lastTime)
+	c.requests = int64(requests)
+	readList := func(l *lru.List, cap int, what string) error {
+		n, err := readU()
+		if err != nil {
+			return err
+		}
+		if cap > 0 && int(n) > cap {
+			return fmt.Errorf("xlru: snapshot %s holds %d entries for capacity %d", what, n, cap)
+		}
+		for i := uint64(0); i < n; i++ {
+			key, err := readU()
+			if err != nil {
+				return fmt.Errorf("xlru: corrupt %s entry %d: %w", what, i, err)
+			}
+			tv, err := readU()
+			if err != nil {
+				return fmt.Errorf("xlru: corrupt %s entry %d: %w", what, i, err)
+			}
+			l.Touch(key, int64(tv)) // oldest-first order makes this valid
+		}
+		return nil
+	}
+	if err := readList(c.pop, 0, "popularity tracker"); err != nil {
+		return nil, err
+	}
+	if err := readList(c.disk, c.cfg.DiskChunks, "disk cache"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,92 @@
+package xlru
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/trace"
+)
+
+func randomTrace(seed int64, n int) []trace.Request {
+	rng := rand.New(rand.NewSource(seed))
+	var reqs []trace.Request
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		tm += int64(rng.Intn(8))
+		c0 := rng.Intn(3)
+		reqs = append(reqs, req(tm, chunk.VideoID(rng.Intn(30)), c0, c0+rng.Intn(3)))
+	}
+	return reqs
+}
+
+func TestSaveLoadDifferential(t *testing.T) {
+	reqs := randomTrace(5, 2000)
+	half := len(reqs) / 2
+	orig := newCache(t, 32, 2)
+	for _, r := range reqs[:half] {
+		orig.HandleRequest(r)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored Len %d != %d", restored.Len(), orig.Len())
+	}
+	for i, r := range reqs[half:] {
+		a := orig.HandleRequest(r)
+		b := restored.HandleRequest(r)
+		if a.Decision != b.Decision || a.FilledChunks != b.FilledChunks || a.EvictedChunks != b.EvictedChunks {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	if restored.alpha != orig.alpha || restored.cfg != orig.cfg {
+		t.Error("config not preserved")
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	c := newCache(t, 8, 1)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("restored %d chunks from empty cache", got.Len())
+	}
+	got.HandleRequest(req(0, 1, 0, 0)) // must be usable
+}
+
+func TestLoadRejectsGarbageAndTruncation(t *testing.T) {
+	for _, in := range []string{"", "XLRU", "XLRUSNP1", "not-a-snapshot-at-all"} {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail to load", in)
+		}
+	}
+	c := newCache(t, 16, 1)
+	for _, r := range randomTrace(2, 300) {
+		c.HandleRequest(r)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0.2, 0.5, 0.95} {
+		n := int(frac * float64(len(full)))
+		if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncated snapshot (%d/%d) should fail", n, len(full))
+		}
+	}
+}
