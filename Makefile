@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race fuzz bench experiments experiments-small fmt vet clean
+.PHONY: all build test test-short race fuzz bench bench-replay experiments experiments-small fmt vet clean
 
 all: build test
 
@@ -22,8 +22,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzBinaryReader -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzTextReader -fuzztime=30s ./internal/trace/
 
-bench:
+bench: bench-replay
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable replay-engine benchmark (sequential vs parallel
+# sharded replay + per-request allocation profile) — commit the JSON to
+# track the performance trajectory across PRs.
+bench-replay:
+	$(GO) run ./cmd/benchreplay -o BENCH_replay.json
 
 # Regenerate every figure and table of the paper (plus extensions).
 experiments:

@@ -11,6 +11,7 @@ package videocdn_test
 // see the regenerated rows (b.Logf output).
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -202,6 +203,7 @@ func benchAlgorithm(b *testing.B, mk func(reqs []videocdn.Request) (videocdn.Cac
 	var c videocdn.Cache
 	var err error
 	pos := len(reqs) // force build on first iteration
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if pos >= len(reqs) {
@@ -245,6 +247,56 @@ func BenchmarkAlwaysFillLRUHandleRequest(b *testing.B) {
 	benchAlgorithm(b, func(reqs []videocdn.Request) (videocdn.Cache, error) {
 		return videocdn.NewAlwaysFillLRU(videocdn.DefaultChunkSize, 2<<30)
 	})
+}
+
+// ---------- Replay engine ----------
+
+// BenchmarkReplayParallel measures sim.ReplayParallel end to end — trace
+// partitioning, per-shard workers, deterministic merge — over a sharded
+// Cafe cache, one sub-benchmark per shard count. Compare against
+// BenchmarkReplaySequentialSharded: the ratio is the parallel speedup
+// (bounded by min(shards, GOMAXPROCS)).
+func BenchmarkReplayParallel(b *testing.B) {
+	reqs := benchTrace(b)
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c, err := videocdn.NewShardedCafe(n, videocdn.DefaultChunkSize, 2<<30, 2, videocdn.CafeOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := videocdn.ReplayParallel(c, reqs, 2, videocdn.ReplayOptions{Workers: n}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplaySequentialSharded is the sequential baseline for
+// BenchmarkReplayParallel: the same sharded cache replayed on one
+// goroutine through the locked Group front door.
+func BenchmarkReplaySequentialSharded(b *testing.B) {
+	reqs := benchTrace(b)
+	for _, n := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c, err := videocdn.NewShardedCafe(n, videocdn.DefaultChunkSize, 2<<30, 2, videocdn.CafeOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := videocdn.Replay(c, reqs, 2, videocdn.ReplayOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkWorkloadGeneration measures trace synthesis throughput.

@@ -1,0 +1,224 @@
+// Command benchreplay measures the replay engine and writes a
+// machine-readable JSON report (BENCH_replay.json by default): ns and
+// allocations per request for sequential vs parallel sharded replay
+// across shard counts, plus the per-request allocation profile of the
+// cache algorithms with and without outcome-buffer reuse. The report
+// starts the repository's performance trajectory — commit it after
+// meaningful perf work and diff across PRs.
+//
+// Usage:
+//
+//	benchreplay -o BENCH_replay.json
+//	benchreplay -requests-per-day 40000 -days 7 -o /tmp/bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"videocdn/internal/cafe"
+	"videocdn/internal/core"
+	"videocdn/internal/cost"
+	"videocdn/internal/shard"
+	"videocdn/internal/sim"
+	"videocdn/internal/workload"
+	"videocdn/internal/xlru"
+)
+
+// replayRow is one measured replay configuration.
+type replayRow struct {
+	Shards       int     `json:"shards"`
+	Workers      int     `json:"workers,omitempty"` // 0 for sequential
+	NsPerReplay  int64   `json:"ns_per_replay"`
+	NsPerRequest float64 `json:"ns_per_request"`
+	AllocsPerReq float64 `json:"allocs_per_request"`
+	// Speedup vs the sequential replay of the same sharded group.
+	Speedup float64 `json:"speedup,omitempty"`
+	// Identical asserts the parallel counters matched sequential.
+	Identical bool `json:"identical,omitempty"`
+}
+
+// handleRow is the per-request cost of one algorithm configuration.
+type handleRow struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	GeneratedAt string               `json:"generated_at"`
+	GOOS        string               `json:"goos"`
+	GOARCH      string               `json:"goarch"`
+	CPUs        int                  `json:"cpus"`
+	GOMAXPROCS  int                  `json:"gomaxprocs"`
+	Requests    int                  `json:"requests"`
+	Sequential  []replayRow          `json:"sequential"`
+	Parallel    []replayRow          `json:"parallel"`
+	Handle      map[string]handleRow `json:"handle_request"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_replay.json", "output JSON path")
+	reqsPerDay := flag.Int("requests-per-day", 30000, "trace request volume")
+	days := flag.Int("days", 7, "trace length in days")
+	diskChunks := flag.Int("disk-chunks", 4096, "disk size in chunks")
+	flag.Parse()
+
+	p, err := workload.ProfileByName("europe")
+	if err != nil {
+		fatal(err)
+	}
+	p.RequestsPerDay = *reqsPerDay
+	p.CatalogSize = 4000
+	p.NewVideosPerDay = 120
+	g, err := workload.NewGenerator(p)
+	if err != nil {
+		fatal(err)
+	}
+	reqs, err := g.Generate(*days)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := cost.NewModel(2)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{ChunkSize: 2 << 20, DiskChunks: *diskChunks, ReuseOutcomeBuffers: true}
+
+	mkGroup := func(n int) *shard.Group {
+		grp, err := shard.New(n, cfg, func(_ int, sub core.Config) (core.Cache, error) {
+			return cafe.New(sub, 2, cafe.Options{})
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return grp
+	}
+
+	rep := &report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Requests:    len(reqs),
+		Handle:      map[string]handleRow{},
+	}
+
+	for _, n := range []int{1, 2, 4, 8} {
+		fmt.Fprintf(os.Stderr, "replay: %d shard(s)...\n", n)
+		seqBench := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				grp := mkGroup(n)
+				b.StartTimer()
+				if _, err := sim.Replay(grp, reqs, model, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		parBench := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				grp := mkGroup(n)
+				b.StartTimer()
+				if _, err := sim.ReplayParallel(grp, reqs, model, sim.Options{Workers: n}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Exactness check once, outside the timed runs.
+		seqRes, err := sim.Replay(mkGroup(n), reqs, model, sim.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		parRes, err := sim.ReplayParallel(mkGroup(n), reqs, model, sim.Options{Workers: n})
+		if err != nil {
+			fatal(err)
+		}
+		identical := seqRes.Total == parRes.Total && seqRes.Steady == parRes.Steady
+
+		nr := float64(len(reqs))
+		rep.Sequential = append(rep.Sequential, replayRow{
+			Shards:       n,
+			NsPerReplay:  seqBench.NsPerOp(),
+			NsPerRequest: float64(seqBench.NsPerOp()) / nr,
+			AllocsPerReq: float64(seqBench.AllocsPerOp()) / nr,
+		})
+		rep.Parallel = append(rep.Parallel, replayRow{
+			Shards:       n,
+			Workers:      n,
+			NsPerReplay:  parBench.NsPerOp(),
+			NsPerRequest: float64(parBench.NsPerOp()) / nr,
+			AllocsPerReq: float64(parBench.AllocsPerOp()) / nr,
+			Speedup:      float64(seqBench.NsPerOp()) / float64(parBench.NsPerOp()),
+			Identical:    identical,
+		})
+	}
+
+	// Per-request allocation profile: cafe and xlru, buffer reuse off/on.
+	for name, mk := range map[string]func() (core.Cache, error){
+		"cafe":       func() (core.Cache, error) { return cafe.New(plain(cfg, false), 2, cafe.Options{}) },
+		"cafe/reuse": func() (core.Cache, error) { return cafe.New(plain(cfg, true), 2, cafe.Options{}) },
+		"xlru":       func() (core.Cache, error) { return xlru.New(plain(cfg, false), 2) },
+		"xlru/reuse": func() (core.Cache, error) { return xlru.New(plain(cfg, true), 2) },
+	} {
+		fmt.Fprintf(os.Stderr, "handle_request: %s...\n", name)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var c core.Cache
+			pos := len(reqs)
+			for i := 0; i < b.N; i++ {
+				if pos >= len(reqs) {
+					b.StopTimer()
+					var err error
+					if c, err = mk(); err != nil {
+						b.Fatal(err)
+					}
+					pos = 0
+					b.StartTimer()
+				}
+				c.HandleRequest(reqs[pos])
+				pos++
+			}
+		})
+		rep.Handle[name] = handleRow{
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d requests, %d cores)\n", *out, len(reqs), rep.CPUs)
+	for _, row := range rep.Parallel {
+		fmt.Printf("  shards=%d workers=%d: %.2fx vs sequential (identical=%v)\n",
+			row.Shards, row.Workers, row.Speedup, row.Identical)
+	}
+}
+
+// plain copies cfg with the reuse flag set as given.
+func plain(cfg core.Config, reuse bool) core.Config {
+	cfg.ReuseOutcomeBuffers = reuse
+	return cfg
+}
+
+// fatal aborts with an error.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreplay:", err)
+	os.Exit(1)
+}

@@ -7,13 +7,18 @@
 //	tracegen -profile europe -days 14 -o eu.trace
 //	cdnsim -trace eu.trace -algo cafe -alpha 2 -disk-gb 16
 //	cdnsim -trace eu.trace -algo xlru,cafe,psychic -alpha 2 -series series.csv
+//	cdnsim -trace eu.trace -algo cafe -shards 8 -workers 8   # parallel sharded replay
+//	cdnsim -trace eu.trace -algo cafe -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"videocdn/internal/belady"
 	"videocdn/internal/cafe"
@@ -23,6 +28,7 @@ import (
 	"videocdn/internal/lruk"
 	"videocdn/internal/psychic"
 	"videocdn/internal/purelru"
+	"videocdn/internal/shard"
 	"videocdn/internal/sim"
 	"videocdn/internal/trace"
 	"videocdn/internal/xlru"
@@ -37,6 +43,10 @@ func main() {
 	chunkMB := flag.Float64("chunk-mb", 2, "chunk size in MB")
 	seriesOut := flag.String("series", "", "write hourly series CSV to this file")
 	gamma := flag.Float64("gamma", cafe.DefaultGamma, "Cafe EWMA factor")
+	shards := flag.Int("shards", 1, "shard the cache n ways (power of two) and replay shards in parallel")
+	workers := flag.Int("workers", 0, "worker goroutines for -shards > 1 (default min(shards, GOMAXPROCS))")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the replay to this file")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -68,6 +78,9 @@ func main() {
 	cfg := core.Config{
 		ChunkSize:  chunkSize,
 		DiskChunks: int(*diskGB * (1 << 30) / float64(chunkSize)),
+		// The simulator consumes every Outcome before the next request,
+		// so the caches may safely recycle their ID buffers.
+		ReuseOutcomeBuffers: true,
 	}
 	model, err := cost.NewModel(*alpha)
 	if err != nil {
@@ -84,40 +97,78 @@ func main() {
 		fmt.Fprintln(seriesFile, "algo,hour,requested_bytes,filled_bytes,redirected_bytes,ingress,redirect,efficiency")
 	}
 
-	fmt.Printf("%d requests, disk %d chunks (%.1f GB), alpha=%.2g\n\n",
-		len(reqs), cfg.DiskChunks, *diskGB, *alpha)
-	fmt.Printf("%-8s %10s %10s %10s %9s %9s\n", "algo", "eff", "ingress", "redirect", "served", "redirects")
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// mkCache builds one single-threaded cache over the given (whole or
+	// per-shard) configuration.
+	mkCache := func(name string, cfg core.Config) (core.Cache, error) {
+		switch name {
+		case "xlru":
+			return xlru.New(cfg, *alpha)
+		case "cafe":
+			return cafe.New(cfg, *alpha, cafe.Options{Gamma: *gamma})
+		case "psychic":
+			return psychic.New(cfg, *alpha, reqs, psychic.Options{})
+		case "lru":
+			return purelru.New(cfg)
+		case "gdsp":
+			return gdsp.New(cfg)
+		case "belady":
+			return belady.New(cfg, reqs)
+		case "lruk":
+			return lruk.New(cfg, lruk.DefaultK)
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", name)
+		}
+	}
+
+	fmt.Printf("%d requests, disk %d chunks (%.1f GB), alpha=%.2g", len(reqs), cfg.DiskChunks, *diskGB, *alpha)
+	if *shards > 1 {
+		fmt.Printf(", %d shards", *shards)
+	}
+	fmt.Printf("\n\n%-8s %10s %10s %10s %9s %9s %9s\n", "algo", "eff", "ingress", "redirect", "served", "redirects", "elapsed")
 	for _, name := range strings.Split(*algos, ",") {
 		name = strings.TrimSpace(name)
 		var c core.Cache
-		switch name {
-		case "xlru":
-			c, err = xlru.New(cfg, *alpha)
-		case "cafe":
-			c, err = cafe.New(cfg, *alpha, cafe.Options{Gamma: *gamma})
-		case "psychic":
-			c, err = psychic.New(cfg, *alpha, reqs, psychic.Options{})
-		case "lru":
-			c, err = purelru.New(cfg)
-		case "gdsp":
-			c, err = gdsp.New(cfg)
-		case "belady":
-			c, err = belady.New(cfg, reqs)
-		case "lruk":
-			c, err = lruk.New(cfg, lruk.DefaultK)
-		default:
-			err = fmt.Errorf("unknown algorithm %q", name)
+		if *shards > 1 {
+			switch name {
+			case "psychic", "belady":
+				// Both precompute per-request future knowledge against the
+				// exact full trace; a shard would see only a sub-trace.
+				fatal(fmt.Errorf("algorithm %q cannot be sharded", name))
+			}
+			c, err = shard.New(*shards, cfg, func(_ int, sub core.Config) (core.Cache, error) {
+				return mkCache(name, sub)
+			})
+		} else {
+			c, err = mkCache(name, cfg)
 		}
 		if err != nil {
 			fatal(err)
 		}
-		res, err := sim.Replay(c, reqs, model, sim.Options{})
+		t0 := time.Now()
+		var res *sim.Result
+		if g, ok := c.(*shard.Group); ok {
+			res, err = sim.ReplayParallel(g, reqs, model, sim.Options{Workers: *workers})
+		} else {
+			res, err = sim.Replay(c, reqs, model, sim.Options{})
+		}
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-8s %9.1f%% %9.1f%% %9.1f%% %9d %9d\n",
+		fmt.Printf("%-8s %9.1f%% %9.1f%% %9.1f%% %9d %9d %9s\n",
 			name, 100*res.Efficiency(), 100*res.IngressRatio(), 100*res.RedirectRatio(),
-			res.Served, res.Redirected)
+			res.Served, res.Redirected, time.Since(t0).Round(time.Millisecond))
 		if seriesFile != nil {
 			for _, b := range res.Series.Buckets() {
 				if b.Counters.Requested == 0 {
@@ -128,6 +179,18 @@ func main() {
 					b.Counters.Redirected, b.Counters.IngressRatio(),
 					b.Counters.RedirectRatio(), b.Counters.Efficiency(model))
 			}
+		}
+	}
+
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -22,10 +22,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,ablations,prefetch,baselines,hierarchy,cdnwide,constrained,sensitivity,flash,rounding,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,ablations,prefetch,baselines,hierarchy,cdnwide,constrained,sensitivity,flash,rounding,parallel,all")
 	scaleName := flag.String("scale", "default", "experiment scale: default or small")
 	alpha := flag.Float64("alpha", 0, "override alpha_F2R where applicable (fig 6/7)")
 	csvDir := flag.String("csv", "", "also write each figure's raw data as CSV into this directory")
+	parallelMode := flag.Bool("parallel", false, "run the parallel sharded replay comparison (same as -fig parallel)")
 	flag.Parse()
 
 	writeCSV := func(name string, dump func(io.Writer) error) {
@@ -217,6 +218,17 @@ func main() {
 				return err
 			}
 			r.Print(os.Stdout)
+			return nil
+		})
+	}
+	if *parallelMode || want("parallel") {
+		run("Parallel sharded replay (engine)", func() error {
+			r, err := experiments.Parallel(sc)
+			if err != nil {
+				return err
+			}
+			r.Print(os.Stdout)
+			writeCSV("parallel.csv", r.CSV)
 			return nil
 		})
 	}

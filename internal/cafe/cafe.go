@@ -109,6 +109,16 @@ type Cache struct {
 	requests  int64
 
 	fillGate func(chunks int, now int64) bool
+
+	// victimsBuf is the eviction-scan scratch buffer, reused on every
+	// request (victim IDs never escape HandleRequest). missingBuf and
+	// evictedBuf back Outcome.FilledIDs/EvictedIDs when the caller
+	// opted into core.Config.ReuseOutcomeBuffers. setPool recycles the
+	// per-video chunk-index sets freed by full eviction.
+	victimsBuf []uint64
+	missingBuf []chunk.ID
+	evictedBuf []chunk.ID
+	setPool    []map[uint32]struct{}
 }
 
 // SetFillGate installs an optional admission throttle consulted before
@@ -255,16 +265,24 @@ func (c *Cache) HandleRequest(r trace.Request) core.Outcome {
 		return core.Outcome{Decision: core.Redirect}
 	}
 
-	// Partition S into cached and missing (S'), collecting the skip
-	// set that protects requested chunks from eviction.
-	skip := make(map[uint64]bool, nChunks)
+	// Partition S into cached and missing (S'). The requested chunks
+	// that must never be evicted are exactly the packed-key range
+	// [loKey, hiKey] (chunk keys of one video are contiguous), so no
+	// per-request skip set is needed.
+	loKey := chunk.ID{Video: r.Video, Index: c0}.Key()
+	hiKey := chunk.ID{Video: r.Video, Index: c1}.Key()
 	var missing []chunk.ID
+	if c.cfg.ReuseOutcomeBuffers {
+		missing = c.missingBuf[:0]
+	}
 	for ci := c0; ci <= c1; ci++ {
 		id := chunk.ID{Video: r.Video, Index: ci}
-		skip[id.Key()] = true
 		if !c.tree.Contains(id.Key()) {
 			missing = append(missing, id)
 		}
+	}
+	if c.cfg.ReuseOutcomeBuffers {
+		c.missingBuf = missing
 	}
 
 	serve := false
@@ -284,7 +302,8 @@ func (c *Cache) HandleRequest(r trace.Request) core.Outcome {
 		// (there is nothing to evict and no cache age to compare to).
 		serve = true
 	default:
-		victims = c.tree.SmallestExcluding(needEvict, skip)
+		victims = c.tree.AppendSmallestExcludingRange(c.victimsBuf[:0], needEvict, loKey, hiKey)
+		c.victimsBuf = victims
 		if len(victims) < needEvict {
 			// Cannot make room without evicting the request's own
 			// chunks: redirect.
@@ -347,13 +366,31 @@ func (c *Cache) HandleRequest(r trace.Request) core.Outcome {
 	}
 
 	// Evict the victims (keep their IAT history; they may return).
-	evicted := make([]chunk.ID, 0, len(victims))
+	var evicted []chunk.ID
+	if c.cfg.ReuseOutcomeBuffers {
+		evicted = c.evictedBuf[:0]
+	} else {
+		evicted = make([]chunk.ID, 0, len(victims))
+	}
 	for _, vid := range victims {
 		id := chunk.FromKey(vid)
 		c.evictChunk(id)
 		evicted = append(evicted, id)
 	}
+	if c.cfg.ReuseOutcomeBuffers {
+		c.evictedBuf = evicted
+	}
 	// Fill missing chunks and re-key every requested chunk.
+	set := c.videos[r.Video]
+	if set == nil {
+		if k := len(c.setPool); k > 0 {
+			set = c.setPool[k-1]
+			c.setPool = c.setPool[:k-1]
+		} else {
+			set = make(map[uint32]struct{})
+		}
+		c.videos[r.Video] = set
+	}
 	for ci := c0; ci <= c1; ci++ {
 		id := chunk.ID{Video: r.Video, Index: ci}
 		k := c.iatKey(id)
@@ -366,11 +403,6 @@ func (c *Cache) HandleRequest(r trace.Request) core.Outcome {
 			c.iat[k] = e
 		}
 		c.tree.Insert(id.Key(), c.treeKey(e))
-		set := c.videos[r.Video]
-		if set == nil {
-			set = make(map[uint32]struct{})
-			c.videos[r.Video] = set
-		}
 		set[ci] = struct{}{}
 	}
 	if c.opt.FileLevel {
@@ -455,13 +487,17 @@ func (c *Cache) rekeyVideo(v chunk.VideoID) {
 }
 
 // evictChunk removes one chunk from disk bookkeeping, keeping its IAT
-// history.
+// history. Emptied per-video index sets are recycled through setPool
+// instead of being re-allocated for the next new video.
 func (c *Cache) evictChunk(id chunk.ID) {
 	c.tree.Remove(id.Key())
 	if set := c.videos[id.Video]; set != nil {
 		delete(set, id.Index)
 		if len(set) == 0 {
 			delete(c.videos, id.Video)
+			if len(c.setPool) < 64 {
+				c.setPool = append(c.setPool, set)
+			}
 		}
 	}
 }
@@ -471,6 +507,14 @@ func (c *Cache) evictChunk(id chunk.ID) {
 // horizon is a small multiple of the cache age — beyond it, T/IAT is
 // negligible.
 func (c *Cache) cleanup(now int64) {
+	// A full-map sweep only pays off once stale history can dominate:
+	// while the IAT table is within 2x of the cached set (whose entries
+	// are never prunable), skip the scan entirely. This caps memory at
+	// a small multiple of the disk while eliminating the periodic
+	// whole-map iteration on dense, cache-sized workloads.
+	if len(c.iat) <= 2*c.tree.Len() {
+		return
+	}
 	age := c.CacheAge(now)
 	if age <= 0 {
 		age = float64(now - c.firstTime)

@@ -93,6 +93,14 @@ type Config struct {
 	ChunkSize int64
 	// DiskChunks is the disk capacity D_c in chunks.
 	DiskChunks int
+	// ReuseOutcomeBuffers opts into allocation-free outcome reporting:
+	// the cache may reuse the backing arrays of Outcome.FilledIDs and
+	// Outcome.EvictedIDs across HandleRequest calls. The slices of an
+	// Outcome then stay valid only until the next HandleRequest on the
+	// same cache. Drivers that consume outcomes immediately (the replay
+	// engine) enable this for a measurable allocation win; drivers that
+	// retain the IDs (the HTTP edge server) must leave it off.
+	ReuseOutcomeBuffers bool
 }
 
 // Validate reports configuration errors.

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"videocdn/internal/cafe"
+	"videocdn/internal/core"
+	"videocdn/internal/cost"
+	"videocdn/internal/shard"
+	"videocdn/internal/sim"
+)
+
+// ParallelRow is one shard-count operating point of the replay-engine
+// comparison: wall time of sequential vs parallel replay of the same
+// sharded Cafe cache, with the exactness and balance checks.
+type ParallelRow struct {
+	Shards int
+	// SeqMS and ParMS are replay wall times in milliseconds.
+	SeqMS, ParMS float64
+	// Speedup is SeqMS/ParMS.
+	Speedup float64
+	// Identical reports whether the merged parallel counters (Total and
+	// Steady) matched the sequential replay bit-for-bit.
+	Identical bool
+	// Efficiency is the steady-state efficiency at this shard count
+	// (sharding itself costs a little efficiency; the replay engine
+	// costs none).
+	Efficiency float64
+	// MaxChunks / MinChunks bound the post-replay shard occupancy, the
+	// observable for the hash-balance assumption.
+	MaxChunks, MinChunks int
+}
+
+// ParallelResult is the parallel replay engine demonstration: the same
+// trace replayed through sharded Cafe caches sequentially and with
+// sim.ReplayParallel, across shard counts.
+type ParallelResult struct {
+	Server   string
+	Alpha    float64
+	Requests int
+	Procs    int // GOMAXPROCS during the run
+	Rows     []ParallelRow
+}
+
+// Parallel measures sequential vs parallel sharded replay on the
+// (scaled) European trace at alpha = 2.
+func Parallel(sc Scale) (*ParallelResult, error) {
+	const server = "europe"
+	const alpha = 2.0
+	reqs, err := TraceFor(server, sc)
+	if err != nil {
+		return nil, err
+	}
+	model, err := cost.NewModel(alpha)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		ChunkSize:  sc.ChunkSize,
+		DiskChunks: sc.DiskChunks,
+		// The replay engines never retain Outcome IDs.
+		ReuseOutcomeBuffers: true,
+	}
+	res := &ParallelResult{
+		Server:   server,
+		Alpha:    alpha,
+		Requests: len(reqs),
+		Procs:    runtime.GOMAXPROCS(0),
+	}
+	mkGroup := func(n int) (*shard.Group, error) {
+		return shard.New(n, cfg, func(_ int, sub core.Config) (core.Cache, error) {
+			return cafe.New(sub, alpha, cafe.Options{})
+		})
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		if cfg.DiskChunks/n < 1 {
+			continue
+		}
+		gSeq, err := mkGroup(n)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		seq, err := sim.Replay(gSeq, reqs, model, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		seqDur := time.Since(t0)
+
+		gPar, err := mkGroup(n)
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		par, err := sim.ReplayParallel(gPar, reqs, model, sim.Options{Workers: n})
+		if err != nil {
+			return nil, err
+		}
+		parDur := time.Since(t0)
+
+		row := ParallelRow{
+			Shards:     n,
+			SeqMS:      float64(seqDur.Microseconds()) / 1000,
+			ParMS:      float64(parDur.Microseconds()) / 1000,
+			Speedup:    float64(seqDur) / float64(parDur),
+			Identical:  seq.Total == par.Total && seq.Steady == par.Steady,
+			Efficiency: par.Efficiency(),
+		}
+		for i, st := range gPar.Stats() {
+			if i == 0 || st.Chunks > row.MaxChunks {
+				row.MaxChunks = st.Chunks
+			}
+			if i == 0 || st.Chunks < row.MinChunks {
+				row.MinChunks = st.Chunks
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print renders the comparison table.
+func (r *ParallelResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Parallel sharded replay: %s server, alpha=%.2g, %d requests, GOMAXPROCS=%d\n",
+		r.Server, r.Alpha, r.Requests, r.Procs)
+	fmt.Fprintf(w, "%7s %10s %10s %8s %10s %6s %17s\n",
+		"shards", "seq (ms)", "par (ms)", "speedup", "identical", "eff", "occupancy min/max")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%7d %10.0f %10.0f %7.2fx %10v %6.3f %8d/%d\n",
+			row.Shards, row.SeqMS, row.ParMS, row.Speedup, row.Identical,
+			row.Efficiency, row.MinChunks, row.MaxChunks)
+	}
+	fmt.Fprintln(w, "(speedup approaches the shard count on machines with that many cores;")
+	fmt.Fprintln(w, " 'identical' asserts the merged counters equal the sequential replay's)")
+}
+
+// CSV dumps the raw rows.
+func (r *ParallelResult) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "shards,seq_ms,par_ms,speedup,identical,efficiency,min_chunks,max_chunks"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%d,%.3f,%.3f,%.4f,%v,%.6f,%d,%d\n",
+			row.Shards, row.SeqMS, row.ParMS, row.Speedup, row.Identical,
+			row.Efficiency, row.MinChunks, row.MaxChunks); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -34,6 +34,54 @@ func NewSeries(widthSeconds int64) (*Series, error) {
 	return &Series{width: widthSeconds}, nil
 }
 
+// NewSeriesAt creates a series whose bucket origin is pre-anchored to
+// the bucket containing anchor, exactly as the first Add(anchor, ...)
+// would have done. The parallel replay engine uses it to give every
+// shard's series the same origin as the sequential full-trace series,
+// so merged buckets align bit-for-bit.
+func NewSeriesAt(widthSeconds, anchor int64) (*Series, error) {
+	s, err := NewSeries(widthSeconds)
+	if err != nil {
+		return nil, err
+	}
+	s.origin = anchor - anchor%widthSeconds
+	s.started = true
+	return s, nil
+}
+
+// Origin returns the anchored bucket origin (meaningful only after the
+// first Add or for a NewSeriesAt series).
+func (s *Series) Origin() int64 { return s.origin }
+
+// Merge accumulates other's buckets into s element-wise. Both series
+// must share the same width and — when both are anchored — the same
+// origin; an unanchored (never-added-to) other is a no-op. Because
+// bucket counters are integer sums, merging per-shard series produced
+// over a partition of one trace yields exactly the series a sequential
+// replay of the whole trace would have produced.
+func (s *Series) Merge(other *Series) error {
+	if other == nil || !other.started {
+		return nil
+	}
+	if other.width != s.width {
+		return fmt.Errorf("metrics: merge width mismatch (%d vs %d)", s.width, other.width)
+	}
+	if !s.started {
+		s.origin = other.origin
+		s.started = true
+	}
+	if s.origin != other.origin {
+		return fmt.Errorf("metrics: merge origin mismatch (%d vs %d)", s.origin, other.origin)
+	}
+	for len(s.buckets) < len(other.buckets) {
+		s.buckets = append(s.buckets, cost.Counters{})
+	}
+	for i, c := range other.buckets {
+		s.buckets[i].Add(c)
+	}
+	return nil
+}
+
 // Add accumulates counters at time t. The first Add anchors the bucket
 // origin; t may not precede it.
 func (s *Series) Add(t int64, c cost.Counters) {

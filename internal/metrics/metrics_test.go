@@ -79,3 +79,91 @@ func TestTotalAndFrom(t *testing.T) {
 		t.Errorf("Len/Width = %d/%d", s.Len(), s.Width())
 	}
 }
+
+func TestNewSeriesAt(t *testing.T) {
+	// Anchor mid-bucket: origin snaps down to the bucket boundary, just
+	// as the first Add at that time would have.
+	s, err := NewSeriesAt(10, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Origin() != 30 {
+		t.Errorf("Origin = %d, want 30", s.Origin())
+	}
+	byAdd, _ := NewSeries(10)
+	byAdd.Add(37, cost.Counters{Requested: 1})
+	s.Add(37, cost.Counters{Requested: 1})
+	if s.Origin() != byAdd.Origin() || s.Len() != byAdd.Len() {
+		t.Errorf("anchored series diverged from first-Add anchoring: origin %d/%d len %d/%d",
+			s.Origin(), byAdd.Origin(), s.Len(), byAdd.Len())
+	}
+	if _, err := NewSeriesAt(0, 5); err == nil {
+		t.Error("zero width should fail")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(anchor int64) *Series {
+		s, err := NewSeriesAt(10, anchor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(0), mk(0)
+	a.Add(5, cost.Counters{Requested: 100})
+	b.Add(5, cost.Counters{Requested: 11})
+	b.Add(25, cost.Counters{Filled: 7}) // extends beyond a's buckets
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Buckets()
+	if len(got) != 3 {
+		t.Fatalf("merged buckets = %d, want 3", len(got))
+	}
+	if got[0].Counters.Requested != 111 {
+		t.Errorf("bucket 0 Requested = %d, want 111", got[0].Counters.Requested)
+	}
+	if got[1].Counters != (cost.Counters{}) {
+		t.Errorf("interior bucket not empty: %+v", got[1].Counters)
+	}
+	if got[2].Counters.Filled != 7 {
+		t.Errorf("bucket 2 Filled = %d, want 7", got[2].Counters.Filled)
+	}
+
+	// Width mismatch errors.
+	w, _ := NewSeries(20)
+	w.Add(0, cost.Counters{Requested: 1})
+	if err := a.Merge(w); err == nil {
+		t.Error("width mismatch should fail")
+	}
+	// Origin mismatch errors.
+	c := mk(40)
+	c.Add(45, cost.Counters{Requested: 1})
+	if err := a.Merge(c); err == nil {
+		t.Error("origin mismatch should fail")
+	}
+	// Unanchored or nil other is a no-op.
+	empty, _ := NewSeries(10)
+	before := a.Buckets()
+	if err := a.Merge(empty); err != nil {
+		t.Errorf("unanchored merge: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+	after := a.Buckets()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("no-op merge changed bucket %d", i)
+		}
+	}
+	// Merging into an unanchored receiver adopts the other's origin.
+	r, _ := NewSeries(10)
+	if err := r.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if r.Origin() != b.Origin() || r.Len() != b.Len() {
+		t.Errorf("unanchored receiver: origin %d len %d", r.Origin(), r.Len())
+	}
+}

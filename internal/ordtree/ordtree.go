@@ -31,11 +31,32 @@ type node struct {
 type Tree struct {
 	root *node
 	byID map[uint64]*node
+	// free recycles nodes detached by Remove (chained through .r), so
+	// the steady-state evict-then-fill cycle of a full cache allocates
+	// no tree nodes. Bounded by the largest item count the tree ever
+	// held.
+	free *node
 }
 
 // New returns an empty tree.
 func New() *Tree {
 	return &Tree{byID: make(map[uint64]*node)}
+}
+
+// newNode pops a recycled node from the freelist or allocates one.
+func (t *Tree) newNode(id uint64, key float64) *node {
+	if n := t.free; n != nil {
+		t.free = n.r
+		n.id, n.key, n.prio, n.l, n.r = id, key, splitmix64(id), nil, nil
+		return n
+	}
+	return &node{id: id, key: key, prio: splitmix64(id)}
+}
+
+// recycle pushes a detached node onto the freelist.
+func (t *Tree) recycle(n *node) {
+	n.l, n.r = nil, t.free
+	t.free = n
 }
 
 // Len returns the number of items.
@@ -64,14 +85,21 @@ func (t *Tree) Insert(id uint64, key float64) {
 		panic(fmt.Sprintf("ordtree: NaN key for id %d", id))
 	}
 	if old, ok := t.byID[id]; ok {
+		// Re-key in place: detach the node and reinsert it with the new
+		// key. Same id means same priority, so no allocation and no map
+		// write is needed — this is the hot rekey path of the Cafe cache.
 		t.root = remove(t.root, old.key, id)
+		old.key, old.l, old.r = key, nil, nil
+		t.root = insert(t.root, old)
+		return
 	}
-	n := &node{id: id, key: key, prio: splitmix64(id)}
+	n := t.newNode(id, key)
 	t.byID[id] = n
 	t.root = insert(t.root, n)
 }
 
-// Remove deletes id, reporting whether it was present.
+// Remove deletes id, reporting whether it was present. The node is
+// recycled for a later Insert.
 func (t *Tree) Remove(id uint64) bool {
 	n, ok := t.byID[id]
 	if !ok {
@@ -79,6 +107,7 @@ func (t *Tree) Remove(id uint64) bool {
 	}
 	t.root = remove(t.root, n.key, id)
 	delete(t.byID, id)
+	t.recycle(n)
 	return true
 }
 
@@ -154,6 +183,36 @@ func (t *Tree) SmallestExcluding(n int, skip map[uint64]bool) []uint64 {
 		return len(out) < n
 	})
 	return out
+}
+
+// AppendSmallestExcludingRange appends to dst up to n item IDs with the
+// smallest keys whose IDs fall outside the inclusive ID range [lo, hi],
+// and returns the grown slice. Cafe uses it with a packed chunk-key
+// range — the chunks of one video are contiguous under chunk.ID.Key —
+// to protect the chunks of the request being served without building a
+// per-request skip set; pass a recycled dst[:0] for an allocation-free
+// eviction scan.
+func (t *Tree) AppendSmallestExcludingRange(dst []uint64, n int, lo, hi uint64) []uint64 {
+	if n <= 0 {
+		return dst
+	}
+	return collectSmallest(t.root, dst, len(dst)+n, lo, hi)
+}
+
+// collectSmallest walks in ascending order, appending IDs outside
+// [lo, hi] until dst reaches want items.
+func collectSmallest(nd *node, dst []uint64, want int, lo, hi uint64) []uint64 {
+	if nd == nil || len(dst) >= want {
+		return dst
+	}
+	dst = collectSmallest(nd.l, dst, want, lo, hi)
+	if len(dst) >= want {
+		return dst
+	}
+	if nd.id < lo || nd.id > hi {
+		dst = append(dst, nd.id)
+	}
+	return collectSmallest(nd.r, dst, want, lo, hi)
 }
 
 // LargestExcluding is the mirror of SmallestExcluding; Psychic uses it

@@ -333,3 +333,78 @@ func BenchmarkSmallestExcluding(b *testing.B) {
 		tr.SmallestExcluding(8, skip)
 	}
 }
+
+func TestAppendSmallestExcludingRange(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 64; i++ {
+		tr.Insert(i, float64(i))
+	}
+	// Range [10, 20] excluded: results must match SmallestExcluding with
+	// the equivalent skip set, for every requested count.
+	skip := map[uint64]bool{}
+	for i := uint64(10); i <= 20; i++ {
+		skip[i] = true
+	}
+	for n := 0; n <= 70; n += 7 {
+		want := tr.SmallestExcluding(n, skip)
+		got := tr.AppendSmallestExcludingRange(nil, n, 10, 20)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d ids, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: got[%d]=%d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+	// Appending to a non-empty dst keeps the prefix.
+	got := tr.AppendSmallestExcludingRange([]uint64{999}, 2, 10, 20)
+	if len(got) != 3 || got[0] != 999 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("append to prefix: %v", got)
+	}
+	// Inverted / empty ranges exclude nothing.
+	got = tr.AppendSmallestExcludingRange(nil, 3, 50, 40)
+	if len(got) != 3 || got[0] != 0 {
+		t.Errorf("inverted range: %v", got)
+	}
+}
+
+// TestSteadyStateAllocFree pins the freelist guarantee: once a tree has
+// reached its high-water item count, the evict-then-fill cycle (Remove
+// one id, Insert a new one) and the re-key path allocate nothing.
+func TestSteadyStateAllocFree(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 1024; i++ {
+		tr.Insert(i, float64(i))
+	}
+	next := uint64(1024)
+	evict := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Remove(evict)
+		tr.Insert(next, float64(next))
+		evict++
+		next++
+	})
+	// The byID map may occasionally rehash; anything beyond that means
+	// the freelist regressed.
+	if allocs > 0.5 {
+		t.Errorf("steady-state Remove+Insert allocates %.2f/op, want ~0", allocs)
+	}
+	rekey := uint64(500)
+	allocs = testing.AllocsPerRun(200, func() {
+		k, _ := tr.Key(rekey)
+		tr.Insert(rekey, k+1e6)
+	})
+	if allocs != 0 {
+		t.Errorf("re-key allocates %.2f/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		buf := scratch[:0]
+		scratch = tr.AppendSmallestExcludingRange(buf, 8, 10, 20)
+	})
+	if allocs != 0 {
+		t.Errorf("range eviction scan allocates %.2f/op, want 0", allocs)
+	}
+}
+
+var scratch = make([]uint64, 0, 16)

@@ -32,7 +32,6 @@ type Factory func(shard int, cfg core.Config) (core.Cache, error)
 // Group is the sharded, thread-safe composite cache.
 type Group struct {
 	shards []shardSlot
-	mask   uint64
 }
 
 type shardSlot struct {
@@ -57,9 +56,13 @@ func New(n int, cfg core.Config, factory Factory) (*Group, error) {
 	if per < 1 {
 		return nil, fmt.Errorf("shard: %d-chunk disk cannot be split %d ways", cfg.DiskChunks, n)
 	}
-	g := &Group{shards: make([]shardSlot, n), mask: uint64(n - 1)}
+	g := &Group{shards: make([]shardSlot, n)}
 	for i := range g.shards {
-		c, err := factory(i, core.Config{ChunkSize: cfg.ChunkSize, DiskChunks: per})
+		c, err := factory(i, core.Config{
+			ChunkSize:           cfg.ChunkSize,
+			DiskChunks:          per,
+			ReuseOutcomeBuffers: cfg.ReuseOutcomeBuffers,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -71,22 +74,46 @@ func New(n int, cfg core.Config, factory Factory) (*Group, error) {
 	return g, nil
 }
 
-// pick hashes a video to its shard (splitmix64 finalizer, so adjacent
-// IDs scatter).
-func (g *Group) pick(v chunk.VideoID) *shardSlot {
+// ShardOf returns the shard index owning video v in an n-shard group
+// (n must be a power of two). It is the single placement function for
+// the whole repository: Group dispatch and the parallel replay engine's
+// trace partitioning both call it, so they can never disagree about
+// which shard owns a video. The hash is the splitmix64 finalizer, so
+// adjacent IDs scatter.
+func ShardOf(v chunk.VideoID, n int) int {
 	x := uint64(v) + 0x9E3779B97F4A7C15
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
 	x ^= x >> 31
-	return &g.shards[x&g.mask]
+	return int(x & uint64(n-1))
 }
+
+// pick hashes a video to its shard slot via ShardOf.
+func (g *Group) pick(v chunk.VideoID) *shardSlot {
+	return &g.shards[ShardOf(v, len(g.shards))]
+}
+
+// NumShards returns the number of shards in the group.
+func (g *Group) NumShards() int { return len(g.shards) }
+
+// Shard returns shard i's underlying cache, bypassing the group's
+// locking and timestamp clamping. It exists for the parallel replay
+// engine (which partitions a trace with ShardOf and drives each shard
+// on its own worker) and for introspection. The caller owns
+// serialization: mixing direct Shard access with concurrent
+// Group.HandleRequest calls is undefined behaviour.
+func (g *Group) Shard(i int) core.Cache { return g.shards[i].cache }
 
 // Name implements core.Cache.
 func (g *Group) Name() string {
 	return fmt.Sprintf("%s×%d", g.shards[0].cache.Name(), len(g.shards))
 }
 
-// Len implements core.Cache (sums the shards).
+// Len implements core.Cache by summing the shards' chunk counts. Each
+// shard is read under its own lock, so under concurrent mutation the
+// total is a per-shard-consistent sum, not an atomic snapshot of the
+// whole group at one instant (shard A may be read before and shard B
+// after the same in-flight request).
 func (g *Group) Len() int {
 	total := 0
 	for i := range g.shards {
@@ -98,12 +125,38 @@ func (g *Group) Len() int {
 	return total
 }
 
-// Contains implements core.Cache.
+// Contains implements core.Cache. Only the shard owning the chunk's
+// video is consulted (and locked) — by construction no other shard can
+// hold it.
 func (g *Group) Contains(id chunk.ID) bool {
 	s := g.pick(id.Video)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cache.Contains(id)
+}
+
+// Stat describes one shard's occupancy.
+type Stat struct {
+	// Shard is the shard index (the ShardOf value of its videos).
+	Shard int
+	// Chunks is the shard's current on-disk chunk count.
+	Chunks int
+}
+
+// Stats reports per-shard occupancy so load imbalance across the hash
+// buckets is observable (the package comment's efficiency argument
+// assumes hash-balanced load; Stats is how to validate that on a real
+// workload). Like Len, the snapshot is per-shard-consistent, not
+// group-atomic.
+func (g *Group) Stats() []Stat {
+	out := make([]Stat, len(g.shards))
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		out[i] = Stat{Shard: i, Chunks: s.cache.Len()}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // HandleRequest implements core.Cache: one shard lock per request.

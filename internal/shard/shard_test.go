@@ -123,6 +123,128 @@ func TestConcurrentRequests(t *testing.T) {
 	}
 }
 
+// TestShardOfMatchesPick pins the placement contract ReplayParallel
+// relies on: the exported ShardOf and the group's internal pick must
+// never disagree, and placement depends only on the video ID.
+func TestShardOfMatchesPick(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64} {
+		chunks := 64
+		if chunks < n {
+			chunks = n
+		}
+		g, err := New(n, core.Config{ChunkSize: testK, DiskChunks: chunks}, cafeFactory(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := chunk.VideoID(0); v < 2000; v++ {
+			got := ShardOf(v, n)
+			if got < 0 || got >= n {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", v, n, got)
+			}
+			if g.pick(v) != &g.shards[got] {
+				t.Fatalf("ShardOf(%d, %d) = %d disagrees with pick", v, n, got)
+			}
+		}
+	}
+}
+
+// TestShardOfBalance: the splitmix64 finalizer spreads sequential video
+// IDs near-uniformly — no shard may be pathologically over-loaded.
+func TestShardOfBalance(t *testing.T) {
+	const n, videos = 8, 80000
+	counts := make([]int, n)
+	for v := chunk.VideoID(0); v < videos; v++ {
+		counts[ShardOf(v, n)]++
+	}
+	want := videos / n
+	for s, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("shard %d holds %d of %d videos (want ~%d)", s, c, videos, want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	cfg := core.Config{ChunkSize: testK, DiskChunks: 64}
+	g, err := New(4, cfg, cafeFactory(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := chunk.VideoID(0); v < 30; v++ {
+		g.HandleRequest(req(int64(v), v, 0, 1))
+	}
+	stats := g.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("Stats returned %d entries, want 4", len(stats))
+	}
+	sum := 0
+	for i, st := range stats {
+		if st.Shard != i {
+			t.Errorf("stats[%d].Shard = %d", i, st.Shard)
+		}
+		if st.Chunks < 0 {
+			t.Errorf("stats[%d].Chunks = %d", i, st.Chunks)
+		}
+		sum += st.Chunks
+	}
+	if sum != g.Len() {
+		t.Errorf("Stats sum %d != Len %d", sum, g.Len())
+	}
+}
+
+// TestConcurrentMixedOps hammers one group with writers and readers
+// (HandleRequest, Len, Contains, Stats) so `go test -race` exercises
+// every public entry point concurrently.
+func TestConcurrentMixedOps(t *testing.T) {
+	cfg := core.Config{ChunkSize: testK, DiskChunks: 256}
+	g, err := New(8, cfg, cafeFactory(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			tm := int64(0)
+			for i := 0; i < 400; i++ {
+				g.HandleRequest(req(tm, chunk.VideoID(rng.Intn(120)), 0, rng.Intn(3)))
+				tm += int64(rng.Intn(3))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 400; i++ {
+				switch i % 3 {
+				case 0:
+					if g.Len() < 0 {
+						t.Error("negative Len")
+					}
+				case 1:
+					g.Contains(chunk.ID{Video: chunk.VideoID(rng.Intn(120)), Index: uint32(rng.Intn(3))})
+				case 2:
+					sum := 0
+					for _, st := range g.Stats() {
+						sum += st.Chunks
+					}
+					if sum < 0 || sum > 256 {
+						t.Errorf("Stats sum %d out of bounds", sum)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() > 256 {
+		t.Errorf("Len = %d exceeds capacity", g.Len())
+	}
+}
+
 // Sharding costs little efficiency versus a unified cache on a
 // hash-balanced workload (the footnote-2 rationale).
 func TestShardingEfficiencyPenaltySmall(t *testing.T) {

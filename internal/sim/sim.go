@@ -3,16 +3,26 @@
 // (Section 9): ingress percentage, redirect ratio and overall cache
 // efficiency, both as hourly time series and as steady-state averages
 // over the tail of the trace (excluding cache warmup).
+//
+// Two engines are provided. Replay drives the trace through one cache
+// on the calling goroutine. ReplayParallel exploits a sharded cache
+// (internal/shard): it partitions the trace by video hash into
+// per-shard sub-traces, replays each shard on its own worker with no
+// lock contention, and merges the per-shard accounting into a result
+// bit-identical to a sequential replay of the same group.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
 	"videocdn/internal/metrics"
+	"videocdn/internal/shard"
 	"videocdn/internal/trace"
 )
 
@@ -27,6 +37,27 @@ type Options struct {
 	// Progress, if non-nil, is called every ProgressEvery requests.
 	Progress      func(done, total int)
 	ProgressEvery int
+	// Workers bounds the goroutines ReplayParallel uses (ignored by
+	// Replay). Defaults to min(shard count, GOMAXPROCS).
+	Workers int
+}
+
+// normalize applies defaults and validates the option values shared by
+// both replay engines.
+func (opt *Options) normalize() error {
+	if opt.BucketSeconds == 0 {
+		opt.BucketSeconds = 3600
+	}
+	if opt.BucketSeconds < 0 {
+		return fmt.Errorf("sim: BucketSeconds must be positive, got %d", opt.BucketSeconds)
+	}
+	if opt.SteadyFraction == 0 {
+		opt.SteadyFraction = 0.5
+	}
+	if opt.SteadyFraction < 0 || opt.SteadyFraction >= 1 {
+		return fmt.Errorf("sim: SteadyFraction must be in [0,1), got %v", opt.SteadyFraction)
+	}
+	return nil
 }
 
 // Result is the outcome of one replay.
@@ -55,6 +86,20 @@ func (r *Result) IngressRatio() float64 { return r.Steady.IngressRatio() }
 // RedirectRatio is the steady-state redirected-bytes ratio.
 func (r *Result) RedirectRatio() float64 { return r.Steady.RedirectRatio() }
 
+// merge folds other's accounting into r. Every field is an integer sum
+// over disjoint request sets, so merging per-shard results in shard
+// order reproduces the sequential totals exactly.
+func (r *Result) merge(other *Result) error {
+	r.Total.Add(other.Total)
+	r.Steady.Add(other.Steady)
+	r.Requests += other.Requests
+	r.Served += other.Served
+	r.Redirected += other.Redirected
+	r.FilledChunks += other.FilledChunks
+	r.EvictedChunks += other.EvictedChunks
+	return r.Series.Merge(other.Series)
+}
+
 // Job is one independent replay task for ReplayAll.
 type Job struct {
 	// Name keys the result map (defaults to the cache's Name()).
@@ -65,25 +110,35 @@ type Job struct {
 
 // ReplayAll replays the same trace through several independent caches
 // concurrently (one goroutine per job; the trace is shared read-only).
-// It returns the first error encountered, if any.
+// Errors from all failing jobs are collected and joined; on success,
+// opt.Progress (if set) is invoked one final time with done == total so
+// progress bars reach 100%.
 func ReplayAll(jobs []Job, reqs []trace.Request, opt Options) (map[string]*Result, error) {
 	results := make([]*Result, len(jobs))
-	errs := make([]error, len(jobs))
+	jobErrs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	for i := range jobs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = Replay(jobs[i].Cache, reqs, jobs[i].Model, opt)
+			results[i], jobErrs[i] = Replay(jobs[i].Cache, reqs, jobs[i].Model, opt)
 		}(i)
 	}
 	wg.Wait()
+	var errs []error
 	out := make(map[string]*Result, len(jobs))
 	for i, job := range jobs {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("sim: job %q: %w", jobName(job), errs[i])
+		if jobErrs[i] != nil {
+			errs = append(errs, fmt.Errorf("sim: job %q: %w", jobName(job), jobErrs[i]))
+			continue
 		}
 		out[jobName(job)] = results[i]
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	if opt.Progress != nil {
+		opt.Progress(len(reqs), len(reqs))
 	}
 	return out, nil
 }
@@ -109,14 +164,8 @@ func Replay(c core.Cache, reqs []trace.Request, model cost.Model, opt Options) (
 	if len(reqs) == 0 {
 		return nil, errors.New("sim: empty trace")
 	}
-	if opt.BucketSeconds == 0 {
-		opt.BucketSeconds = 3600
-	}
-	if opt.SteadyFraction == 0 {
-		opt.SteadyFraction = 0.5
-	}
-	if opt.SteadyFraction < 0 || opt.SteadyFraction >= 1 {
-		return nil, fmt.Errorf("sim: SteadyFraction must be in [0,1), got %v", opt.SteadyFraction)
+	if err := opt.normalize(); err != nil {
+		return nil, err
 	}
 	series, err := metrics.NewSeries(opt.BucketSeconds)
 	if err != nil {
@@ -127,10 +176,31 @@ func Replay(c core.Cache, reqs []trace.Request, model cost.Model, opt Options) (
 	steadyFrom := start + int64(opt.SteadyFraction*float64(end-start))
 
 	res := &Result{Algorithm: c.Name(), Model: model, Series: series}
-	last := start
+	var tick func()
+	if opt.Progress != nil && opt.ProgressEvery > 0 {
+		done := 0
+		tick = func() {
+			done++
+			if done%opt.ProgressEvery == 0 {
+				opt.Progress(done, len(reqs))
+			}
+		}
+	}
+	if err := replayLoop(c, reqs, steadyFrom, series, res, tick); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// replayLoop is the accounting core shared by both engines: it drives
+// reqs (a whole trace, or one shard's sub-trace) through c, validating
+// outcome invariants and accumulating into res and series. tick, if
+// non-nil, is called once per request after accounting.
+func replayLoop(c core.Cache, reqs []trace.Request, steadyFrom int64, series *metrics.Series, res *Result, tick func()) error {
+	last := reqs[0].Time
 	for i, r := range reqs {
 		if r.Time < last {
-			return nil, fmt.Errorf("sim: request %d out of order (t=%d after %d)", i, r.Time, last)
+			return fmt.Errorf("sim: request %d out of order (t=%d after %d)", i, r.Time, last)
 		}
 		last = r.Time
 		out := c.HandleRequest(r)
@@ -140,26 +210,26 @@ func Replay(c core.Cache, reqs []trace.Request, model cost.Model, opt Options) (
 		switch out.Decision {
 		case core.Serve:
 			if out.FilledBytes < 0 || out.FilledChunks < 0 {
-				return nil, fmt.Errorf("sim: request %d: negative fill accounting %+v", i, out)
+				return fmt.Errorf("sim: request %d: negative fill accounting %+v", i, out)
 			}
 			if out.FilledIDs != nil && len(out.FilledIDs) != out.FilledChunks {
-				return nil, fmt.Errorf("sim: request %d: FilledIDs/FilledChunks mismatch (%d vs %d)",
+				return fmt.Errorf("sim: request %d: FilledIDs/FilledChunks mismatch (%d vs %d)",
 					i, len(out.FilledIDs), out.FilledChunks)
 			}
 			if out.EvictedIDs != nil && len(out.EvictedIDs) != out.EvictedChunks {
-				return nil, fmt.Errorf("sim: request %d: EvictedIDs/EvictedChunks mismatch (%d vs %d)",
+				return fmt.Errorf("sim: request %d: EvictedIDs/EvictedChunks mismatch (%d vs %d)",
 					i, len(out.EvictedIDs), out.EvictedChunks)
 			}
 			cnt.Filled = out.FilledBytes
 			res.Served++
 		case core.Redirect:
 			if out.FilledChunks != 0 || out.FilledBytes != 0 {
-				return nil, fmt.Errorf("sim: request %d: redirect with nonzero fill %+v", i, out)
+				return fmt.Errorf("sim: request %d: redirect with nonzero fill %+v", i, out)
 			}
 			cnt.Redirected = r.Bytes()
 			res.Redirected++
 		default:
-			return nil, fmt.Errorf("sim: request %d: unknown decision %v", i, out.Decision)
+			return fmt.Errorf("sim: request %d: unknown decision %v", i, out.Decision)
 		}
 		res.FilledChunks += int64(out.FilledChunks)
 		res.EvictedChunks += int64(out.EvictedChunks)
@@ -168,10 +238,145 @@ func Replay(c core.Cache, reqs []trace.Request, model cost.Model, opt Options) (
 			res.Steady.Add(cnt)
 		}
 		series.Add(r.Time, cnt)
-		if opt.Progress != nil && opt.ProgressEvery > 0 && (i+1)%opt.ProgressEvery == 0 {
-			opt.Progress(i+1, len(reqs))
+		res.Requests++
+		if tick != nil {
+			tick()
 		}
 	}
-	res.Requests = len(reqs)
-	return res, nil
+	return nil
+}
+
+// ReplayParallel replays a time-ordered trace through a sharded cache
+// group, one worker per shard (bounded by opt.Workers). The trace is
+// partitioned by video hash with shard.ShardOf — the same placement
+// Group.HandleRequest uses — so each shard's worker sees exactly the
+// request subsequence its sub-cache would have seen under a sequential
+// replay of the group, in the same order. Shards share no mutable
+// state, so no locks are taken on the request path.
+//
+// The merged Result is bit-identical to Replay(g, reqs, model, opt):
+// decisions match per request, and every accounting field is an
+// integer sum over disjoint per-shard sets, which commutes. Progress
+// reporting is approximate during the run (workers race to the shared
+// counter) but always ends with a final (total, total) call.
+func ReplayParallel(g *shard.Group, reqs []trace.Request, model cost.Model, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("sim: nil shard group")
+	}
+	if len(reqs) == 0 {
+		return nil, errors.New("sim: empty trace")
+	}
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	n := g.NumShards()
+
+	// Validate global time order once, then partition by video hash
+	// (two passes: count, then fill exactly-sized sub-traces).
+	counts := make([]int, n)
+	last := reqs[0].Time
+	for i, r := range reqs {
+		if r.Time < last {
+			return nil, fmt.Errorf("sim: request %d out of order (t=%d after %d)", i, r.Time, last)
+		}
+		last = r.Time
+		counts[shard.ShardOf(r.Video, n)]++
+	}
+	subs := make([][]trace.Request, n)
+	for s := range subs {
+		subs[s] = make([]trace.Request, 0, counts[s])
+	}
+	for _, r := range reqs {
+		s := shard.ShardOf(r.Video, n)
+		subs[s] = append(subs[s], r)
+	}
+
+	start := reqs[0].Time
+	end := reqs[len(reqs)-1].Time
+	steadyFrom := start + int64(opt.SteadyFraction*float64(end-start))
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Progress: workers bump a shared counter; the callback itself is
+	// serialized so user code need not be thread-safe.
+	total := len(reqs)
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	tickFor := func() func() {
+		if opt.Progress == nil || opt.ProgressEvery <= 0 {
+			return nil
+		}
+		return func() {
+			d := done.Add(1)
+			if d%int64(opt.ProgressEvery) == 0 {
+				progressMu.Lock()
+				opt.Progress(int(d), total)
+				progressMu.Unlock()
+			}
+		}
+	}
+
+	shardRes := make([]*Result, n)
+	shardErr := make([]error, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				sub := subs[s]
+				if len(sub) == 0 {
+					continue
+				}
+				// Anchor every shard's series at the global trace start
+				// so merged buckets align with the sequential series.
+				series, err := metrics.NewSeriesAt(opt.BucketSeconds, start)
+				if err != nil {
+					shardErr[s] = err
+					continue
+				}
+				r := &Result{Series: series}
+				if err := replayLoop(g.Shard(s), sub, steadyFrom, series, r, tickFor()); err != nil {
+					shardErr[s] = fmt.Errorf("sim: shard %d: %w", s, err)
+					continue
+				}
+				shardRes[s] = r
+			}
+		}()
+	}
+	for s := 0; s < n; s++ {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+
+	if err := errors.Join(shardErr...); err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge in shard order.
+	mergedSeries, err := metrics.NewSeriesAt(opt.BucketSeconds, start)
+	if err != nil {
+		return nil, err
+	}
+	merged := &Result{Algorithm: g.Name(), Model: model, Series: mergedSeries}
+	for _, r := range shardRes {
+		if r == nil {
+			continue
+		}
+		if err := merged.merge(r); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Progress != nil {
+		opt.Progress(total, total)
+	}
+	return merged, nil
 }

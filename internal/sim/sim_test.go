@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"videocdn/internal/chunk"
@@ -209,6 +210,60 @@ func TestReplayAll(t *testing.T) {
 	bad := []Job{{Name: "bad", Cache: nil, Model: m}}
 	if _, err := ReplayAll(bad, reqs, Options{}); err == nil {
 		t.Error("nil cache should surface an error")
+	}
+}
+
+func TestReplayAllJoinsAllErrors(t *testing.T) {
+	var reqs []trace.Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, req(int64(i), 1, 0, 0))
+	}
+	m := cost.MustModel(1)
+	ok, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		{Name: "bad1", Cache: nil, Model: m},
+		{Name: "good", Cache: ok, Model: m},
+		{Name: "bad2", Cache: nil, Model: m},
+	}
+	_, err = ReplayAll(jobs, reqs, Options{})
+	if err == nil {
+		t.Fatal("expected joined errors")
+	}
+	// Both failing jobs must be reported, not just the first.
+	msg := err.Error()
+	if !strings.Contains(msg, "bad1") || !strings.Contains(msg, "bad2") {
+		t.Errorf("joined error lost a job: %v", err)
+	}
+	if strings.Contains(msg, `"good"`) {
+		t.Errorf("healthy job appears in error: %v", err)
+	}
+}
+
+func TestReplayAllFinalProgress(t *testing.T) {
+	var reqs []trace.Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, req(int64(i), chunk.VideoID(i%3), 0, 0))
+	}
+	m := cost.MustModel(1)
+	mk := func() *xlru.Cache {
+		c, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 8}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	var lastDone, lastTotal int
+	_, err := ReplayAll([]Job{{Name: "a", Cache: mk(), Model: m}}, reqs, Options{
+		Progress: func(done, total int) { lastDone, lastTotal = done, total },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastDone != len(reqs) || lastTotal != len(reqs) {
+		t.Errorf("final progress = (%d, %d), want (%d, %d)", lastDone, lastTotal, len(reqs), len(reqs))
 	}
 }
 

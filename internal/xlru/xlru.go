@@ -45,6 +45,11 @@ type Cache struct {
 	requests int64
 
 	fillGate func(chunks int, now int64) bool
+
+	// missingBuf and evictedBuf back Outcome.FilledIDs/EvictedIDs when
+	// the caller opted into core.Config.ReuseOutcomeBuffers.
+	missingBuf []chunk.ID
+	evictedBuf []chunk.ID
 }
 
 // SetFillGate installs an optional admission throttle consulted before
@@ -141,12 +146,20 @@ func (c *Cache) HandleRequest(r trace.Request) core.Outcome {
 	// Serve: find the missing chunks first (the fill gate may veto),
 	// then touch cached chunks (LRU access), evict the oldest to make
 	// room, and fill.
-	missing := make([]chunk.ID, 0, nChunks)
+	var missing []chunk.ID
+	if c.cfg.ReuseOutcomeBuffers {
+		missing = c.missingBuf[:0]
+	} else {
+		missing = make([]chunk.ID, 0, nChunks)
+	}
 	for ci := c0; ci <= c1; ci++ {
 		id := chunk.ID{Video: r.Video, Index: ci}
 		if !c.disk.Contains(id.Key()) {
 			missing = append(missing, id)
 		}
+	}
+	if c.cfg.ReuseOutcomeBuffers {
+		c.missingBuf = missing
 	}
 	if len(missing) > 0 && c.fillGate != nil && !c.fillGate(len(missing), now) {
 		// Disk-write budget exhausted (Section 2): redirect instead of
@@ -164,6 +177,9 @@ func (c *Cache) HandleRequest(r trace.Request) core.Outcome {
 		evict = 0
 	}
 	var evicted []chunk.ID
+	if c.cfg.ReuseOutcomeBuffers {
+		evicted = c.evictedBuf[:0]
+	}
 	for i := 0; i < evict; i++ {
 		// The requested chunks were just touched to the head, so the
 		// tail can never be part of this request (nChunks <= disk).
@@ -172,6 +188,9 @@ func (c *Cache) HandleRequest(r trace.Request) core.Outcome {
 			break
 		}
 		evicted = append(evicted, chunk.FromKey(key))
+	}
+	if c.cfg.ReuseOutcomeBuffers {
+		c.evictedBuf = evicted
 	}
 	for _, id := range missing {
 		c.disk.Touch(id.Key(), now)

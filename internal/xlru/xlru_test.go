@@ -1,6 +1,7 @@
 package xlru
 
 import (
+	"math/rand"
 	"testing"
 
 	"videocdn/internal/chunk"
@@ -300,3 +301,44 @@ func TestName(t *testing.T) {
 
 // Interface conformance.
 var _ core.Cache = (*Cache)(nil)
+
+// TestReuseOutcomeBuffersEquivalence mirrors the cafe test: buffer
+// reuse must be observationally identical to the allocating path.
+func TestReuseOutcomeBuffersEquivalence(t *testing.T) {
+	mk := func(reuse bool) *Cache {
+		t.Helper()
+		c, err := New(core.Config{ChunkSize: testK, DiskChunks: 32, ReuseOutcomeBuffers: reuse}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	plain, reuse := mk(false), mk(true)
+	rng := rand.New(rand.NewSource(9))
+	tm := int64(0)
+	for i := 0; i < 4000; i++ {
+		r := req(tm, chunk.VideoID(rng.Intn(60)), 0, rng.Intn(4))
+		tm += int64(rng.Intn(5))
+		a, b := plain.HandleRequest(r), reuse.HandleRequest(r)
+		if a.Decision != b.Decision || a.FilledChunks != b.FilledChunks ||
+			a.FilledBytes != b.FilledBytes || a.EvictedChunks != b.EvictedChunks {
+			t.Fatalf("request %d: outcomes diverged:\nplain %+v\nreuse %+v", i, a, b)
+		}
+		if len(a.FilledIDs) != len(b.FilledIDs) || len(a.EvictedIDs) != len(b.EvictedIDs) {
+			t.Fatalf("request %d: ID slice lengths diverged", i)
+		}
+		for j := range a.FilledIDs {
+			if a.FilledIDs[j] != b.FilledIDs[j] {
+				t.Fatalf("request %d: FilledIDs[%d] = %v vs %v", i, j, a.FilledIDs[j], b.FilledIDs[j])
+			}
+		}
+		for j := range a.EvictedIDs {
+			if a.EvictedIDs[j] != b.EvictedIDs[j] {
+				t.Fatalf("request %d: EvictedIDs[%d] = %v vs %v", i, j, a.EvictedIDs[j], b.EvictedIDs[j])
+			}
+		}
+	}
+	if plain.Len() != reuse.Len() {
+		t.Errorf("Len diverged: %d vs %d", plain.Len(), reuse.Len())
+	}
+}

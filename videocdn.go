@@ -291,6 +291,46 @@ func NewShardedCafe(n int, chunkSize, diskBytes int64, alpha float64, opt CafeOp
 	})
 }
 
+// NewShardedXLRU is NewShardedCafe for the xLRU baseline: n (power of
+// two) xLRU shards behind one thread-safe cache.
+func NewShardedXLRU(n int, chunkSize, diskBytes int64, alpha float64) (Cache, error) {
+	cfg := core.Config{ChunkSize: chunkSize, DiskChunks: diskChunks(chunkSize, diskBytes)}
+	return shard.New(n, cfg, func(_ int, sub core.Config) (core.Cache, error) {
+		return xlru.New(sub, alpha)
+	})
+}
+
+// ShardStat describes one shard's occupancy (see ShardStats).
+type ShardStat = shard.Stat
+
+// ShardStats reports per-shard chunk occupancy for a cache built by
+// NewShardedCafe or NewShardedXLRU, so hash-balance across shards is
+// observable. ok is false when the cache is not sharded.
+func ShardStats(c Cache) (stats []ShardStat, ok bool) {
+	g, isGroup := c.(*shard.Group)
+	if !isGroup {
+		return nil, false
+	}
+	return g.Stats(), true
+}
+
+// ReplayParallel replays reqs through a sharded cache (NewShardedCafe /
+// NewShardedXLRU), partitioning the trace by video hash and driving
+// each shard on its own worker (opt.Workers bounds the parallelism).
+// The result is bit-identical to Replay of the same sharded cache; on a
+// multi-core machine it is close to NumShards times faster.
+func ReplayParallel(c Cache, reqs []Request, alpha float64, opt ReplayOptions) (*ReplayResult, error) {
+	g, ok := c.(*shard.Group)
+	if !ok {
+		return nil, fmt.Errorf("videocdn: ReplayParallel needs a sharded cache (got %s); build one with NewShardedCafe or NewShardedXLRU", c.Name())
+	}
+	m, err := cost.NewModel(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return sim.ReplayParallel(g, reqs, m, opt)
+}
+
 // SaveCafeState serializes a Cafe cache's decision state (IAT table,
 // cached-chunk set, clock) so a restart does not lose days of cache
 // warmth. The cache must have been built by NewCafe (or friends).
