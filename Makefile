@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race fuzz bench bench-replay experiments experiments-small fmt vet clean
+.PHONY: all build test test-short race chaos fuzz bench bench-replay experiments experiments-small fmt vet clean
 
 all: build test
 
@@ -16,7 +16,14 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/edge/ ./internal/store/ ./internal/shard/ ./internal/sim/
+	$(GO) test -race ./internal/edge/ ./internal/resilience/ ./internal/store/ ./internal/shard/ ./internal/sim/
+
+# Fault-injection suite: drives the edge↔origin stack through seeded
+# outages (5xx bursts, latency spikes, mid-body truncation) and asserts
+# degrade-to-redirect, breaker transitions, exact byte accounting and
+# no goroutine leaks. -count=2 catches state leaking between runs.
+chaos:
+	$(GO) test -race -count=2 -run 'TestChaos|TestFilledBytes|TestPrefetchCharges|TestSelfHealCounts' ./internal/edge/
 
 fuzz:
 	$(GO) test -fuzz=FuzzBinaryReader -fuzztime=30s ./internal/trace/

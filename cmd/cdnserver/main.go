@@ -12,9 +12,15 @@
 //
 //	curl -v 'http://localhost:8081/video?v=42&start=0&end=1048575'
 //	curl 'http://localhost:8081/stats'
+//
+// Both modes shut down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests get -drain to finish, and (edge mode with
+// -state) the cafe snapshot is written after the drain so it can't
+// race live handlers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +34,7 @@ import (
 	"videocdn/internal/core"
 	"videocdn/internal/edge"
 	"videocdn/internal/purelru"
+	"videocdn/internal/resilience"
 	"videocdn/internal/store"
 	"videocdn/internal/xlru"
 )
@@ -42,9 +49,14 @@ func main() {
 	diskGB := flag.Float64("disk-gb", 1, "edge disk size in GB")
 	chunkMB := flag.Float64("chunk-mb", 2, "chunk size in MB")
 	dataDir := flag.String("data", "", "chunk store directory (default: in-memory)")
-	statePath := flag.String("state", "", "cafe state snapshot: loaded on start if present, saved on SIGINT/SIGTERM (edge mode, cafe only)")
+	statePath := flag.String("state", "", "cafe state snapshot: loaded on start if present, saved after graceful shutdown (edge mode, cafe only)")
 	minMB := flag.Int64("origin-min-mb", 8, "origin catalog min video size (MB)")
 	maxMB := flag.Int64("origin-max-mb", 256, "origin catalog max video size (MB)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	fillTimeout := flag.Duration("fill-timeout", 15*time.Second, "per-request budget for origin fills (edge mode)")
+	retries := flag.Int("retries", 3, "max attempts per origin fetch (edge mode)")
+	breakerOpenFor := flag.Duration("breaker-open-for", 5*time.Second, "how long the origin breaker stays open before probing (edge mode)")
+	breakerFailRate := flag.Float64("breaker-failure-rate", 0.5, "origin failure rate that trips the breaker (edge mode)")
 	flag.Parse()
 
 	chunkSize := int64(*chunkMB * (1 << 20))
@@ -56,7 +68,7 @@ func main() {
 			fatal(err)
 		}
 		log.Printf("origin listening on %s (chunk %d bytes)", *listen, chunkSize)
-		fatal(http.ListenAndServe(*listen, o))
+		serveGracefully(o, *listen, *drain, nil)
 	case "edge":
 		if *redirect == "" {
 			fatal(fmt.Errorf("-redirect is required in edge mode (the alternative server location)"))
@@ -97,20 +109,57 @@ func main() {
 			ChunkSize:   chunkSize,
 			Alpha:       *alpha,
 			Client:      &http.Client{Timeout: 60 * time.Second},
+			FillTimeout: *fillTimeout,
+			Retry:       resilience.RetryPolicy{MaxAttempts: *retries},
+			Breaker: resilience.BreakerConfig{
+				OpenFor:     *breakerOpenFor,
+				FailureRate: *breakerFailRate,
+			},
 		})
 		if err != nil {
 			fatal(err)
 		}
+		var afterDrain func()
 		if *statePath != "" {
 			if cc, ok := c.(*cafe.Cache); ok {
-				installStateSaver(cc, *statePath)
+				path := *statePath
+				afterDrain = func() { saveState(cc, path) }
 			}
 		}
 		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk) on %s -> origin %s, redirects to %s",
 			*algo, *alpha, cfg.DiskChunks, *listen, *origin, *redirect)
-		fatal(http.ListenAndServe(*listen, srv))
+		serveGracefully(srv, *listen, *drain, afterDrain)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// serveGracefully runs an http.Server until SIGINT/SIGTERM, then
+// drains in-flight requests for up to drain before closing them, and
+// finally runs afterDrain (if any) — so state snapshots happen with no
+// handler mid-request.
+func serveGracefully(h http.Handler, listen string, drain time.Duration, afterDrain func()) {
+	srv := &http.Server{Addr: listen, Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err) // bind failure or unexpected listener death
+	case sig := <-sigc:
+		log.Printf("%v: draining for up to %v", sig, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		srv.Close()
+	}
+	if afterDrain != nil {
+		afterDrain()
 	}
 }
 
@@ -138,36 +187,27 @@ func loadOrNewCafe(path string, cfg core.Config, alpha float64) (core.Cache, err
 	return c, nil
 }
 
-// installStateSaver snapshots the cache to path on SIGINT/SIGTERM,
-// then exits. The HTTP server holds its own lock around the cache, so
-// a handler mid-request could race a signal; the exposure window is
-// the process's final milliseconds and a torn snapshot fails loudly on
-// load (checksummed by structure), which we accept for an example
-// server.
-func installStateSaver(c *cafe.Cache, path string) {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-ch
-		tmp := path + ".tmp"
-		f, err := os.Create(tmp)
+// saveState snapshots the cache to path via a temp file + rename. It
+// runs after the server has drained, so no handler can race the
+// snapshot.
+func saveState(c *cafe.Cache, path string) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err == nil {
+		if err = c.Save(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
 		if err == nil {
-			if err = c.Save(f); err == nil {
-				err = f.Close()
-			} else {
-				f.Close()
-			}
-			if err == nil {
-				err = os.Rename(tmp, path)
-			}
+			err = os.Rename(tmp, path)
 		}
-		if err != nil {
-			log.Printf("saving state: %v", err)
-			os.Exit(1)
-		}
-		log.Printf("saved cafe state to %s (%d chunks)", path, c.Len())
-		os.Exit(0)
-	}()
+	}
+	if err != nil {
+		log.Printf("saving state: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("saved cafe state to %s (%d chunks)", path, c.Len())
 }
 
 func fatal(err error) {

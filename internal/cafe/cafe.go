@@ -502,6 +502,18 @@ func (c *Cache) evictChunk(id chunk.ID) {
 	}
 }
 
+// Forget undoes the admission of one chunk whose cache fill failed
+// (the HTTP edge server's degrade-to-redirect path): disk bookkeeping
+// drops the chunk while its IAT history is kept — a fill failure says
+// nothing about the chunk's popularity. No-op when the chunk is not on
+// disk.
+func (c *Cache) Forget(id chunk.ID) {
+	if !c.tree.Contains(id.Key()) {
+		return
+	}
+	c.evictChunk(id)
+}
+
 // cleanup prunes IAT history of chunks that are not cached and whose
 // popularity is too stale to influence any future decision. The
 // horizon is a small multiple of the cache age — beyond it, T/IAT is

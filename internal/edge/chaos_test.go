@@ -1,0 +1,566 @@
+package edge
+
+// Chaos tests: drive the full edge↔origin stack through injected
+// outages (seeded error rates, latency spikes, mid-body truncation)
+// and assert the resilience contract — clients only ever see
+// 200/206/302 on /video, the circuit breaker opens and recovers, the
+// Eq. 2 byte accounting reconciles exactly, and nothing leaks. Run
+// them under the race detector via `make chaos`.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"videocdn/internal/cafe"
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/resilience"
+	"videocdn/internal/store"
+	"videocdn/internal/xlru"
+)
+
+// countingStore wraps a Store and tallies the bytes committed by Put —
+// the ground truth for "bytes actually fetched from origin".
+type countingStore struct {
+	store.Store
+	putBytes atomic.Int64
+}
+
+func (s *countingStore) Put(id chunk.ID, data []byte) error {
+	err := s.Store.Put(id, data)
+	if err == nil {
+		s.putBytes.Add(int64(len(data)))
+	}
+	return err
+}
+
+// chaosRig is a full edge↔origin stack with fault injection between
+// the two and fast retry/breaker settings suitable for tests.
+type chaosRig struct {
+	fault     *FaultOrigin
+	originSrv *httptest.Server
+	edge      *Server
+	edgeSrv   *httptest.Server
+	store     *countingStore
+	client    *http.Client // does not follow redirects
+}
+
+func newChaosRig(t *testing.T, c core.Cache, catalog Catalog, fault FaultConfig,
+	retry resilience.RetryPolicy, breaker resilience.BreakerConfig) *chaosRig {
+	t.Helper()
+	o, err := NewOrigin(catalog, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &chaosRig{fault: NewFaultOrigin(o, fault), store: &countingStore{Store: store.NewMem()}}
+	rig.originSrv = httptest.NewServer(rig.fault)
+	t.Cleanup(rig.originSrv.Close)
+	now := int64(0)
+	var nowMu sync.Mutex
+	s, err := NewServer(Config{
+		Cache: c, Store: rig.store,
+		OriginURL: rig.originSrv.URL, RedirectURL: "http://secondary.example",
+		ChunkSize: testK, Alpha: 1,
+		Clock:       func() int64 { nowMu.Lock(); defer nowMu.Unlock(); now++; return now },
+		FillTimeout: 5 * time.Second,
+		Retry:       retry,
+		Breaker:     breaker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.edge = s
+	rig.edgeSrv = httptest.NewServer(s)
+	t.Cleanup(rig.edgeSrv.Close)
+	rig.client = &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	return rig
+}
+
+func (r *chaosRig) get(t *testing.T, v chunk.VideoID, start, end int64) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := r.client.Get(fmt.Sprintf("%s/video?v=%d&start=%d&end=%d", r.edgeSrv.URL, v, start, end))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// fastRetry keeps chaos tests quick: tight backoff, a few attempts.
+func fastRetry() resilience.RetryPolicy {
+	return resilience.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+// neverTrip effectively disables the breaker so retry behavior can be
+// observed in isolation.
+func neverTrip() resilience.BreakerConfig {
+	return resilience.BreakerConfig{MinSamples: math.MaxInt32}
+}
+
+// TestChaosOnlyGoodStatusesAndAccounting is the acceptance scenario:
+// ≥30% origin error rate plus latency spikes and mid-body truncation,
+// concurrent clients — and still every /video response is 200/206/302
+// (zero 502s), every served body is byte-exact, and the Eq. 2
+// counters reconcile: Requested == served bytes + Redirected, and
+// Filled equals exactly the bytes fetched from origin.
+func TestChaosOnlyGoodStatusesAndAccounting(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 4096}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := DeterministicCatalog{MinBytes: 2 * testK, MaxBytes: 6 * testK}
+	rig := newChaosRig(t, cache, catalog, FaultConfig{
+		Seed: 42, ErrorRate: 0.35, LatencyRate: 0.2, Latency: 2 * time.Millisecond, TruncateRate: 0.15,
+	}, fastRetry(), neverTrip())
+
+	const goroutines, perG = 8, 30
+	var servedBytes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := chunk.VideoID(1 + (g*perG+i)%16)
+				size, _ := catalog.SizeOf(v)
+				resp, body := rig.get(t, v, 0, size-1)
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusPartialContent:
+					if !bytes.Equal(body, expected(v, 0, size-1)) {
+						t.Errorf("video %d: served body mismatch (%d bytes)", v, len(body))
+					}
+					servedBytes.Add(int64(len(body)))
+				case http.StatusFound:
+					// The second line of defense; always acceptable.
+				default:
+					t.Errorf("video %d: status %d — clients must only see 200/206/302", v, resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := rig.edge.SnapshotStats()
+	if st.Served+st.Redirected != goroutines*perG {
+		t.Errorf("handled %d requests, want %d", st.Served+st.Redirected, goroutines*perG)
+	}
+	// Eq. 2 egress side: every requested byte was either served or
+	// redirected, exactly.
+	if st.RequestedBytes != servedBytes.Load()+st.RedirectedBytes {
+		t.Errorf("Requested (%d) != served (%d) + Redirected (%d)",
+			st.RequestedBytes, servedBytes.Load(), st.RedirectedBytes)
+	}
+	// Eq. 2 ingress side: Filled is exactly the bytes committed from
+	// origin fetches — and exactly what the origin fully delivered.
+	if got := rig.store.putBytes.Load(); st.FilledBytes != got {
+		t.Errorf("FilledBytes = %d, store committed %d", st.FilledBytes, got)
+	}
+	if counts := rig.fault.Counts(); st.FilledBytes != counts.ChunkBytesOK {
+		t.Errorf("FilledBytes = %d, origin fully delivered %d", st.FilledBytes, counts.ChunkBytesOK)
+	}
+	if st.OriginRetries == 0 {
+		t.Error("a 35%% error rate must cause retries")
+	}
+	if c := rig.fault.Counts(); c.Errors == 0 || c.Truncations == 0 || c.Spikes == 0 {
+		t.Errorf("fault injection inactive: %+v", c)
+	}
+}
+
+// TestChaosBreakerOpensAndRecovers scripts a full outage: the breaker
+// trips open (requests degrade to fast 302s without contacting the
+// origin), then a probe after the open interval closes it again.
+func TestChaosBreakerOpensAndRecovers(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 4096}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := DeterministicCatalog{MinBytes: 2 * testK, MaxBytes: 4 * testK}
+	breaker := resilience.BreakerConfig{
+		Window: time.Minute, MinSamples: 4, FailureRate: 0.5,
+		OpenFor: 500 * time.Millisecond, MaxProbes: 1, ProbesToClose: 1,
+	}
+	rig := newChaosRig(t, cache, catalog, FaultConfig{}, // healthy to start
+		resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}, breaker)
+
+	size := func(v chunk.VideoID) int64 { s, _ := catalog.SizeOf(v); return s }
+
+	// Phase 1: healthy serve.
+	if resp, _ := rig.get(t, 1, 0, size(1)-1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy: status %d", resp.StatusCode)
+	}
+
+	// Phase 2: total outage. Every request degrades to 302; within a
+	// few requests the failure rate trips the breaker.
+	rig.fault.SetConfig(FaultConfig{Seed: 7, ErrorRate: 1})
+	tripped := false
+	for v := chunk.VideoID(10); v < 20; v++ {
+		resp, _ := rig.get(t, v, 0, size(v)-1)
+		if resp.StatusCode != http.StatusFound {
+			t.Fatalf("outage: video %d status %d, want 302", v, resp.StatusCode)
+		}
+		if rig.edge.BreakerState() == resilience.Open {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("breaker never opened during a total outage")
+	}
+
+	// While open, requests fail fast: the origin sees at most one
+	// probe even though we keep hammering.
+	before := rig.fault.Counts().Requests
+	for v := chunk.VideoID(30); v < 35; v++ {
+		resp, _ := rig.get(t, v, 0, size(v)-1)
+		if resp.StatusCode != http.StatusFound {
+			t.Errorf("open breaker: video %d status %d, want 302", v, resp.StatusCode)
+		}
+	}
+	if after := rig.fault.Counts().Requests; after > before+1 {
+		t.Errorf("open breaker leaked %d origin calls", after-before)
+	}
+
+	// Phase 3: origin heals. After OpenFor the next request probes
+	// (half-open), succeeds, closes the breaker and serves.
+	rig.fault.SetConfig(FaultConfig{})
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for v := chunk.VideoID(50); time.Now().Before(deadline); v++ {
+		resp, body := rig.get(t, v, 0, size(v)-1)
+		if resp.StatusCode == http.StatusOK && bytes.Equal(body, expected(v, 0, size(v)-1)) {
+			recovered = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("edge never recovered after the origin healed")
+	}
+	if got := rig.edge.BreakerState(); got != resilience.Closed {
+		t.Errorf("breaker state after recovery = %v, want closed", got)
+	}
+	st := rig.edge.SnapshotStats()
+	if st.BreakerOpens == 0 {
+		t.Error("breaker opens must be counted")
+	}
+	if st.DegradedRedirects == 0 {
+		t.Error("degraded redirects must be counted")
+	}
+}
+
+// TestChaosDegradeRollsBackAdmission pins the consistency contract of
+// degrade-to-redirect: a failed fill's admission is undone in both
+// cache and store, the bytes are charged as Redirected (not Filled),
+// and the request heals normally once the origin returns.
+func TestChaosDegradeRollsBackAdmission(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := MapCatalog{1: 2 * testK}
+	rig := newChaosRig(t, cache, catalog, FaultConfig{}, fastRetry(), neverTrip())
+
+	// Warm chunk 0 only; the size is now cached at the edge.
+	if resp, _ := rig.get(t, 1, 0, testK-1); resp.StatusCode != http.StatusOK &&
+		resp.StatusCode != http.StatusPartialContent {
+		t.Fatal("warmup failed")
+	}
+
+	// Outage. The request admits chunk 1, whose fill fails: the edge
+	// must roll the admission back and answer 302.
+	rig.fault.SetConfig(FaultConfig{Seed: 1, ErrorRate: 1})
+	resp, _ := rig.get(t, 1, 0, 2*testK-1)
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("during outage: status %d, want 302", resp.StatusCode)
+	}
+	if cache.Contains(chunk.ID{Video: 1, Index: 1}) {
+		t.Error("failed fill's admission must be forgotten by the cache")
+	}
+	if rig.store.Has(chunk.ID{Video: 1, Index: 1}) {
+		t.Error("failed fill must leave no bytes in the store")
+	}
+	if !cache.Contains(chunk.ID{Video: 1, Index: 0}) || !rig.store.Has(chunk.ID{Video: 1, Index: 0}) {
+		t.Error("previously cached chunk must survive the rollback")
+	}
+	st := rig.edge.SnapshotStats()
+	if st.DegradedRedirects != 1 {
+		t.Errorf("DegradedRedirects = %d, want 1", st.DegradedRedirects)
+	}
+	if st.FilledBytes != testK {
+		t.Errorf("FilledBytes = %d, want %d (only the warmed chunk)", st.FilledBytes, testK)
+	}
+	if st.RequestedBytes != testK+2*testK || st.RedirectedBytes != 2*testK {
+		t.Errorf("accounting: requested %d redirected %d", st.RequestedBytes, st.RedirectedBytes)
+	}
+
+	// Heal: the same request now serves byte-exactly.
+	rig.fault.SetConfig(FaultConfig{})
+	resp, body := rig.get(t, 1, 0, 2*testK-1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after heal: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, expected(1, 0, 2*testK-1)) {
+		t.Error("healed body mismatch")
+	}
+}
+
+// TestChaosFlightCoalescingExactlyOneFetch is the concurrency
+// contract of fill(): N concurrent requests for the same missing chunk
+// trigger exactly one origin fetch.
+func TestChaosFlightCoalescingExactlyOneFetch(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOrigin(MapCatalog{1: 4 * testK}, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingOrigin{inner: o}
+	originSrv := httptest.NewServer(counting)
+	defer originSrv.Close()
+	s, err := NewServer(Config{
+		Cache: cache, Store: store.NewMem(),
+		OriginURL: originSrv.URL, RedirectURL: "http://secondary.example",
+		ChunkSize: testK, Alpha: 1, Clock: func() int64 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := chunk.ID{Video: 1, Index: 0}
+	const waiters = 32
+	start := make(chan struct{})
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			errs[i] = s.fill(context.Background(), id)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("waiter %d: %v", i, err)
+		}
+	}
+	counting.mu.Lock()
+	n := counting.chunk["v=1&c=0"]
+	counting.mu.Unlock()
+	if n != 1 {
+		t.Errorf("origin fetched the chunk %d times, want exactly 1", n)
+	}
+}
+
+// TestChaosFlightCancellationDoesNotPoisonWaiters: a waiter whose
+// context dies abandons the flight without cancelling it; the
+// remaining waiters still get the chunk, from a single origin fetch.
+func TestChaosFlightCancellationDoesNotPoisonWaiters(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOrigin(MapCatalog{1: 4 * testK}, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := NewFaultOrigin(o, FaultConfig{LatencyRate: 1, Latency: 150 * time.Millisecond})
+	originSrv := httptest.NewServer(fault)
+	defer originSrv.Close()
+	mem := store.NewMem()
+	s, err := NewServer(Config{
+		Cache: cache, Store: mem,
+		OriginURL: originSrv.URL, RedirectURL: "http://secondary.example",
+		ChunkSize: testK, Alpha: 1, Clock: func() int64 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := chunk.ID{Video: 1, Index: 0}
+	ctxA, cancelA := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancelA()
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = s.fill(ctxA, id) }()
+	go func() { defer wg.Done(); errB = s.fill(context.Background(), id) }()
+	wg.Wait()
+
+	if errA == nil {
+		t.Error("cancelled waiter should have returned its context error")
+	}
+	// The surviving waiter gets the chunk: the flight ran to completion
+	// despite waiter A abandoning it. (The store bytes themselves are
+	// orphan-cleaned right after, since nothing admitted the chunk.)
+	if errB != nil {
+		t.Errorf("surviving waiter: %v", errB)
+	}
+	if n := fault.Counts().Requests; n != 1 {
+		t.Errorf("origin saw %d fetches, want 1", n)
+	}
+	// No admission claimed the chunk, so the flight's orphan cleanup
+	// must have dropped the bytes (store and cache stay in sync).
+	if mem.Has(id) {
+		t.Error("unclaimed bytes must not squat in the store")
+	}
+}
+
+// TestChaosNoGoroutineLeak hammers the edge with faults, slow origin
+// responses and impatient clients, then requires the goroutine count
+// to settle back to the baseline.
+func TestChaosNoGoroutineLeak(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 4096}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := DeterministicCatalog{MinBytes: 2 * testK, MaxBytes: 4 * testK}
+	rig := newChaosRig(t, cache, catalog, FaultConfig{
+		Seed: 3, ErrorRate: 0.3, LatencyRate: 1, Latency: 30 * time.Millisecond,
+	}, resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}, neverTrip())
+
+	// Baseline after the stack (conn pools etc.) is warm.
+	rig.get(t, 1, 0, testK-1)
+	before := runtime.NumGoroutine()
+
+	impatient := &http.Client{Timeout: 10 * time.Millisecond}
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := chunk.VideoID(2 + i%8)
+			size, _ := catalog.SizeOf(v)
+			url := fmt.Sprintf("%s/video?v=%d&start=0&end=%d", rig.edgeSrv.URL, v, size-1)
+			// Impatient clients abandon mid-fill; patient ones follow up.
+			if resp, err := impatient.Get(url); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			resp, err := rig.client.Get(url)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+
+	impatient.CloseIdleConnections()
+	rig.client.CloseIdleConnections()
+	rig.edge.cfg.Client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+8 {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d at baseline, %d after settling — leak", before, runtime.NumGoroutine())
+}
+
+// TestFilledBytesExactOnShortTailChunk pins ingress accounting to the
+// bytes actually fetched: a video whose final chunk is short must not
+// be charged a whole chunk.
+func TestFilledBytesExactOnShortTailChunk(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(testK + testK/4) // 1.25 chunks
+	rig := newChaosRig(t, cache, MapCatalog{1: size}, FaultConfig{}, fastRetry(), neverTrip())
+	resp, body := rig.get(t, 1, 0, size-1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if int64(len(body)) != size {
+		t.Fatalf("body %d bytes, want %d", len(body), size)
+	}
+	if st := rig.edge.SnapshotStats(); st.FilledBytes != size {
+		t.Errorf("FilledBytes = %d, want %d (exact tail accounting)", st.FilledBytes, size)
+	}
+}
+
+// TestPrefetchChargesActualTailBytes is the /prefetch variant of the
+// tail-chunk accounting fix.
+func TestPrefetchChargesActualTailBytes(t *testing.T) {
+	cache, err := cafe.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1, cafe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(testK + testK/2) // chunk 1 is a half chunk
+	rig := newChaosRig(t, cache, MapCatalog{1: size}, FaultConfig{}, fastRetry(), neverTrip())
+	// Establish popularity on chunk 0.
+	rig.get(t, 1, 0, testK-1)
+	rig.get(t, 1, 0, testK-1)
+	before := rig.edge.SnapshotStats().FilledBytes
+
+	resp, err := http.Post(rig.edgeSrv.URL+"/prefetch?v=1&chunks=4", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prefetch status %d: %s", resp.StatusCode, b)
+	}
+	after := rig.edge.SnapshotStats().FilledBytes
+	if got := after - before; got != testK/2 {
+		t.Errorf("prefetch charged %d filled bytes, want %d (the tail chunk's true size)", got, testK/2)
+	}
+}
+
+// TestSelfHealCountsIngress pins the self-heal accounting fix: a chunk
+// re-fetched because the store lost it is real ingress and appears in
+// both Filled and the self_heals counter.
+func TestSelfHealCountsIngress(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newChaosRig(t, cache, MapCatalog{1: 2 * testK}, FaultConfig{}, fastRetry(), neverTrip())
+	rig.get(t, 1, 0, 2*testK-1)
+	if st := rig.edge.SnapshotStats(); st.FilledBytes != 2*testK || st.SelfHeals != 0 {
+		t.Fatalf("after warmup: %+v", st)
+	}
+	// Sabotage the store behind the cache's back.
+	if err := rig.store.Delete(chunk.ID{Video: 1, Index: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := rig.get(t, 1, 0, 2*testK-1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, expected(1, 0, 2*testK-1)) {
+		t.Error("healed body mismatch")
+	}
+	st := rig.edge.SnapshotStats()
+	if st.SelfHeals != 1 {
+		t.Errorf("SelfHeals = %d, want 1", st.SelfHeals)
+	}
+	if st.FilledBytes != 3*testK {
+		t.Errorf("FilledBytes = %d, want %d (self-heal is real ingress)", st.FilledBytes, 3*testK)
+	}
+}

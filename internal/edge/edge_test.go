@@ -412,6 +412,13 @@ func TestEdgeMetricsEndpoint(t *testing.T) {
 		"videocdn_cached_chunks{algorithm=\"xlru\"} 1",
 		"# TYPE videocdn_cache_efficiency gauge",
 		"videocdn_filled_bytes_total",
+		"videocdn_degraded_redirects_total",
+		"videocdn_self_heals_total",
+		"videocdn_store_delete_errors_total",
+		"videocdn_origin_retries_total",
+		"videocdn_breaker_opens_total",
+		"# TYPE videocdn_breaker_state gauge",
+		"videocdn_breaker_state{algorithm=\"xlru\"} 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)
@@ -501,8 +508,11 @@ func TestEdgeSurvivesOriginOutage(t *testing.T) {
 	}
 	edgeSrv := httptest.NewServer(s)
 	defer edgeSrv.Close()
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
 	get := func(v chunk.VideoID) int {
-		resp, err := http.Get(fmt.Sprintf("%s/video?v=%d&start=0&end=%d", edgeSrv.URL, v, 2*testK-1))
+		resp, err := client.Get(fmt.Sprintf("%s/video?v=%d&start=0&end=%d", edgeSrv.URL, v, 2*testK-1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -514,24 +524,33 @@ func TestEdgeSurvivesOriginOutage(t *testing.T) {
 	if code := get(1); code != http.StatusOK {
 		t.Fatalf("healthy fill: %d", code)
 	}
-	// Outage: a fill-bearing request fails with 502...
+	// Outage: a fill-bearing request degrades to the second line of
+	// defense — a 302 to the alternative location, never a 502...
 	flaky.set(true)
-	if code := get(2); code != http.StatusBadGateway {
-		t.Errorf("during outage: %d, want 502", code)
+	if code := get(2); code != http.StatusFound {
+		t.Errorf("during outage: %d, want 302", code)
 	}
 	// ...but cached content keeps serving.
 	if code := get(1); code != http.StatusOK {
 		t.Errorf("cached content during outage: %d, want 200", code)
 	}
-	// Recovery: the failed video works again. Note the cache admitted
-	// video 2's chunks during the outage (its decision is divorced
-	// from the fill transport) — the store self-heals on demand.
+	// Recovery: the failed video works again. The degraded request's
+	// admission was rolled back, so cache and store agree throughout.
 	flaky.set(false)
 	if code := get(2); code != http.StatusOK {
 		t.Errorf("after recovery: %d, want 200", code)
 	}
-	if st := s.SnapshotStats(); st.FillErrors == 0 {
+	st := s.SnapshotStats()
+	if st.FillErrors == 0 {
 		t.Error("outage should be visible in stats")
+	}
+	if st.DegradedRedirects == 0 {
+		t.Error("degraded redirect should be counted")
+	}
+	if st.RequestedBytes != 2*testK*3+st.RedirectedBytes {
+		// 3 served requests of 2K each, plus the degraded one charged
+		// symmetrically on both sides.
+		t.Errorf("accounting: requested %d, redirected %d", st.RequestedBytes, st.RedirectedBytes)
 	}
 }
 

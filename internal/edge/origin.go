@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"videocdn/internal/chunk"
 )
@@ -144,17 +145,38 @@ func (o *Origin) handleVideo(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseRange interprets a Range header (or start/end query parameters)
-// against the video size, defaulting to the whole video.
+// against the video size, defaulting to the whole video. The
+// single-range forms of RFC 7233 are supported: "bytes=a-b",
+// open-ended "bytes=a-", and the suffix form "bytes=-n" (the final n
+// bytes of the video). Multi-range requests are rejected.
 func parseRange(r *http.Request, size int64) (b0, b1 int64, err error) {
 	b0, b1 = 0, size-1
 	if h := r.Header.Get("Range"); h != "" {
-		var s, e int64
-		if n, _ := fmt.Sscanf(h, "bytes=%d-%d", &s, &e); n == 2 {
-			b0, b1 = s, e
-		} else if n, _ := fmt.Sscanf(h, "bytes=%d-", &s); n == 1 {
-			b0 = s
-		} else {
+		spec, ok := strings.CutPrefix(h, "bytes=")
+		dash := strings.IndexByte(spec, '-')
+		if !ok || dash < 0 || strings.ContainsAny(spec, ", ") {
 			return 0, 0, fmt.Errorf("unparseable Range %q", h)
+		}
+		first, last := spec[:dash], spec[dash+1:]
+		if first == "" {
+			// Suffix range: the last n bytes (RFC 7233 §2.1).
+			n, perr := strconv.ParseInt(last, 10, 64)
+			if perr != nil || n <= 0 {
+				return 0, 0, fmt.Errorf("unsatisfiable suffix Range %q", h)
+			}
+			if n > size {
+				n = size
+			}
+			b0, b1 = size-n, size-1
+		} else {
+			if b0, err = strconv.ParseInt(first, 10, 64); err != nil {
+				return 0, 0, fmt.Errorf("unparseable Range %q", h)
+			}
+			if last != "" {
+				if b1, err = strconv.ParseInt(last, 10, 64); err != nil {
+					return 0, 0, fmt.Errorf("unparseable Range %q", h)
+				}
+			}
 		}
 	} else {
 		q := r.URL.Query()

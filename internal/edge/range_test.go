@@ -1,0 +1,107 @@
+package edge
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"videocdn/internal/core"
+	"videocdn/internal/xlru"
+)
+
+// TestParseRange covers the supported RFC 7233 single-range forms
+// (explicit, open-ended, suffix) plus the query-parameter fallback and
+// malformed inputs.
+func TestParseRange(t *testing.T) {
+	const size = 1000
+	cases := []struct {
+		name    string
+		url     string
+		header  string // Range header; empty = none
+		wantB0  int64
+		wantB1  int64
+		wantErr bool
+	}{
+		{name: "whole video by default", url: "/video?v=1", wantB0: 0, wantB1: size - 1},
+		{name: "explicit range", url: "/video?v=1", header: "bytes=100-299", wantB0: 100, wantB1: 299},
+		{name: "open-ended range", url: "/video?v=1", header: "bytes=250-", wantB0: 250, wantB1: size - 1},
+		{name: "single byte", url: "/video?v=1", header: "bytes=0-0", wantB0: 0, wantB1: 0},
+		{name: "suffix range", url: "/video?v=1", header: "bytes=-200", wantB0: size - 200, wantB1: size - 1},
+		{name: "suffix of whole video", url: "/video?v=1", header: "bytes=-1000", wantB0: 0, wantB1: size - 1},
+		{name: "suffix longer than video clamps", url: "/video?v=1", header: "bytes=-5000", wantB0: 0, wantB1: size - 1},
+		{name: "end beyond size clamps", url: "/video?v=1", header: "bytes=900-99999", wantB0: 900, wantB1: size - 1},
+		{name: "zero suffix unsatisfiable", url: "/video?v=1", header: "bytes=-0", wantErr: true},
+		{name: "bare dash", url: "/video?v=1", header: "bytes=-", wantErr: true},
+		{name: "garbage bounds", url: "/video?v=1", header: "bytes=abc-def", wantErr: true},
+		{name: "garbage end", url: "/video?v=1", header: "bytes=10-def", wantErr: true},
+		{name: "inverted range", url: "/video?v=1", header: "bytes=5-2", wantErr: true},
+		{name: "multi-range rejected", url: "/video?v=1", header: "bytes=0-1,5-6", wantErr: true},
+		{name: "wrong unit", url: "/video?v=1", header: "chars=0-10", wantErr: true},
+		{name: "missing unit", url: "/video?v=1", header: "0-10", wantErr: true},
+		{name: "negative suffix value", url: "/video?v=1", header: "bytes=--5", wantErr: true},
+		{name: "start beyond size", url: "/video?v=1", header: "bytes=1000-", wantErr: true},
+		{name: "query params", url: "/video?v=1&start=10&end=19", wantB0: 10, wantB1: 19},
+		{name: "query start only", url: "/video?v=1&start=10", wantB0: 10, wantB1: size - 1},
+		{name: "query end only", url: "/video?v=1&end=9", wantB0: 0, wantB1: 9},
+		{name: "bad query start", url: "/video?v=1&start=x", wantErr: true},
+		{name: "bad query end", url: "/video?v=1&end=x", wantErr: true},
+		{name: "negative query start", url: "/video?v=1&start=-5", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := httptest.NewRequest("GET", tc.url, nil)
+			if tc.header != "" {
+				r.Header.Set("Range", tc.header)
+			}
+			b0, b1, err := parseRange(r, size)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parseRange = [%d,%d], want error", b0, b1)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseRange: %v", err)
+			}
+			if b0 != tc.wantB0 || b1 != tc.wantB1 {
+				t.Errorf("parseRange = [%d,%d], want [%d,%d]", b0, b1, tc.wantB0, tc.wantB1)
+			}
+		})
+	}
+}
+
+// TestSuffixRangeServed exercises the suffix form end-to-end through
+// the edge: the response must carry exactly the final n bytes.
+func TestSuffixRangeServed(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(2*testK + testK/2)
+	rig := newRig(t, cache, MapCatalog{1: size})
+
+	req, err := http.NewRequest("GET", rig.edgeSrv.URL+"/video?v=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Range", "bytes=-300")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("status = %d, want 206", resp.StatusCode)
+	}
+	if !bytes.Equal(body, expected(1, size-300, size-1)) {
+		t.Error("suffix body mismatch")
+	}
+	want := fmt.Sprintf("bytes %d-%d/%d", size-300, size-1, size)
+	if cr := resp.Header.Get("Content-Range"); cr != want {
+		t.Errorf("Content-Range = %q, want %q", cr, want)
+	}
+}

@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"videocdn/internal/chunk"
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
+	"videocdn/internal/resilience"
 	"videocdn/internal/store"
 	"videocdn/internal/trace"
 )
@@ -42,6 +44,16 @@ type Config struct {
 	// Client performs origin fetches. Defaults to a client with a
 	// 30-second timeout.
 	Client *http.Client
+	// FillTimeout bounds the total origin time spent on behalf of one
+	// request (size lookup plus chunk fetches, retries included); each
+	// coalesced fetch flight gets the same budget. Default 15s.
+	FillTimeout time.Duration
+	// Retry tunes origin retry/backoff (zero value → resilience
+	// package defaults).
+	Retry resilience.RetryPolicy
+	// Breaker tunes the origin circuit breaker (zero value →
+	// resilience package defaults).
+	Breaker resilience.BreakerConfig
 }
 
 // Server is the HTTP edge cache.
@@ -51,16 +63,27 @@ type Config struct {
 //	GET /video?v=<id>    serve (200/206), or 302 to RedirectURL
 //	GET /stats           JSON counters and efficiency
 //	GET /healthz         liveness
+//
+// The origin is treated as an unreliable upstream: fetches retry with
+// backoff, a circuit breaker fails fast during sustained outages, and
+// when the fill line of defense is lost the server degrades to the
+// paper's second line — a 302 to the alternative location — instead of
+// surfacing a 502.
 type Server struct {
-	cfg   Config
-	model cost.Model
-	mux   *http.ServeMux
+	cfg     Config
+	model   cost.Model
+	mux     *http.ServeMux
+	retrier *resilience.Retrier
+	breaker *resilience.Breaker
 
-	mu       sync.Mutex // guards cache and counters
-	counters cost.Counters
-	served   int64
-	redirs   int64
-	fillErrs int64
+	mu        sync.Mutex // guards cache and counters
+	counters  cost.Counters
+	served    int64
+	redirs    int64
+	degraded  int64 // 302s issued because the origin was unusable
+	selfHeals int64 // chunks re-fetched because the store lost them
+	fillErrs  int64
+	storeDels int64 // store Delete failures (leaked bytes)
 
 	sizeMu sync.RWMutex            // video sizes are immutable; cache them so
 	sizes  map[chunk.VideoID]int64 // origin outages cannot break cache hits
@@ -70,7 +93,9 @@ type Server struct {
 }
 
 // flight is one in-progress origin fetch that concurrent requests for
-// the same chunk wait on instead of re-fetching.
+// the same chunk wait on instead of re-fetching. The fetch runs in its
+// own goroutine with its own deadline, so a waiter's cancellation
+// never poisons the other waiters.
 type flight struct {
 	done chan struct{}
 	err  error
@@ -107,8 +132,13 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
+	if cfg.FillTimeout <= 0 {
+		cfg.FillTimeout = 15 * time.Second
+	}
 	s := &Server{
 		cfg: cfg, model: model, mux: http.NewServeMux(),
+		retrier: resilience.NewRetrier(cfg.Retry),
+		breaker: resilience.NewBreaker(cfg.Breaker),
 		sizes:   make(map[chunk.VideoID]int64),
 		flights: make(map[uint64]*flight),
 	}
@@ -128,6 +158,13 @@ func NewServer(cfg Config) (*Server, error) {
 type prefetcher interface {
 	PrefetchChunk(id chunk.ID, now int64) bool
 	HighestCachedIndex(v chunk.VideoID) (uint32, bool)
+}
+
+// forgetter is the optional capability to undo a chunk admission whose
+// cache fill failed, keeping the cache's bookkeeping consistent with
+// the store (all algorithms in this repository implement it).
+type forgetter interface {
+	Forget(id chunk.ID)
 }
 
 // handlePrefetch serves POST /prefetch?v=<id>&chunks=<n>: sequential
@@ -158,7 +195,9 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	size, err := s.originSize(v)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FillTimeout)
+	defer cancel()
+	size, err := s.originSize(ctx, v)
 	if err != nil {
 		http.Error(w, "origin: "+err.Error(), http.StatusBadGateway)
 		return
@@ -180,16 +219,14 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 		if !admitted {
 			break
 		}
-		if err := s.fill(id); err != nil {
-			s.mu.Lock()
-			s.fillErrs++
-			s.mu.Unlock()
+		// Ingress accounting happens inside the fetch with the chunk's
+		// actual byte count (a tail chunk is shorter than ChunkSize).
+		if err := s.fill(ctx, id); err != nil {
+			s.noteFillErr()
+			s.undoAdmission([]chunk.ID{id})
 			http.Error(w, "cache fill: "+err.Error(), http.StatusBadGateway)
 			return
 		}
-		s.mu.Lock()
-		s.counters.Filled += s.cfg.ChunkSize
-		s.mu.Unlock()
 		accepted++
 	}
 	fmt.Fprintf(w, "accepted %d\n", accepted)
@@ -204,9 +241,19 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	size, err := s.originSize(v)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FillTimeout)
+	defer cancel()
+	size, err := s.originSize(ctx, v)
 	if err != nil {
-		http.Error(w, "origin: "+err.Error(), http.StatusBadGateway)
+		if resilience.IsPermanent(err) {
+			// The origin is alive and said no (e.g. unknown video);
+			// the alternative location would fare no better.
+			http.Error(w, "origin: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		// Origin unreachable and size unknown: fall back to the second
+		// line of defense.
+		s.degrade(w, r, requestBytesHint(r))
 		return
 	}
 	b0, b1, err := parseRange(r, size)
@@ -229,29 +276,50 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Materialize the decision: fetch filled chunks, drop evicted.
-	for _, id := range out.FilledIDs {
-		if err := s.fill(id); err != nil {
-			s.mu.Lock()
-			s.fillErrs++
-			s.mu.Unlock()
-			http.Error(w, "cache fill: "+err.Error(), http.StatusBadGateway)
+	// The eviction decision stands however the fills go: mirror it in
+	// the store first so cache and store agree.
+	for _, id := range out.EvictedIDs {
+		if err := s.cfg.Store.Delete(id); err != nil {
+			s.noteStoreDeleteErr()
+		}
+	}
+
+	// Materialize the fills. A failed fetch (after retries, or fast
+	// because the breaker is open) rolls the admission back and
+	// degrades the request to a redirect — the client never sees a 502
+	// for an origin problem.
+	for i, id := range out.FilledIDs {
+		if err := s.fill(ctx, id); err != nil {
+			s.noteFillErr()
+			s.undoAdmission(out.FilledIDs[i:])
+			s.degrade(w, r, req.Bytes())
 			return
 		}
 	}
-	for _, id := range out.EvictedIDs {
-		if err := s.cfg.Store.Delete(id); err != nil {
-			// Losing a delete leaks bytes but is not fatal; surface in
-			// stats via fillErrs.
-			s.mu.Lock()
-			s.fillErrs++
-			s.mu.Unlock()
+
+	// Preflight: every chunk of the range must have bytes before the
+	// response commits to a 200 — a cache-claimed chunk missing from
+	// the store (lost write, admission from a degraded request) is
+	// re-fetched now, while the redirect fallback is still available.
+	k := s.cfg.ChunkSize
+	for c := uint32(b0 / k); c <= uint32(b1/k); c++ {
+		id := chunk.ID{Video: v, Index: c}
+		if s.cfg.Store.Has(id) {
+			continue
+		}
+		if err := s.heal(ctx, id); err != nil {
+			s.noteFillErr()
+			s.undoAdmission([]chunk.ID{id})
+			s.degrade(w, r, req.Bytes())
+			return
 		}
 	}
 
 	s.mu.Lock()
 	s.served++
-	s.counters.Add(cost.Counters{Requested: req.Bytes(), Filled: out.FilledBytes})
+	// Filled bytes are charged where the fetches succeed; here only the
+	// egress side of Eq. 2 is recorded.
+	s.counters.Add(cost.Counters{Requested: req.Bytes()})
 	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", "video/mp4")
@@ -260,13 +328,72 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", b0, b1, size))
 		w.WriteHeader(http.StatusPartialContent)
 	}
-	if err := s.stream(w, v, b0, b1); err != nil {
+	if err := s.stream(ctx, w, v, b0, b1); err != nil {
 		return // client gone or store hiccup after headers; nothing to do
 	}
 }
 
+// degrade answers a request whose fill path is unusable with a 302 to
+// the alternative location (the paper's always-available second line
+// of defense) instead of a 502. The bytes are charged as Redirected;
+// both sides of Eq. 2 receive the same value, so the accounting
+// identity Requested == served + Redirected holds whatever happens.
+func (s *Server) degrade(w http.ResponseWriter, r *http.Request, bytes int64) {
+	s.mu.Lock()
+	s.redirs++
+	s.degraded++
+	s.counters.Add(cost.Counters{Requested: bytes, Redirected: bytes})
+	s.mu.Unlock()
+	http.Redirect(w, r, s.cfg.RedirectURL+r.URL.RequestURI(), http.StatusFound)
+}
+
+// undoAdmission rolls back chunk admissions whose fills did not
+// complete: the cache forgets the chunks (keeping its popularity
+// bookkeeping) and any stray store bytes are dropped. Best-effort — a
+// concurrent re-admission can legitimately race this, and the serving
+// path's preflight self-heal reconciles any leftover divergence.
+func (s *Server) undoAdmission(ids []chunk.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	if f, ok := s.cfg.Cache.(forgetter); ok {
+		s.mu.Lock()
+		for _, id := range ids {
+			f.Forget(id)
+		}
+		s.mu.Unlock()
+	}
+	for _, id := range ids {
+		if err := s.cfg.Store.Delete(id); err != nil {
+			s.noteStoreDeleteErr()
+		}
+	}
+}
+
+// requestBytesHint returns the request's byte length when it is
+// explicit in the request itself (no video size needed), else 0. Used
+// only for degrade accounting while the origin is down and the size
+// unknown; the same value lands on both sides of Eq. 2, so the
+// bookkeeping stays consistent either way.
+func requestBytesHint(r *http.Request) int64 {
+	if h := r.Header.Get("Range"); h != "" {
+		var a, b int64
+		if n, _ := fmt.Sscanf(h, "bytes=%d-%d", &a, &b); n == 2 && a >= 0 && b >= a {
+			return b - a + 1
+		}
+		return 0
+	}
+	q := r.URL.Query()
+	a, err1 := strconv.ParseInt(q.Get("start"), 10, 64)
+	b, err2 := strconv.ParseInt(q.Get("end"), 10, 64)
+	if err1 == nil && err2 == nil && a >= 0 && b >= a {
+		return b - a + 1
+	}
+	return 0
+}
+
 // stream writes [b0,b1] of the video from the chunk store.
-func (s *Server) stream(w io.Writer, v chunk.VideoID, b0, b1 int64) error {
+func (s *Server) stream(ctx context.Context, w io.Writer, v chunk.VideoID, b0, b1 int64) error {
 	k := s.cfg.ChunkSize
 	c0 := uint32(b0 / k)
 	c1 := uint32(b1 / k)
@@ -276,8 +403,10 @@ func (s *Server) stream(w io.Writer, v chunk.VideoID, b0, b1 int64) error {
 		data, err := s.cfg.Store.Get(id, buf[:0])
 		if err != nil {
 			// The cache believed the chunk was present but the store
-			// disagrees (e.g. a lost write). Self-heal from origin.
-			if err2 := s.fill(id); err2 != nil {
+			// disagrees (e.g. lost to a concurrent rollback since the
+			// preflight). Self-heal from origin; this is real ingress
+			// and is charged inside the fetch.
+			if err2 := s.heal(ctx, id); err2 != nil {
 				return err
 			}
 			if data, err = s.cfg.Store.Get(id, buf[:0]); err != nil {
@@ -306,74 +435,160 @@ func (s *Server) stream(w io.Writer, v chunk.VideoID, b0, b1 int64) error {
 // fill fetches one whole chunk from origin into the store, coalescing
 // concurrent fetches of the same chunk into a single origin request
 // (duplicate fills waste exactly the ingress this CDN exists to save).
-func (s *Server) fill(id chunk.ID) error {
+// The fetch itself runs detached with its own FillTimeout budget;
+// waiters that give up (ctx) leave the flight running for the others.
+func (s *Server) fill(ctx context.Context, id chunk.ID) error {
 	key := id.Key()
 	s.flightMu.Lock()
-	if f, ok := s.flights[key]; ok {
-		s.flightMu.Unlock()
-		<-f.done
-		return f.err
+	f, ok := s.flights[key]
+	if !ok {
+		f = &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		go s.runFlight(f, key, id)
 	}
-	f := &flight{done: make(chan struct{})}
-	s.flights[key] = f
 	s.flightMu.Unlock()
+	select {
+	case <-f.done:
+		return f.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
-	f.err = s.fetchChunk(id)
+// heal re-fetches a chunk the cache claims but the store lost. A
+// completed flight's bytes can vanish again before we read them — a
+// concurrent request's admission rollback races the flight's orphan
+// cleanup — so verify the store after each fill and retry a couple of
+// times; the window is microseconds wide, so one retry all but
+// guarantees convergence.
+func (s *Server) heal(ctx context.Context, id chunk.ID) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = s.fill(ctx, id); err != nil {
+			return err
+		}
+		if s.cfg.Store.Has(id) {
+			s.mu.Lock()
+			s.selfHeals++
+			s.mu.Unlock()
+			return nil
+		}
+	}
+	return fmt.Errorf("edge: chunk %v lost to concurrent rollback", id)
+}
+
+// runFlight performs one coalesced fetch to completion.
+func (s *Server) runFlight(f *flight, key uint64, id chunk.ID) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FillTimeout)
+	defer cancel()
+	f.err = s.fetchChunk(ctx, id)
 	s.flightMu.Lock()
 	delete(s.flights, key)
 	s.flightMu.Unlock()
+	if f.err == nil {
+		// The admission may have been rolled back while we fetched
+		// (degraded request) or the chunk evicted by a concurrent
+		// request; bytes the cache does not claim must not squat in
+		// the store.
+		s.mu.Lock()
+		keep := s.cfg.Cache.Contains(id)
+		s.mu.Unlock()
+		if !keep {
+			if err := s.cfg.Store.Delete(id); err != nil {
+				s.noteStoreDeleteErr()
+			}
+		}
+	}
 	close(f.done)
-	return f.err
 }
 
-// fetchChunk performs the actual origin round trip.
-func (s *Server) fetchChunk(id chunk.ID) error {
-	url := fmt.Sprintf("%s/chunk?v=%d&c=%d", s.cfg.OriginURL, id.Video, id.Index)
-	resp, err := s.cfg.Client.Get(url)
+// guardedGet performs one breaker-guarded origin round trip, returning
+// at most limit body bytes. Transport errors and 5xx are retryable and
+// count against the breaker; a 4xx means the origin is alive but will
+// never yield this resource (permanent).
+func (s *Server) guardedGet(ctx context.Context, url string, limit int64) ([]byte, error) {
+	if !s.breaker.Allow() {
+		return nil, resilience.ErrOpen
+	}
+	data, err := s.originGet(ctx, url, limit)
+	s.breaker.Record(err == nil || resilience.IsPermanent(err))
+	return data, err
+}
+
+func (s *Server) originGet(ctx context.Context, url string, limit int64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return err
+		return nil, resilience.Permanent(err)
+	}
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("origin returned %s for %s", resp.Status, id)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("origin returned %s", resp.Status)
+		if resp.StatusCode >= 500 {
+			return nil, err
+		}
+		return nil, resilience.Permanent(err)
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.ChunkSize+1))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit))
 	if err != nil {
-		return err
+		return nil, err // truncated or stalled body: retryable
 	}
-	if int64(len(data)) > s.cfg.ChunkSize {
-		return fmt.Errorf("origin chunk %s larger than chunk size", id)
-	}
-	return s.cfg.Store.Put(id, data)
+	return data, nil
+}
+
+// fetchChunk performs the origin round trip for one chunk, with
+// retries, and commits the bytes to the store. Ingress (Filled) is
+// charged here with the chunk's actual byte count — the one place
+// bytes really arrive from origin.
+func (s *Server) fetchChunk(ctx context.Context, id chunk.ID) error {
+	url := fmt.Sprintf("%s/chunk?v=%d&c=%d", s.cfg.OriginURL, id.Video, id.Index)
+	return s.retrier.Do(ctx, func(ctx context.Context) error {
+		data, err := s.guardedGet(ctx, url, s.cfg.ChunkSize+1)
+		if err != nil {
+			return err
+		}
+		if int64(len(data)) > s.cfg.ChunkSize {
+			return resilience.Permanent(fmt.Errorf("origin chunk %s larger than chunk size", id))
+		}
+		if err := s.cfg.Store.Put(id, data); err != nil {
+			return resilience.Permanent(fmt.Errorf("store: %w", err))
+		}
+		s.mu.Lock()
+		s.counters.Filled += int64(len(data))
+		s.mu.Unlock()
+		return nil
+	})
 }
 
 // originSize returns the video's size, consulting the local size cache
 // first: sizes are immutable, and depending on the origin for every
 // request would let an origin outage break even pure cache hits.
-func (s *Server) originSize(v chunk.VideoID) (int64, error) {
+func (s *Server) originSize(ctx context.Context, v chunk.VideoID) (int64, error) {
 	s.sizeMu.RLock()
 	size, ok := s.sizes[v]
 	s.sizeMu.RUnlock()
 	if ok {
 		return size, nil
 	}
-	resp, err := s.cfg.Client.Get(fmt.Sprintf("%s/size?v=%d", s.cfg.OriginURL, v))
+	url := fmt.Sprintf("%s/size?v=%d", s.cfg.OriginURL, v)
+	err := s.retrier.Do(ctx, func(ctx context.Context) error {
+		body, err := s.guardedGet(ctx, url, 32)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(string(body), 10, 64)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		size = n
+		return nil
+	})
 	if err != nil {
 		s.noteFillErr()
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		s.noteFillErr()
-		return 0, fmt.Errorf("origin returned %s", resp.Status)
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 32))
-	if err != nil {
-		s.noteFillErr()
-		return 0, err
-	}
-	size, err = strconv.ParseInt(string(body), 10, 64)
-	if err != nil {
 		return 0, err
 	}
 	s.sizeMu.Lock()
@@ -397,20 +612,32 @@ func (s *Server) noteFillErr() {
 	s.mu.Unlock()
 }
 
+func (s *Server) noteStoreDeleteErr() {
+	s.mu.Lock()
+	s.storeDels++
+	s.mu.Unlock()
+}
+
 // Stats is the JSON body of /stats.
 type Stats struct {
-	Algorithm       string  `json:"algorithm"`
-	Alpha           float64 `json:"alpha_f2r"`
-	Served          int64   `json:"served"`
-	Redirected      int64   `json:"redirected"`
-	RequestedBytes  int64   `json:"requested_bytes"`
-	FilledBytes     int64   `json:"filled_bytes"`
-	RedirectedBytes int64   `json:"redirected_bytes"`
-	Efficiency      float64 `json:"efficiency"`
-	IngressRatio    float64 `json:"ingress_ratio"`
-	RedirectRatio   float64 `json:"redirect_ratio"`
-	CachedChunks    int     `json:"cached_chunks"`
-	FillErrors      int64   `json:"fill_errors"`
+	Algorithm         string  `json:"algorithm"`
+	Alpha             float64 `json:"alpha_f2r"`
+	Served            int64   `json:"served"`
+	Redirected        int64   `json:"redirected"`
+	DegradedRedirects int64   `json:"degraded_redirects"`
+	RequestedBytes    int64   `json:"requested_bytes"`
+	FilledBytes       int64   `json:"filled_bytes"`
+	RedirectedBytes   int64   `json:"redirected_bytes"`
+	Efficiency        float64 `json:"efficiency"`
+	IngressRatio      float64 `json:"ingress_ratio"`
+	RedirectRatio     float64 `json:"redirect_ratio"`
+	CachedChunks      int     `json:"cached_chunks"`
+	FillErrors        int64   `json:"fill_errors"`
+	SelfHeals         int64   `json:"self_heals"`
+	StoreDeleteErrors int64   `json:"store_delete_errors"`
+	OriginRetries     int64   `json:"origin_retries"`
+	BreakerState      string  `json:"breaker_state"`
+	BreakerOpens      int64   `json:"breaker_opens"`
 }
 
 // SnapshotStats returns a consistent copy of the server counters.
@@ -418,20 +645,30 @@ func (s *Server) SnapshotStats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Algorithm:       s.cfg.Cache.Name(),
-		Alpha:           s.model.Alpha,
-		Served:          s.served,
-		Redirected:      s.redirs,
-		RequestedBytes:  s.counters.Requested,
-		FilledBytes:     s.counters.Filled,
-		RedirectedBytes: s.counters.Redirected,
-		Efficiency:      s.counters.Efficiency(s.model),
-		IngressRatio:    s.counters.IngressRatio(),
-		RedirectRatio:   s.counters.RedirectRatio(),
-		CachedChunks:    s.cfg.Cache.Len(),
-		FillErrors:      s.fillErrs,
+		Algorithm:         s.cfg.Cache.Name(),
+		Alpha:             s.model.Alpha,
+		Served:            s.served,
+		Redirected:        s.redirs,
+		DegradedRedirects: s.degraded,
+		RequestedBytes:    s.counters.Requested,
+		FilledBytes:       s.counters.Filled,
+		RedirectedBytes:   s.counters.Redirected,
+		Efficiency:        s.counters.Efficiency(s.model),
+		IngressRatio:      s.counters.IngressRatio(),
+		RedirectRatio:     s.counters.RedirectRatio(),
+		CachedChunks:      s.cfg.Cache.Len(),
+		FillErrors:        s.fillErrs,
+		SelfHeals:         s.selfHeals,
+		StoreDeleteErrors: s.storeDels,
+		OriginRetries:     s.retrier.Retries(),
+		BreakerState:      s.breaker.State().String(),
+		BreakerOpens:      s.breaker.Opens(),
 	}
 }
+
+// BreakerState exposes the origin breaker's current state (tests,
+// operational introspection).
+func (s *Server) BreakerState() resilience.State { return s.breaker.State() }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -452,10 +689,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	write("videocdn_requests_served_total", "Requests served from this edge.", "counter", float64(st.Served))
 	write("videocdn_requests_redirected_total", "Requests 302-redirected to the alternative location.", "counter", float64(st.Redirected))
+	write("videocdn_degraded_redirects_total", "Redirects issued because the origin was unusable (fill line of defense lost).", "counter", float64(st.DegradedRedirects))
 	write("videocdn_requested_bytes_total", "Bytes requested by clients.", "counter", float64(st.RequestedBytes))
 	write("videocdn_filled_bytes_total", "Bytes cache-filled from origin (ingress).", "counter", float64(st.FilledBytes))
 	write("videocdn_redirected_bytes_total", "Bytes redirected away.", "counter", float64(st.RedirectedBytes))
-	write("videocdn_fill_errors_total", "Origin fetch or store failures.", "counter", float64(st.FillErrors))
+	write("videocdn_fill_errors_total", "Origin fetch failures (after retries).", "counter", float64(st.FillErrors))
+	write("videocdn_self_heals_total", "Chunks re-fetched from origin because the store lost them.", "counter", float64(st.SelfHeals))
+	write("videocdn_store_delete_errors_total", "Store delete failures (leaked bytes).", "counter", float64(st.StoreDeleteErrors))
+	write("videocdn_origin_retries_total", "Origin fetch retry attempts.", "counter", float64(st.OriginRetries))
+	write("videocdn_breaker_opens_total", "Times the origin circuit breaker tripped open.", "counter", float64(st.BreakerOpens))
+	write("videocdn_breaker_state", "Origin circuit breaker state (0 closed, 1 open, 2 half-open).", "gauge", float64(s.breaker.State()))
 	write("videocdn_cached_chunks", "Chunks currently on disk.", "gauge", float64(st.CachedChunks))
 	write("videocdn_cache_efficiency", "Cache efficiency per the paper's Eq. 2.", "gauge", st.Efficiency)
 	write("videocdn_ingress_ratio", "Filled bytes over requested bytes.", "gauge", st.IngressRatio)

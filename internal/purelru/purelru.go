@@ -41,6 +41,11 @@ func (c *Cache) Len() int { return c.disk.Len() }
 // Contains implements core.Cache.
 func (c *Cache) Contains(id chunk.ID) bool { return c.disk.Contains(id.Key()) }
 
+// Forget undoes the admission of one chunk whose cache fill failed
+// (the HTTP edge server's degrade-to-redirect path); no-op when the
+// chunk is not on disk.
+func (c *Cache) Forget(id chunk.ID) { c.disk.Remove(id.Key()) }
+
 // HandleRequest implements core.Cache. The only redirects it ever
 // issues are for requests wider than the entire disk, which cannot be
 // held at all.

@@ -1,0 +1,348 @@
+// Package resilience provides the origin-facing fault-tolerance
+// primitives behind the HTTP edge server: bounded exponential-backoff
+// retries and a closed/open/half-open circuit breaker.
+//
+// The paper's premise (Section 2, Eq. 2) is that an edge server always
+// has two ways to satisfy a request — fill from upstream or redirect
+// to an alternative server. These primitives decide *when the fill
+// line of defense has failed* so the serving path can fall back to the
+// redirect line instead of surfacing a 5xx: the Retrier absorbs
+// transient upstream blips, and the Breaker detects a sustained outage
+// and fails fast (protecting both the edge's latency and the origin's
+// recovery) until a probe succeeds.
+//
+// Both types are deterministic under an injected clock and random
+// source, so outage scenarios can be unit-tested without real time.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOpen is returned instead of attempting an upstream call while the
+// circuit breaker is open (or half-open with its probe quota in
+// flight). It is never retried: the breaker's whole point is to not
+// hammer a dead upstream.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// permanentError marks an error that retrying cannot fix (the upstream
+// answered authoritatively: 4xx, malformed payload, local store
+// failure).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so the Retrier gives up immediately. A nil err
+// stays nil, so success paths can be wrapped unconditionally.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// ---------- Retrier ----------
+
+// RetryPolicy bounds the retry loop. The zero value selects the
+// defaults noted on each field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 3; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between attempts (default 2).
+	Multiplier float64
+	// Jitter spreads each backoff uniformly in [d·(1-J), d·(1+J)] so
+	// coalesced failures do not retry in lockstep (default 0.2).
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Retrier runs operations with bounded exponential backoff. Safe for
+// concurrent use.
+type Retrier struct {
+	policy RetryPolicy
+	// sleep and randf are injection points for deterministic tests;
+	// NewRetrier installs real implementations.
+	sleep   func(ctx context.Context, d time.Duration) error
+	randf   func() float64
+	retries atomic.Int64
+}
+
+// NewRetrier builds a Retrier for the policy (zero value → defaults).
+func NewRetrier(policy RetryPolicy) *Retrier {
+	return &Retrier{
+		policy: policy.withDefaults(),
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+		randf: rand.Float64,
+	}
+}
+
+// Do runs op until it succeeds, fails permanently (Permanent, ErrOpen,
+// context expiry) or the attempt budget is spent, sleeping the jittered
+// backoff between attempts. The last attempt's error is returned.
+func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	delay := r.policy.BaseDelay
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := op(ctx)
+		if err == nil || IsPermanent(err) || errors.Is(err, ErrOpen) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			attempt >= r.policy.MaxAttempts {
+			return err
+		}
+		d := delay
+		if j := r.policy.Jitter; j > 0 {
+			d = time.Duration(float64(d) * (1 + j*(2*r.randf()-1)))
+		}
+		if serr := r.sleep(ctx, d); serr != nil {
+			return err // context expired mid-backoff: report the op's failure
+		}
+		r.retries.Add(1)
+		delay = time.Duration(float64(delay) * r.policy.Multiplier)
+		if delay > r.policy.MaxDelay {
+			delay = r.policy.MaxDelay
+		}
+	}
+}
+
+// Retries returns the total number of retry attempts performed (first
+// attempts excluded) since construction — an outage visibility counter.
+func (r *Retrier) Retries() int64 { return r.retries.Load() }
+
+// ---------- Breaker ----------
+
+// State is the circuit breaker state.
+type State int32
+
+// Breaker states.
+const (
+	Closed   State = iota // normal operation, failures counted
+	Open                  // failing fast, upstream not contacted
+	HalfOpen              // probing: a bounded number of trial calls
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the circuit breaker. The zero value selects the
+// defaults noted on each field.
+type BreakerConfig struct {
+	// Window is the counting window in the closed state; counts reset
+	// when it elapses so old failures cannot trip a healthy upstream
+	// (default 10s).
+	Window time.Duration
+	// MinSamples is the minimum number of observations in the window
+	// before the failure rate can trip the breaker (default 10).
+	MinSamples int
+	// FailureRate in [0,1] trips the breaker when reached with at
+	// least MinSamples observations (default 0.5).
+	FailureRate float64
+	// OpenFor is how long the breaker fails fast before letting probe
+	// traffic through (the probe interval; default 5s).
+	OpenFor time.Duration
+	// MaxProbes bounds concurrently in-flight half-open probes
+	// (default 1).
+	MaxProbes int
+	// ProbesToClose is the number of consecutive successful probes
+	// that close the breaker (default 2).
+	ProbesToClose int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.FailureRate <= 0 || c.FailureRate > 1 {
+		c.FailureRate = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.MaxProbes <= 0 {
+		c.MaxProbes = 1
+	}
+	if c.ProbesToClose <= 0 {
+		c.ProbesToClose = 2
+	}
+	return c
+}
+
+// Breaker is a failure-rate circuit breaker. Safe for concurrent use.
+//
+// Usage: call Allow before an upstream call; if it returns false, fail
+// fast with ErrOpen. Otherwise perform the call and Record whether the
+// upstream proved alive (a 4xx is "alive"; a transport error or 5xx is
+// not).
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injection point for deterministic tests
+
+	mu          sync.Mutex
+	state       State
+	windowStart time.Time
+	successes   int
+	failures    int
+	openedAt    time.Time
+	probes      int // half-open probes in flight
+	probeOKs    int // consecutive successful probes
+	opens       int64
+}
+
+// NewBreaker builds a Breaker for the config (zero value → defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether an upstream call may proceed, transitioning
+// Open→HalfOpen when the probe interval has elapsed. Each true return
+// in the half-open state reserves one probe slot; the caller must
+// Record the outcome to release it.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.state = HalfOpen
+		b.probes = 1
+		b.probeOKs = 0
+		return true
+	default: // HalfOpen
+		if b.probes >= b.cfg.MaxProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Record feeds one upstream outcome into the breaker. ok means the
+// upstream demonstrated liveness, not that the request succeeded for
+// the caller.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case Closed:
+		if b.windowStart.IsZero() || now.Sub(b.windowStart) > b.cfg.Window {
+			b.windowStart = now
+			b.successes, b.failures = 0, 0
+		}
+		if ok {
+			b.successes++
+		} else {
+			b.failures++
+		}
+		n := b.successes + b.failures
+		if n >= b.cfg.MinSamples && float64(b.failures) >= b.cfg.FailureRate*float64(n) {
+			b.trip(now)
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !ok {
+			b.trip(now)
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.cfg.ProbesToClose {
+			b.state = Closed
+			b.windowStart = now
+			b.successes, b.failures = 0, 0
+		}
+	case Open:
+		// A call admitted before the trip finished late; its outcome
+		// carries no new information.
+	}
+}
+
+// trip moves to Open. Callers hold b.mu.
+func (b *Breaker) trip(now time.Time) {
+	b.state = Open
+	b.openedAt = now
+	b.opens++
+	b.probes = 0
+	b.probeOKs = 0
+}
+
+// State returns the current state without advancing transitions (an
+// Open breaker whose probe interval has elapsed still reads Open until
+// the next Allow).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped to Open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

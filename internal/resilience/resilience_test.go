@@ -1,0 +1,319 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestRetrier installs a recording fake sleep and a fixed random
+// source (0.5 → jitter multiplies by exactly 1).
+func newTestRetrier(p RetryPolicy) (*Retrier, *[]time.Duration) {
+	r := NewRetrier(p)
+	slept := &[]time.Duration{}
+	r.sleep = func(_ context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return nil
+	}
+	r.randf = func() float64 { return 0.5 }
+	return r, slept
+}
+
+func TestRetrierSucceedsAfterTransientFailures(t *testing.T) {
+	r, slept := newTestRetrier(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: time.Second, Multiplier: 2, Jitter: 0.2,
+	})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i, d := range want {
+		if (*slept)[i] != d {
+			t.Errorf("backoff %d = %v, want %v", i, (*slept)[i], d)
+		}
+	}
+	if r.Retries() != 2 {
+		t.Errorf("Retries() = %d, want 2", r.Retries())
+	}
+}
+
+func TestRetrierBackoffCappedAtMaxDelay(t *testing.T) {
+	r, slept := newTestRetrier(RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 100 * time.Millisecond,
+		MaxDelay: 150 * time.Millisecond, Multiplier: 10, Jitter: 0,
+	})
+	err := r.Do(context.Background(), func(context.Context) error {
+		return errors.New("always failing")
+	})
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	want := []time.Duration{100 * time.Millisecond, 150 * time.Millisecond,
+		150 * time.Millisecond, 150 * time.Millisecond}
+	if fmt.Sprint(*slept) != fmt.Sprint(want) {
+		t.Errorf("slept %v, want %v", *slept, want)
+	}
+}
+
+func TestRetrierJitterSpreadsDelay(t *testing.T) {
+	r, slept := newTestRetrier(RetryPolicy{
+		MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, Jitter: 0.5,
+	})
+	r.randf = func() float64 { return 1 } // upper edge: d·(1+J)
+	r.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	if got, want := (*slept)[0], 150*time.Millisecond; got != want {
+		t.Errorf("jittered delay = %v, want %v", got, want)
+	}
+}
+
+func TestRetrierStopsOnPermanent(t *testing.T) {
+	r, slept := newTestRetrier(RetryPolicy{MaxAttempts: 5})
+	calls := 0
+	base := errors.New("404")
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(base)
+	})
+	if calls != 1 || len(*slept) != 0 {
+		t.Errorf("calls = %d, sleeps = %d; permanent errors must not retry", calls, len(*slept))
+	}
+	if !errors.Is(err, base) || !IsPermanent(err) {
+		t.Errorf("err = %v, want wrapped permanent 404", err)
+	}
+}
+
+func TestRetrierStopsOnErrOpen(t *testing.T) {
+	r, slept := newTestRetrier(RetryPolicy{MaxAttempts: 5})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return fmt.Errorf("fill: %w", ErrOpen)
+	})
+	if calls != 1 || len(*slept) != 0 {
+		t.Errorf("calls = %d, sleeps = %d; ErrOpen must not retry", calls, len(*slept))
+	}
+	if !errors.Is(err, ErrOpen) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetrierRespectsContext(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := r.Do(ctx, func(context.Context) error { calls++; return errors.New("x") })
+	if calls != 0 {
+		t.Errorf("calls = %d on a dead context, want 0", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+
+	// Cancellation mid-backoff returns the operation's error.
+	r2, _ := newTestRetrier(RetryPolicy{MaxAttempts: 3})
+	opErr := errors.New("transient")
+	r2.sleep = func(context.Context, time.Duration) error { return context.Canceled }
+	if err := r2.Do(context.Background(), func(context.Context) error { return opErr }); !errors.Is(err, opErr) {
+		t.Errorf("mid-backoff cancel err = %v, want %v", err, opErr)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) must stay nil")
+	}
+	if IsPermanent(errors.New("x")) {
+		t.Error("plain errors are not permanent")
+	}
+}
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{MinSamples: 4, FailureRate: 0.5})
+	for i := 0; i < 2; i++ {
+		b.Record(true)
+		b.Record(false)
+	}
+	// 2/4 failures ≥ 50% with MinSamples reached → open.
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker must not allow calls")
+	}
+	if b.Opens() != 1 {
+		t.Errorf("Opens = %d", b.Opens())
+	}
+}
+
+func TestBreakerNeedsMinSamples(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{MinSamples: 10, FailureRate: 0.5})
+	for i := 0; i < 9; i++ {
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Error("must not trip below MinSamples")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Error("must trip at MinSamples")
+	}
+}
+
+func TestBreakerWindowForgetsOldFailures(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 10 * time.Second, MinSamples: 4, FailureRate: 0.5})
+	b.Record(false)
+	b.Record(false)
+	b.Record(false) // 3 failures, below MinSamples
+	clk.advance(11 * time.Second)
+	b.Record(false) // new window: 1/1 but below MinSamples
+	if b.State() != Closed {
+		t.Error("stale failures outside the window must not trip the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	cfg := BreakerConfig{
+		MinSamples: 2, FailureRate: 0.5, OpenFor: 5 * time.Second,
+		MaxProbes: 1, ProbesToClose: 2,
+	}
+	b, clk := newTestBreaker(cfg)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatal("breaker should be open")
+	}
+	if b.Allow() {
+		t.Fatal("probe before OpenFor elapsed")
+	}
+	clk.advance(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe after OpenFor must be allowed")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Error("second concurrent probe exceeds MaxProbes")
+	}
+	b.Record(true) // first successful probe
+	if b.State() != HalfOpen {
+		t.Fatal("one probe success of two must stay half-open")
+	}
+	if !b.Allow() {
+		t.Fatal("next probe must be allowed")
+	}
+	b.Record(true) // second success closes
+	if b.State() != Closed {
+		t.Errorf("state = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Error("closed breaker must allow")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{MinSamples: 2, FailureRate: 0.5, OpenFor: time.Second})
+	b.Record(false)
+	b.Record(false)
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe must be allowed")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open after failed probe", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Errorf("Opens = %d, want 2", b.Opens())
+	}
+	// The probe interval restarts from the failed probe.
+	if b.Allow() {
+		t.Error("immediately after reopening, calls must fail fast")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Error("a fresh probe is due after another OpenFor")
+	}
+}
+
+func TestBreakerLateRecordWhileOpenIgnored(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{MinSamples: 2, FailureRate: 0.5, OpenFor: time.Hour})
+	b.Record(false)
+	b.Record(false)
+	// A call admitted before the trip reports success afterwards; the
+	// breaker must stay open (no probe ran).
+	b.Record(true)
+	if b.State() != Open {
+		t.Errorf("state = %v, want open", b.State())
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := NewBreaker(BreakerConfig{MinSamples: 100000, FailureRate: 0.99})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if b.Allow() {
+					b.Record(i%3 != 0)
+				}
+				b.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open", State(9): "unknown"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -97,6 +97,11 @@ func (c *Cache) Len() int { return c.disk.Len() }
 // Contains implements core.Cache.
 func (c *Cache) Contains(id chunk.ID) bool { return c.disk.Contains(id.Key()) }
 
+// Forget undoes the admission of one chunk whose cache fill failed
+// (the HTTP edge server's degrade-to-redirect path). The popularity
+// tracker is left untouched; no-op when the chunk is not on disk.
+func (c *Cache) Forget(id chunk.ID) { c.disk.Remove(id.Key()) }
+
 // CacheAge returns the age of the oldest chunk on disk: t_now minus the
 // last access time of the LRU tail. Zero while the disk is empty.
 func (c *Cache) CacheAge(now int64) int64 {
