@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos fuzz bench bench-replay experiments experiments-small fmt vet clean
+.PHONY: all build test test-short race chaos fuzz bench bench-replay bench-edge experiments experiments-small fmt vet clean
 
 all: build test
 
@@ -37,6 +37,12 @@ bench: bench-replay
 # track the performance trajectory across PRs.
 bench-replay:
 	$(GO) run ./cmd/benchreplay -o BENCH_replay.json
+
+# Live-load edge benchmark: closed-loop Zipf workload over the real
+# HTTP server at 1/2/4/8 shards (throughput, p50/p99, allocs/request)
+# plus the isolated cache-hit serve path (expected: 0 allocs/op).
+bench-edge:
+	$(GO) run ./cmd/benchedge -o BENCH_edge.json
 
 # Regenerate every figure and table of the paper (plus extensions).
 experiments:

@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, exposed only via -pprof
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -57,7 +59,27 @@ func main() {
 	retries := flag.Int("retries", 3, "max attempts per origin fetch (edge mode)")
 	breakerOpenFor := flag.Duration("breaker-open-for", 5*time.Second, "how long the origin breaker stays open before probing (edge mode)")
 	breakerFailRate := flag.Float64("breaker-failure-rate", 0.5, "origin failure rate that trips the breaker (edge mode)")
+	edgeShards := flag.Int("edge-shards", 1, "edge lock shards (power of two); each shard owns an independent cache over disk/N (edge mode)")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof debug endpoints (e.g. localhost:6060); empty disables")
+	mutexFrac := flag.Int("mutexprofile", 0, "mutex profile sampling fraction (runtime.SetMutexProfileFraction; 0 disables)")
+	blockRate := flag.Int("blockprofile", 0, "block profile sampling rate in ns (runtime.SetBlockProfileRate; 0 disables)")
 	flag.Parse()
+
+	// Contention profiling must be switched on before traffic arrives
+	// for /debug/pprof/{mutex,block} to have data; both default off
+	// because sampling costs a few percent on hot paths.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("pprof server exited: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	chunkSize := int64(*chunkMB * (1 << 20))
 	switch *mode {
@@ -74,36 +96,14 @@ func main() {
 			fatal(fmt.Errorf("-redirect is required in edge mode (the alternative server location)"))
 		}
 		cfg := core.Config{ChunkSize: chunkSize, DiskChunks: int(*diskGB * (1 << 30) / float64(chunkSize))}
-		var c core.Cache
-		var err error
-		switch *algo {
-		case "xlru":
-			c, err = xlru.New(cfg, *alpha)
-		case "cafe":
-			c, err = loadOrNewCafe(*statePath, cfg, *alpha)
-		case "lru":
-			c, err = purelru.New(cfg)
-		default:
-			err = fmt.Errorf("unknown algorithm %q (offline psychic cannot serve live traffic)", *algo)
-		}
-		if err != nil {
-			fatal(err)
-		}
 		if *statePath != "" && *algo != "cafe" {
 			fatal(fmt.Errorf("-state is only supported with -algo cafe"))
 		}
-		var st store.Store
-		if *dataDir != "" {
-			st, err = store.NewFS(*dataDir)
-			if err != nil {
-				fatal(err)
-			}
-		} else {
-			st = store.NewMem()
+		if *statePath != "" && *edgeShards > 1 {
+			fatal(fmt.Errorf("-state is only supported with -edge-shards 1 (a snapshot holds one cache)"))
 		}
-		srv, err := edge.NewServer(edge.Config{
-			Cache:       c,
-			Store:       st,
+		srvCfg := edge.Config{
+			Store:       nil, // set below
 			OriginURL:   *origin,
 			RedirectURL: *redirect,
 			ChunkSize:   chunkSize,
@@ -115,19 +115,62 @@ func main() {
 				OpenFor:     *breakerOpenFor,
 				FailureRate: *breakerFailRate,
 			},
-		})
+		}
+		var single core.Cache // only set for -edge-shards 1 (state snapshots)
+		var err error
+		if *edgeShards > 1 {
+			srvCfg.Shards = *edgeShards
+			srvCfg.CacheConfig = cfg
+			srvCfg.CacheFactory = func(_ int, sub core.Config) (core.Cache, error) {
+				switch *algo {
+				case "xlru":
+					return xlru.New(sub, *alpha)
+				case "cafe":
+					return cafe.New(sub, *alpha, cafe.Options{})
+				case "lru":
+					return purelru.New(sub)
+				}
+				return nil, fmt.Errorf("unknown algorithm %q (offline psychic cannot serve live traffic)", *algo)
+			}
+		} else {
+			switch *algo {
+			case "xlru":
+				single, err = xlru.New(cfg, *alpha)
+			case "cafe":
+				single, err = loadOrNewCafe(*statePath, cfg, *alpha)
+			case "lru":
+				single, err = purelru.New(cfg)
+			default:
+				err = fmt.Errorf("unknown algorithm %q (offline psychic cannot serve live traffic)", *algo)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			srvCfg.Cache = single
+		}
+		var st store.Store
+		if *dataDir != "" {
+			st, err = store.NewFS(*dataDir)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			st = store.NewMem()
+		}
+		srvCfg.Store = st
+		srv, err := edge.NewServer(srvCfg)
 		if err != nil {
 			fatal(err)
 		}
 		var afterDrain func()
 		if *statePath != "" {
-			if cc, ok := c.(*cafe.Cache); ok {
+			if cc, ok := single.(*cafe.Cache); ok {
 				path := *statePath
 				afterDrain = func() { saveState(cc, path) }
 			}
 		}
-		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk) on %s -> origin %s, redirects to %s",
-			*algo, *alpha, cfg.DiskChunks, *listen, *origin, *redirect)
+		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk, %d shard(s)) on %s -> origin %s, redirects to %s",
+			*algo, *alpha, cfg.DiskChunks, srv.NumShards(), *listen, *origin, *redirect)
 		serveGracefully(srv, *listen, *drain, afterDrain)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))

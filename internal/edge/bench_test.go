@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"videocdn/internal/cafe"
+	"videocdn/internal/chunk"
 	"videocdn/internal/core"
 	"videocdn/internal/store"
 )
@@ -61,6 +63,128 @@ func BenchmarkEdgeHitPath(b *testing.B) {
 		resp.Body.Close()
 	}
 	b.SetBytes(8 * testK)
+}
+
+// BenchmarkHitStream measures the byte-moving half of the cache-hit
+// serve path — store read through the pooled chunk buffer, range
+// slicing, write-out — with no HTTP machinery. This is the path the
+// "0 allocs/request" acceptance tracks (see TestStreamRangeZeroAllocs
+// and BENCH_edge.json's serve_path section).
+func BenchmarkHitStream(b *testing.B) {
+	s, span := warmHitServer(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.SetBytes(span)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.StreamRange(ctx, io.Discard, 1, 0, span-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHitServe measures the full edge handler on a cache hit —
+// query parsing, decision engine, counters, headers, streaming —
+// through a reusable in-process ResponseWriter, i.e. everything except
+// net/http's own connection handling.
+func BenchmarkHitServe(b *testing.B) {
+	s, span := warmHitServer(b)
+	req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/video?v=1&start=0&end=%d", span-1), nil)
+	w := &discardResponseWriter{h: make(http.Header, 4)}
+	b.ReportAllocs()
+	b.SetBytes(span)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handleVideo(w, req)
+	}
+}
+
+// warmHitServer builds a 2-shard edge server with an 8-chunk video
+// fully cached.
+func warmHitServer(b *testing.B) (*Server, int64) {
+	b.Helper()
+	span := int64(8 * testK)
+	o, err := NewOrigin(MapCatalog{1: span}, testK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	origin := httptest.NewServer(o)
+	b.Cleanup(origin.Close)
+	s := newShardedServer(b, origin.URL, "cafe", 2, 64, func() int64 { return 0 })
+	srv := httptest.NewServer(s)
+	b.Cleanup(srv.Close)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/video?v=1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warmup status %d", resp.StatusCode)
+		}
+	}
+	return s, span
+}
+
+// discardResponseWriter is an http.ResponseWriter that throws bytes
+// away and reuses one header map, so handler benchmarks measure the
+// handler, not the harness.
+type discardResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (d *discardResponseWriter) Header() http.Header         { return d.h }
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponseWriter) WriteHeader(code int)        { d.status = code }
+
+// BenchmarkEdgeHitPathSharded measures end-to-end HTTP throughput of
+// concurrent cache-hit requests against 1-shard vs 8-shard servers
+// (RunParallel drives GOMAXPROCS client goroutines; cmd/benchedge is
+// the fuller closed-loop harness with Zipf load and percentiles).
+func BenchmarkEdgeHitPathSharded(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			catalog := MapCatalog{}
+			for v := chunk.VideoID(1); v <= 64; v++ {
+				catalog[v] = 4 * testK
+			}
+			o, err := NewOrigin(catalog, testK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			origin := httptest.NewServer(o)
+			b.Cleanup(origin.Close)
+			s := newShardedServer(b, origin.URL, "cafe", shards, 1024, func() int64 { return 0 })
+			srv := httptest.NewServer(s)
+			b.Cleanup(srv.Close)
+			for v := chunk.VideoID(1); v <= 64; v++ {
+				resp, err := http.Get(fmt.Sprintf("%s/video?v=%d", srv.URL, v))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			b.SetBytes(4 * testK)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := &http.Client{}
+				v := chunk.VideoID(1)
+				for pb.Next() {
+					v = v%64 + 1
+					resp, err := client.Get(fmt.Sprintf("%s/video?v=%d", srv.URL, v))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkOriginChunk measures raw synthetic-content generation and

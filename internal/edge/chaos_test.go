@@ -354,7 +354,7 @@ func TestChaosFlightCoalescingExactlyOneFetch(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			errs[i] = s.fill(context.Background(), id)
+			errs[i] = s.fill(&fillCtx{ctx: context.Background()}, s.shardOf(id.Video), id)
 		}(i)
 	}
 	close(start)
@@ -403,8 +403,8 @@ func TestChaosFlightCancellationDoesNotPoisonWaiters(t *testing.T) {
 	var wg sync.WaitGroup
 	var errA, errB error
 	wg.Add(2)
-	go func() { defer wg.Done(); errA = s.fill(ctxA, id) }()
-	go func() { defer wg.Done(); errB = s.fill(context.Background(), id) }()
+	go func() { defer wg.Done(); errA = s.fill(&fillCtx{ctx: ctxA}, s.shardOf(id.Video), id) }()
+	go func() { defer wg.Done(); errB = s.fill(&fillCtx{ctx: context.Background()}, s.shardOf(id.Video), id) }()
 	wg.Wait()
 
 	if errA == nil {

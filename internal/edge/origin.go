@@ -43,11 +43,38 @@ func NewOrigin(catalog Catalog, chunkSize int64) (*Origin, error) {
 func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) { o.mux.ServeHTTP(w, r) }
 
 func parseVideo(r *http.Request) (chunk.VideoID, error) {
-	v, err := strconv.ParseUint(r.URL.Query().Get("v"), 10, 32)
+	v, err := strconv.ParseUint(queryParam(r, "v"), 10, 32)
 	if err != nil {
 		return 0, fmt.Errorf("bad or missing video id: %v", err)
 	}
 	return chunk.VideoID(v), nil
+}
+
+// queryParam returns one raw query parameter's value without building
+// the url.Values map — r.URL.Query() allocates a map, slices and
+// strings on every call, which the serve hot path runs once per
+// request. The hot parameters (v, c, start, end, chunks) are plain
+// digits; a value carrying URL escapes falls back to the full parser.
+func queryParam(r *http.Request, key string) string {
+	q := r.URL.RawQuery
+	for len(q) > 0 {
+		pair := q
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			pair, q = q[:i], q[i+1:]
+		} else {
+			q = ""
+		}
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 || pair[:eq] != key {
+			continue
+		}
+		v := pair[eq+1:]
+		if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+			return r.URL.Query().Get(key)
+		}
+		return v
+	}
+	return ""
 }
 
 func (o *Origin) handleChunk(w http.ResponseWriter, r *http.Request) {
@@ -56,7 +83,7 @@ func (o *Origin) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	c, err := strconv.ParseUint(r.URL.Query().Get("c"), 10, 32)
+	c, err := strconv.ParseUint(queryParam(r, "c"), 10, 32)
 	if err != nil {
 		http.Error(w, "bad or missing chunk index", http.StatusBadRequest)
 		return
@@ -179,13 +206,12 @@ func parseRange(r *http.Request, size int64) (b0, b1 int64, err error) {
 			}
 		}
 	} else {
-		q := r.URL.Query()
-		if qs := q.Get("start"); qs != "" {
+		if qs := queryParam(r, "start"); qs != "" {
 			if b0, err = strconv.ParseInt(qs, 10, 64); err != nil {
 				return 0, 0, fmt.Errorf("bad start: %v", err)
 			}
 		}
-		if qe := q.Get("end"); qe != "" {
+		if qe := queryParam(r, "end"); qe != "" {
 			if b1, err = strconv.ParseInt(qe, 10, 64); err != nil {
 				return 0, 0, fmt.Errorf("bad end: %v", err)
 			}

@@ -1,0 +1,8 @@
+//go:build race
+
+package edge
+
+// raceEnabled reports whether the race detector is active; the
+// zero-allocation assertions skip under it (sync.Pool is deliberately
+// pessimized in race mode).
+const raceEnabled = true

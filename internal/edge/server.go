@@ -8,23 +8,41 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"videocdn/internal/chunk"
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
 	"videocdn/internal/resilience"
+	"videocdn/internal/shard"
 	"videocdn/internal/store"
 	"videocdn/internal/trace"
 )
 
 // Config assembles an edge cache server.
 type Config struct {
-	// Cache is the decision engine (xLRU, Cafe, ...). The server
-	// serializes access to it.
+	// Cache is the decision engine (xLRU, Cafe, ...) of a single-shard
+	// server. Exactly one of Cache and CacheFactory must be set; a
+	// prebuilt Cache implies Shards == 1 (the server serializes access
+	// to it).
 	Cache core.Cache
+	// Shards splits the server into independent lock domains, one per
+	// hash bucket of the video-ID space (shard.ShardOf). Requests for
+	// videos in different buckets never contend on a lock. Must be a
+	// power of two; 0 means 1.
+	Shards int
+	// CacheFactory builds shard i's decision engine over its share of
+	// the disk; required when Shards > 1 (each shard owns an
+	// independent cache instance).
+	CacheFactory func(shard int, cfg core.Config) (core.Cache, error)
+	// CacheConfig is the server-total cache configuration handed to
+	// CacheFactory: DiskChunks is divided evenly across shards, exactly
+	// as shard.Group divides it. ChunkSize defaults to Config.ChunkSize
+	// and must match it otherwise.
+	CacheConfig core.Config
 	// Store holds chunk bytes; its contents are kept in lockstep with
-	// the cache's placement decisions.
+	// the caches' placement decisions.
 	Store store.Store
 	// OriginURL is the base URL of the origin (e.g. the NewOrigin
 	// handler) used for cache fills.
@@ -33,7 +51,7 @@ type Config struct {
 	// that declined requests are 302-redirected to (Section 2's
 	// secondary map). The video path and query are preserved.
 	RedirectURL string
-	// ChunkSize must match the cache's configuration.
+	// ChunkSize must match the caches' configuration.
 	ChunkSize int64
 	// Alpha is the server's alpha_F2R, used for the /stats efficiency
 	// report (the Cache already embeds it for decisions).
@@ -69,27 +87,83 @@ type Config struct {
 // when the fill line of defense is lost the server degrades to the
 // paper's second line — a 302 to the alternative location — instead of
 // surfacing a 502.
+//
+// Concurrency: server state is split into Config.Shards independent
+// shards keyed by shard.ShardOf(videoID) — the same placement function
+// the parallel replay engine uses. Each shard owns its own cache
+// instance, counters, single-flight table and size cache, so requests
+// for different videos proceed in parallel and the only cross-shard
+// state is the origin breaker/retrier (the origin is one upstream) and
+// the pooled serve buffers. /stats and /metrics aggregate across
+// shards; the Eq. 2 identity holds exactly on the aggregate because
+// every byte is charged to exactly one shard's counters.
 type Server struct {
-	cfg     Config
-	model   cost.Model
-	mux     *http.ServeMux
-	retrier *resilience.Retrier
-	breaker *resilience.Breaker
+	cfg      Config
+	model    cost.Model
+	mux      *http.ServeMux
+	retrier  *resilience.Retrier
+	breaker  *resilience.Breaker
+	algoName string
 
-	mu        sync.Mutex // guards cache and counters
-	counters  cost.Counters
-	served    int64
-	redirs    int64
-	degraded  int64 // 302s issued because the origin was unusable
-	selfHeals int64 // chunks re-fetched because the store lost them
-	fillErrs  int64
-	storeDels int64 // store Delete failures (leaked bytes)
+	shards    []*edgeShard
+	sizeLimit int // per-shard size-cache bound
+
+	// bufs pools per-request chunk buffers (*[]byte, grown to chunk
+	// size) so the steady-state serve path does not allocate.
+	bufs sync.Pool
+}
+
+// edgeShard is one lock domain: the cache and every piece of mutable
+// state keyed by the videos that hash to this shard. Counters are
+// atomics — they are touched on every request, often outside the cache
+// lock (fetch completions, degrade accounting), and aggregation only
+// happens on /stats.
+type edgeShard struct {
+	mu       sync.Mutex // guards cache and lastTime
+	cache    core.Cache
+	lastTime int64 // clamp: caches reject time travel, concurrent stamping can reorder
+
+	flightMu sync.Mutex // coalesces concurrent origin fetches per chunk
+	flights  map[uint64]*flight
 
 	sizeMu sync.RWMutex            // video sizes are immutable; cache them so
 	sizes  map[chunk.VideoID]int64 // origin outages cannot break cache hits
 
-	flightMu sync.Mutex // coalesces concurrent origin fetches per chunk
-	flights  map[uint64]*flight
+	counters  atomicCounters
+	served    atomic.Int64
+	redirs    atomic.Int64
+	degraded  atomic.Int64 // 302s issued because the origin was unusable
+	selfHeals atomic.Int64 // chunks re-fetched because the store lost them
+	fillErrs  atomic.Int64
+	storeDels atomic.Int64 // store Delete failures (leaked bytes)
+}
+
+// atomicCounters is cost.Counters with atomic fields — one per shard,
+// summed into a plain cost.Counters for reporting.
+type atomicCounters struct {
+	requested  atomic.Int64
+	filled     atomic.Int64
+	redirected atomic.Int64
+}
+
+func (a *atomicCounters) add(c cost.Counters) {
+	if c.Requested != 0 {
+		a.requested.Add(c.Requested)
+	}
+	if c.Filled != 0 {
+		a.filled.Add(c.Filled)
+	}
+	if c.Redirected != 0 {
+		a.redirected.Add(c.Redirected)
+	}
+}
+
+func (a *atomicCounters) snapshot() cost.Counters {
+	return cost.Counters{
+		Requested:  a.requested.Load(),
+		Filled:     a.filled.Load(),
+		Redirected: a.redirected.Load(),
+	}
 }
 
 // flight is one in-progress origin fetch that concurrent requests for
@@ -101,10 +175,46 @@ type flight struct {
 	err  error
 }
 
+// fillCtx lazily materializes a request's origin-fill deadline. Pure
+// cache hits never talk to the origin, so they should not pay for a
+// timer and context allocation; the first fill/size lookup creates the
+// context, done releases it.
+type fillCtx struct {
+	r       *http.Request
+	timeout time.Duration
+	ctx     context.Context
+	cancel  context.CancelFunc
+}
+
+func (f *fillCtx) get() context.Context {
+	if f.ctx == nil {
+		f.ctx, f.cancel = context.WithTimeout(f.r.Context(), f.timeout)
+	}
+	return f.ctx
+}
+
+func (f *fillCtx) done() {
+	if f.cancel != nil {
+		f.cancel()
+	}
+}
+
 // NewServer validates the config and builds the edge server.
 func NewServer(cfg Config) (*Server, error) {
-	if cfg.Cache == nil {
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("edge: shard count must be a positive power of two, got %d", cfg.Shards)
+	}
+	switch {
+	case cfg.Cache == nil && cfg.CacheFactory == nil:
 		return nil, fmt.Errorf("edge: nil cache")
+	case cfg.Cache != nil && cfg.CacheFactory != nil:
+		return nil, fmt.Errorf("edge: set Cache or CacheFactory, not both")
+	case cfg.Cache != nil && n > 1:
+		return nil, fmt.Errorf("edge: a prebuilt Cache implies one shard; use CacheFactory for %d shards", n)
 	}
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("edge: nil store")
@@ -135,12 +245,62 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.FillTimeout <= 0 {
 		cfg.FillTimeout = 15 * time.Second
 	}
+
+	caches := make([]core.Cache, n)
+	if cfg.Cache != nil {
+		caches[0] = cfg.Cache
+	} else {
+		cc := cfg.CacheConfig
+		if cc.ChunkSize == 0 {
+			cc.ChunkSize = cfg.ChunkSize
+		}
+		if cc.ChunkSize != cfg.ChunkSize {
+			return nil, fmt.Errorf("edge: CacheConfig.ChunkSize %d != ChunkSize %d", cc.ChunkSize, cfg.ChunkSize)
+		}
+		if cc.ReuseOutcomeBuffers {
+			// The server retains Outcome IDs across the fill phase,
+			// outside the shard lock; reused buffers would be clobbered
+			// by the shard's next request.
+			return nil, fmt.Errorf("edge: ReuseOutcomeBuffers is unsafe under the edge server")
+		}
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+		per := cc.DiskChunks / n
+		if per < 1 {
+			return nil, fmt.Errorf("edge: %d-chunk disk cannot be split %d ways", cc.DiskChunks, n)
+		}
+		for i := range caches {
+			sub := cc
+			sub.DiskChunks = per
+			c, err := cfg.CacheFactory(i, sub)
+			if err != nil {
+				return nil, fmt.Errorf("edge: shard %d: %w", i, err)
+			}
+			if c == nil {
+				return nil, fmt.Errorf("edge: shard %d: factory returned nil", i)
+			}
+			caches[i] = c
+		}
+	}
+
 	s := &Server{
 		cfg: cfg, model: model, mux: http.NewServeMux(),
-		retrier: resilience.NewRetrier(cfg.Retry),
-		breaker: resilience.NewBreaker(cfg.Breaker),
-		sizes:   make(map[chunk.VideoID]int64),
-		flights: make(map[uint64]*flight),
+		retrier:   resilience.NewRetrier(cfg.Retry),
+		breaker:   resilience.NewBreaker(cfg.Breaker),
+		shards:    make([]*edgeShard, n),
+		sizeLimit: maxSizeCacheEntries / n,
+	}
+	for i := range s.shards {
+		s.shards[i] = &edgeShard{
+			cache:   caches[i],
+			flights: make(map[uint64]*flight),
+			sizes:   make(map[chunk.VideoID]int64),
+		}
+	}
+	s.algoName = caches[0].Name()
+	if n > 1 {
+		s.algoName = fmt.Sprintf("%s×%d", s.algoName, n)
 	}
 	s.mux.HandleFunc("/video", s.handleVideo)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -151,6 +311,14 @@ func NewServer(cfg Config) (*Server, error) {
 	})
 	return s, nil
 }
+
+// shardOf returns the lock domain owning video v.
+func (s *Server) shardOf(v chunk.VideoID) *edgeShard {
+	return s.shards[shard.ShardOf(v, len(s.shards))]
+}
+
+// NumShards returns the server's shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
 
 // prefetcher is the optional capability some caches (Cafe) implement
 // for proactive, popularity-gated fills (the paper's Section 10
@@ -177,9 +345,8 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	p, ok := s.cfg.Cache.(prefetcher)
-	if !ok {
-		http.Error(w, fmt.Sprintf("algorithm %q does not support prefetch", s.cfg.Cache.Name()),
+	if _, ok := s.shards[0].cache.(prefetcher); !ok {
+		http.Error(w, fmt.Sprintf("algorithm %q does not support prefetch", s.shards[0].cache.Name()),
 			http.StatusNotImplemented)
 		return
 	}
@@ -189,15 +356,17 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := 1
-	if qs := r.URL.Query().Get("chunks"); qs != "" {
+	if qs := queryParam(r, "chunks"); qs != "" {
 		if n, err = strconv.Atoi(qs); err != nil || n < 1 || n > 1024 {
 			http.Error(w, "chunks must be in [1,1024]", http.StatusBadRequest)
 			return
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FillTimeout)
-	defer cancel()
-	size, err := s.originSize(ctx, v)
+	sh := s.shardOf(v)
+	p := sh.cache.(prefetcher) // same algorithm on every shard
+	fc := fillCtx{r: r, timeout: s.cfg.FillTimeout}
+	defer fc.done()
+	size, err := s.originSize(&fc, sh, v)
 	if err != nil {
 		http.Error(w, "origin: "+err.Error(), http.StatusBadGateway)
 		return
@@ -207,23 +376,27 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 
 	accepted := 0
 	for i := 0; i < n; i++ {
-		s.mu.Lock()
+		sh.mu.Lock()
+		if now < sh.lastTime {
+			now = sh.lastTime
+		}
+		sh.lastTime = now
 		hi, ok := p.HighestCachedIndex(v)
 		if !ok || hi >= maxChunk {
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			break
 		}
 		id := chunk.ID{Video: v, Index: hi + 1}
 		admitted := p.PrefetchChunk(id, now)
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		if !admitted {
 			break
 		}
 		// Ingress accounting happens inside the fetch with the chunk's
 		// actual byte count (a tail chunk is shorter than ChunkSize).
-		if err := s.fill(ctx, id); err != nil {
-			s.noteFillErr()
-			s.undoAdmission([]chunk.ID{id})
+		if err := s.fill(&fc, sh, id); err != nil {
+			sh.fillErrs.Add(1)
+			s.undoAdmission(sh, []chunk.ID{id})
 			http.Error(w, "cache fill: "+err.Error(), http.StatusBadGateway)
 			return
 		}
@@ -241,9 +414,10 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FillTimeout)
-	defer cancel()
-	size, err := s.originSize(ctx, v)
+	sh := s.shardOf(v)
+	fc := fillCtx{r: r, timeout: s.cfg.FillTimeout}
+	defer fc.done()
+	size, err := s.originSize(&fc, sh, v)
 	if err != nil {
 		if resilience.IsPermanent(err) {
 			// The origin is alive and said no (e.g. unknown video);
@@ -253,7 +427,7 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 		}
 		// Origin unreachable and size unknown: fall back to the second
 		// line of defense.
-		s.degrade(w, r, requestBytesHint(r))
+		s.degrade(w, r, sh, requestBytesHint(r))
 		return
 	}
 	b0, b1, err := parseRange(r, size)
@@ -263,15 +437,22 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 	}
 	req := trace.Request{Time: s.cfg.Clock(), Video: v, Start: b0, End: b1}
 
-	s.mu.Lock()
-	out := s.cfg.Cache.HandleRequest(req)
-	s.mu.Unlock()
+	sh.mu.Lock()
+	// Concurrent requests stamp their time before contending on the
+	// shard lock, so a shard can observe slightly out-of-order
+	// timestamps; clamp to its high-water mark (the skew is bounded by
+	// lock hold times, far below the seconds granularity the
+	// algorithms reason at).
+	if req.Time < sh.lastTime {
+		req.Time = sh.lastTime
+	}
+	sh.lastTime = req.Time
+	out := sh.cache.HandleRequest(req)
+	sh.mu.Unlock()
 
 	if out.Decision == core.Redirect {
-		s.mu.Lock()
-		s.redirs++
-		s.counters.Add(cost.Counters{Requested: req.Bytes(), Redirected: req.Bytes()})
-		s.mu.Unlock()
+		sh.redirs.Add(1)
+		sh.counters.add(cost.Counters{Requested: req.Bytes(), Redirected: req.Bytes()})
 		http.Redirect(w, r, s.cfg.RedirectURL+r.URL.RequestURI(), http.StatusFound)
 		return
 	}
@@ -280,7 +461,7 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 	// the store first so cache and store agree.
 	for _, id := range out.EvictedIDs {
 		if err := s.cfg.Store.Delete(id); err != nil {
-			s.noteStoreDeleteErr()
+			sh.storeDels.Add(1)
 		}
 	}
 
@@ -289,10 +470,10 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 	// degrades the request to a redirect — the client never sees a 502
 	// for an origin problem.
 	for i, id := range out.FilledIDs {
-		if err := s.fill(ctx, id); err != nil {
-			s.noteFillErr()
-			s.undoAdmission(out.FilledIDs[i:])
-			s.degrade(w, r, req.Bytes())
+		if err := s.fill(&fc, sh, id); err != nil {
+			sh.fillErrs.Add(1)
+			s.undoAdmission(sh, out.FilledIDs[i:])
+			s.degrade(w, r, sh, req.Bytes())
 			return
 		}
 	}
@@ -307,20 +488,18 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.Store.Has(id) {
 			continue
 		}
-		if err := s.heal(ctx, id); err != nil {
-			s.noteFillErr()
-			s.undoAdmission([]chunk.ID{id})
-			s.degrade(w, r, req.Bytes())
+		if err := s.heal(&fc, sh, id); err != nil {
+			sh.fillErrs.Add(1)
+			s.undoAdmission(sh, []chunk.ID{id})
+			s.degrade(w, r, sh, req.Bytes())
 			return
 		}
 	}
 
-	s.mu.Lock()
-	s.served++
+	sh.served.Add(1)
 	// Filled bytes are charged where the fetches succeed; here only the
 	// egress side of Eq. 2 is recorded.
-	s.counters.Add(cost.Counters{Requested: req.Bytes()})
-	s.mu.Unlock()
+	sh.counters.requested.Add(req.Bytes())
 
 	w.Header().Set("Content-Type", "video/mp4")
 	w.Header().Set("Content-Length", strconv.FormatInt(b1-b0+1, 10))
@@ -328,7 +507,7 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", b0, b1, size))
 		w.WriteHeader(http.StatusPartialContent)
 	}
-	if err := s.stream(ctx, w, v, b0, b1); err != nil {
+	if err := s.stream(&fc, sh, w, v, b0, b1); err != nil {
 		return // client gone or store hiccup after headers; nothing to do
 	}
 }
@@ -338,12 +517,10 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 // of defense) instead of a 502. The bytes are charged as Redirected;
 // both sides of Eq. 2 receive the same value, so the accounting
 // identity Requested == served + Redirected holds whatever happens.
-func (s *Server) degrade(w http.ResponseWriter, r *http.Request, bytes int64) {
-	s.mu.Lock()
-	s.redirs++
-	s.degraded++
-	s.counters.Add(cost.Counters{Requested: bytes, Redirected: bytes})
-	s.mu.Unlock()
+func (s *Server) degrade(w http.ResponseWriter, r *http.Request, sh *edgeShard, bytes int64) {
+	sh.redirs.Add(1)
+	sh.degraded.Add(1)
+	sh.counters.add(cost.Counters{Requested: bytes, Redirected: bytes})
 	http.Redirect(w, r, s.cfg.RedirectURL+r.URL.RequestURI(), http.StatusFound)
 }
 
@@ -352,20 +529,20 @@ func (s *Server) degrade(w http.ResponseWriter, r *http.Request, bytes int64) {
 // bookkeeping) and any stray store bytes are dropped. Best-effort — a
 // concurrent re-admission can legitimately race this, and the serving
 // path's preflight self-heal reconciles any leftover divergence.
-func (s *Server) undoAdmission(ids []chunk.ID) {
+func (s *Server) undoAdmission(sh *edgeShard, ids []chunk.ID) {
 	if len(ids) == 0 {
 		return
 	}
-	if f, ok := s.cfg.Cache.(forgetter); ok {
-		s.mu.Lock()
+	if f, ok := sh.cache.(forgetter); ok {
+		sh.mu.Lock()
 		for _, id := range ids {
 			f.Forget(id)
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	for _, id := range ids {
 		if err := s.cfg.Store.Delete(id); err != nil {
-			s.noteStoreDeleteErr()
+			sh.storeDels.Add(1)
 		}
 	}
 }
@@ -383,37 +560,60 @@ func requestBytesHint(r *http.Request) int64 {
 		}
 		return 0
 	}
-	q := r.URL.Query()
-	a, err1 := strconv.ParseInt(q.Get("start"), 10, 64)
-	b, err2 := strconv.ParseInt(q.Get("end"), 10, 64)
+	a, err1 := strconv.ParseInt(queryParam(r, "start"), 10, 64)
+	b, err2 := strconv.ParseInt(queryParam(r, "end"), 10, 64)
 	if err1 == nil && err2 == nil && a >= 0 && b >= a {
 		return b - a + 1
 	}
 	return 0
 }
 
-// stream writes [b0,b1] of the video from the chunk store.
-func (s *Server) stream(ctx context.Context, w io.Writer, v chunk.VideoID, b0, b1 int64) error {
+// StreamRange writes bytes [b0, b1] of video v from the chunk store to
+// w: the byte-moving half of the cache-hit serve path (pooled chunk
+// buffer, zero steady-state heap allocations), without HTTP parsing or
+// decision-engine involvement. Chunks the store lost self-heal from
+// origin exactly as in normal serving. It exists for benchmark
+// harnesses (cmd/benchedge, BenchmarkHitStream) that need to measure
+// the serve path without net/http noise; it does not touch the Eq. 2
+// counters — callers must have driven the decision engine already.
+func (s *Server) StreamRange(ctx context.Context, w io.Writer, v chunk.VideoID, b0, b1 int64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if b0 < 0 || b1 < b0 {
+		return fmt.Errorf("edge: bad range [%d, %d]", b0, b1)
+	}
+	fc := fillCtx{ctx: ctx}
+	return s.stream(&fc, s.shardOf(v), w, v, b0, b1)
+}
+
+// stream writes [b0,b1] of the video from the chunk store through a
+// pooled chunk buffer.
+func (s *Server) stream(fc *fillCtx, sh *edgeShard, w io.Writer, v chunk.VideoID, b0, b1 int64) error {
+	bp, _ := s.bufs.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	defer s.bufs.Put(bp)
 	k := s.cfg.ChunkSize
 	c0 := uint32(b0 / k)
 	c1 := uint32(b1 / k)
-	var buf []byte
 	for c := c0; c <= c1; c++ {
 		id := chunk.ID{Video: v, Index: c}
-		data, err := s.cfg.Store.Get(id, buf[:0])
+		data, err := s.cfg.Store.Get(id, (*bp)[:0])
 		if err != nil {
 			// The cache believed the chunk was present but the store
 			// disagrees (e.g. lost to a concurrent rollback since the
 			// preflight). Self-heal from origin; this is real ingress
 			// and is charged inside the fetch.
-			if err2 := s.heal(ctx, id); err2 != nil {
+			if err2 := s.heal(fc, sh, id); err2 != nil {
 				return err
 			}
-			if data, err = s.cfg.Store.Get(id, buf[:0]); err != nil {
+			if data, err = s.cfg.Store.Get(id, (*bp)[:0]); err != nil {
 				return err
 			}
 		}
-		buf = data
+		*bp = data[:0] // keep the grown capacity for the next chunk/request
 		lo := int64(c) * k
 		from, to := int64(0), int64(len(data)-1)
 		if lo < b0 {
@@ -437,16 +637,17 @@ func (s *Server) stream(ctx context.Context, w io.Writer, v chunk.VideoID, b0, b
 // (duplicate fills waste exactly the ingress this CDN exists to save).
 // The fetch itself runs detached with its own FillTimeout budget;
 // waiters that give up (ctx) leave the flight running for the others.
-func (s *Server) fill(ctx context.Context, id chunk.ID) error {
+func (s *Server) fill(fc *fillCtx, sh *edgeShard, id chunk.ID) error {
 	key := id.Key()
-	s.flightMu.Lock()
-	f, ok := s.flights[key]
+	sh.flightMu.Lock()
+	f, ok := sh.flights[key]
 	if !ok {
 		f = &flight{done: make(chan struct{})}
-		s.flights[key] = f
-		go s.runFlight(f, key, id)
+		sh.flights[key] = f
+		go s.runFlight(sh, f, key, id)
 	}
-	s.flightMu.Unlock()
+	sh.flightMu.Unlock()
+	ctx := fc.get()
 	select {
 	case <-f.done:
 		return f.err
@@ -461,16 +662,14 @@ func (s *Server) fill(ctx context.Context, id chunk.ID) error {
 // cleanup — so verify the store after each fill and retry a couple of
 // times; the window is microseconds wide, so one retry all but
 // guarantees convergence.
-func (s *Server) heal(ctx context.Context, id chunk.ID) error {
+func (s *Server) heal(fc *fillCtx, sh *edgeShard, id chunk.ID) error {
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
-		if err = s.fill(ctx, id); err != nil {
+		if err = s.fill(fc, sh, id); err != nil {
 			return err
 		}
 		if s.cfg.Store.Has(id) {
-			s.mu.Lock()
-			s.selfHeals++
-			s.mu.Unlock()
+			sh.selfHeals.Add(1)
 			return nil
 		}
 	}
@@ -478,24 +677,24 @@ func (s *Server) heal(ctx context.Context, id chunk.ID) error {
 }
 
 // runFlight performs one coalesced fetch to completion.
-func (s *Server) runFlight(f *flight, key uint64, id chunk.ID) {
+func (s *Server) runFlight(sh *edgeShard, f *flight, key uint64, id chunk.ID) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FillTimeout)
 	defer cancel()
-	f.err = s.fetchChunk(ctx, id)
-	s.flightMu.Lock()
-	delete(s.flights, key)
-	s.flightMu.Unlock()
+	f.err = s.fetchChunk(ctx, sh, id)
+	sh.flightMu.Lock()
+	delete(sh.flights, key)
+	sh.flightMu.Unlock()
 	if f.err == nil {
 		// The admission may have been rolled back while we fetched
 		// (degraded request) or the chunk evicted by a concurrent
 		// request; bytes the cache does not claim must not squat in
 		// the store.
-		s.mu.Lock()
-		keep := s.cfg.Cache.Contains(id)
-		s.mu.Unlock()
+		sh.mu.Lock()
+		keep := sh.cache.Contains(id)
+		sh.mu.Unlock()
 		if !keep {
 			if err := s.cfg.Store.Delete(id); err != nil {
-				s.noteStoreDeleteErr()
+				sh.storeDels.Add(1)
 			}
 		}
 	}
@@ -544,7 +743,7 @@ func (s *Server) originGet(ctx context.Context, url string, limit int64) ([]byte
 // retries, and commits the bytes to the store. Ingress (Filled) is
 // charged here with the chunk's actual byte count — the one place
 // bytes really arrive from origin.
-func (s *Server) fetchChunk(ctx context.Context, id chunk.ID) error {
+func (s *Server) fetchChunk(ctx context.Context, sh *edgeShard, id chunk.ID) error {
 	url := fmt.Sprintf("%s/chunk?v=%d&c=%d", s.cfg.OriginURL, id.Video, id.Index)
 	return s.retrier.Do(ctx, func(ctx context.Context) error {
 		data, err := s.guardedGet(ctx, url, s.cfg.ChunkSize+1)
@@ -557,25 +756,23 @@ func (s *Server) fetchChunk(ctx context.Context, id chunk.ID) error {
 		if err := s.cfg.Store.Put(id, data); err != nil {
 			return resilience.Permanent(fmt.Errorf("store: %w", err))
 		}
-		s.mu.Lock()
-		s.counters.Filled += int64(len(data))
-		s.mu.Unlock()
+		sh.counters.filled.Add(int64(len(data)))
 		return nil
 	})
 }
 
-// originSize returns the video's size, consulting the local size cache
-// first: sizes are immutable, and depending on the origin for every
-// request would let an origin outage break even pure cache hits.
-func (s *Server) originSize(ctx context.Context, v chunk.VideoID) (int64, error) {
-	s.sizeMu.RLock()
-	size, ok := s.sizes[v]
-	s.sizeMu.RUnlock()
+// originSize returns the video's size, consulting the shard's size
+// cache first: sizes are immutable, and depending on the origin for
+// every request would let an origin outage break even pure cache hits.
+func (s *Server) originSize(fc *fillCtx, sh *edgeShard, v chunk.VideoID) (int64, error) {
+	sh.sizeMu.RLock()
+	size, ok := sh.sizes[v]
+	sh.sizeMu.RUnlock()
 	if ok {
 		return size, nil
 	}
 	url := fmt.Sprintf("%s/size?v=%d", s.cfg.OriginURL, v)
-	err := s.retrier.Do(ctx, func(ctx context.Context) error {
+	err := s.retrier.Do(fc.get(), func(ctx context.Context) error {
 		body, err := s.guardedGet(ctx, url, 32)
 		if err != nil {
 			return err
@@ -588,40 +785,31 @@ func (s *Server) originSize(ctx context.Context, v chunk.VideoID) (int64, error)
 		return nil
 	})
 	if err != nil {
-		s.noteFillErr()
+		sh.fillErrs.Add(1)
 		return 0, err
 	}
-	s.sizeMu.Lock()
-	// Bound the cache: a few million entries is plenty for any chunk
-	// disk this server could front; reset rather than track recency —
-	// entries are one origin round-trip to recover.
-	if len(s.sizes) >= maxSizeCacheEntries {
-		s.sizes = make(map[chunk.VideoID]int64)
+	sh.sizeMu.Lock()
+	// Bound the cache: a few million entries across all shards is
+	// plenty for any chunk disk this server could front; reset rather
+	// than track recency — entries are one origin round-trip to
+	// recover.
+	if len(sh.sizes) >= s.sizeLimit {
+		sh.sizes = make(map[chunk.VideoID]int64)
 	}
-	s.sizes[v] = size
-	s.sizeMu.Unlock()
+	sh.sizes[v] = size
+	sh.sizeMu.Unlock()
 	return size, nil
 }
 
-// maxSizeCacheEntries caps the video-size cache (~16 bytes/entry).
+// maxSizeCacheEntries caps the video-size cache across all shards
+// (~16 bytes/entry).
 const maxSizeCacheEntries = 1 << 21
-
-func (s *Server) noteFillErr() {
-	s.mu.Lock()
-	s.fillErrs++
-	s.mu.Unlock()
-}
-
-func (s *Server) noteStoreDeleteErr() {
-	s.mu.Lock()
-	s.storeDels++
-	s.mu.Unlock()
-}
 
 // Stats is the JSON body of /stats.
 type Stats struct {
 	Algorithm         string  `json:"algorithm"`
 	Alpha             float64 `json:"alpha_f2r"`
+	Shards            int     `json:"shards"`
 	Served            int64   `json:"served"`
 	Redirected        int64   `json:"redirected"`
 	DegradedRedirects int64   `json:"degraded_redirects"`
@@ -632,38 +820,53 @@ type Stats struct {
 	IngressRatio      float64 `json:"ingress_ratio"`
 	RedirectRatio     float64 `json:"redirect_ratio"`
 	CachedChunks      int     `json:"cached_chunks"`
-	FillErrors        int64   `json:"fill_errors"`
-	SelfHeals         int64   `json:"self_heals"`
-	StoreDeleteErrors int64   `json:"store_delete_errors"`
-	OriginRetries     int64   `json:"origin_retries"`
-	BreakerState      string  `json:"breaker_state"`
-	BreakerOpens      int64   `json:"breaker_opens"`
+	// ShardChunks is the per-shard occupancy behind CachedChunks, so
+	// hash-balance across lock domains is observable.
+	ShardChunks       []int  `json:"shard_chunks,omitempty"`
+	FillErrors        int64  `json:"fill_errors"`
+	SelfHeals         int64  `json:"self_heals"`
+	StoreDeleteErrors int64  `json:"store_delete_errors"`
+	OriginRetries     int64  `json:"origin_retries"`
+	BreakerState      string `json:"breaker_state"`
+	BreakerOpens      int64  `json:"breaker_opens"`
 }
 
-// SnapshotStats returns a consistent copy of the server counters.
+// SnapshotStats aggregates the per-shard counters into one report.
+// Each shard's counters are read atomically, so the aggregate is
+// per-shard-consistent: an in-flight request may be counted in one
+// shard gauge and not yet in another, but once the server quiesces the
+// sums are exact and the Eq. 2 identity holds to the last byte.
 func (s *Server) SnapshotStats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
-		Algorithm:         s.cfg.Cache.Name(),
-		Alpha:             s.model.Alpha,
-		Served:            s.served,
-		Redirected:        s.redirs,
-		DegradedRedirects: s.degraded,
-		RequestedBytes:    s.counters.Requested,
-		FilledBytes:       s.counters.Filled,
-		RedirectedBytes:   s.counters.Redirected,
-		Efficiency:        s.counters.Efficiency(s.model),
-		IngressRatio:      s.counters.IngressRatio(),
-		RedirectRatio:     s.counters.RedirectRatio(),
-		CachedChunks:      s.cfg.Cache.Len(),
-		FillErrors:        s.fillErrs,
-		SelfHeals:         s.selfHeals,
-		StoreDeleteErrors: s.storeDels,
-		OriginRetries:     s.retrier.Retries(),
-		BreakerState:      s.breaker.State().String(),
-		BreakerOpens:      s.breaker.Opens(),
+	st := Stats{
+		Algorithm:   s.algoName,
+		Alpha:       s.model.Alpha,
+		Shards:      len(s.shards),
+		ShardChunks: make([]int, len(s.shards)),
 	}
+	var agg cost.Counters
+	for i, sh := range s.shards {
+		agg.Add(sh.counters.snapshot())
+		st.Served += sh.served.Load()
+		st.Redirected += sh.redirs.Load()
+		st.DegradedRedirects += sh.degraded.Load()
+		st.FillErrors += sh.fillErrs.Load()
+		st.SelfHeals += sh.selfHeals.Load()
+		st.StoreDeleteErrors += sh.storeDels.Load()
+		sh.mu.Lock()
+		st.ShardChunks[i] = sh.cache.Len()
+		sh.mu.Unlock()
+		st.CachedChunks += st.ShardChunks[i]
+	}
+	st.RequestedBytes = agg.Requested
+	st.FilledBytes = agg.Filled
+	st.RedirectedBytes = agg.Redirected
+	st.Efficiency = agg.Efficiency(s.model)
+	st.IngressRatio = agg.IngressRatio()
+	st.RedirectRatio = agg.RedirectRatio()
+	st.OriginRetries = s.retrier.Retries()
+	st.BreakerState = s.breaker.State().String()
+	st.BreakerOpens = s.breaker.Opens()
+	return st
 }
 
 // BreakerState exposes the origin breaker's current state (tests,
@@ -699,8 +902,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	write("videocdn_origin_retries_total", "Origin fetch retry attempts.", "counter", float64(st.OriginRetries))
 	write("videocdn_breaker_opens_total", "Times the origin circuit breaker tripped open.", "counter", float64(st.BreakerOpens))
 	write("videocdn_breaker_state", "Origin circuit breaker state (0 closed, 1 open, 2 half-open).", "gauge", float64(s.breaker.State()))
+	write("videocdn_edge_shards", "Independent lock shards in this edge server.", "gauge", float64(st.Shards))
 	write("videocdn_cached_chunks", "Chunks currently on disk.", "gauge", float64(st.CachedChunks))
 	write("videocdn_cache_efficiency", "Cache efficiency per the paper's Eq. 2.", "gauge", st.Efficiency)
 	write("videocdn_ingress_ratio", "Filled bytes over requested bytes.", "gauge", st.IngressRatio)
 	write("videocdn_redirect_ratio", "Redirected bytes over requested bytes.", "gauge", st.RedirectRatio)
+	for i, n := range st.ShardChunks {
+		fmt.Fprintf(w, "videocdn_shard_cached_chunks{shard=\"%d\"} %d\n", i, n)
+	}
 }

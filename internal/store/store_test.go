@@ -175,3 +175,84 @@ func TestConcurrentAccess(t *testing.T) {
 		})
 	}
 }
+
+// TestGetReusesBufferCapacity: a buffer with spare capacity must be
+// read into in place, not replaced with a fresh allocation — the edge
+// serve path cycles one pooled buffer through Get per chunk.
+func TestGetReusesBufferCapacity(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			id := chunk.ID{Video: 9, Index: 1}
+			payload := bytes.Repeat([]byte("chunk"), 20)
+			if err := s.Put(id, payload); err != nil {
+				t.Fatal(err)
+			}
+			buf := append(make([]byte, 0, 4096), "pre"...)
+			got, err := s.Get(id, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "pre"+string(payload) {
+				t.Errorf("Get appended %q", got)
+			}
+			if cap(got) != cap(buf) {
+				t.Errorf("Get reallocated: cap %d -> %d, want in-place reuse", cap(buf), cap(got))
+			}
+			// And a too-small buffer still grows correctly.
+			small, err := s.Get(id, make([]byte, 0, 8))
+			if err != nil || !bytes.Equal(small, payload) {
+				t.Errorf("Get with small buf = %q, %v", small, err)
+			}
+		})
+	}
+}
+
+// TestMemStripedConcurrentHotKeys hammers a key set chosen to cover
+// every stripe from many goroutines, mixing all four operations plus
+// Len, so the striped locking is exercised under -race.
+func TestMemStripedConcurrentHotKeys(t *testing.T) {
+	s := NewMem()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := chunk.ID{Video: chunk.VideoID(i % 128), Index: uint32(g)}
+				switch i % 4 {
+				case 0:
+					if err := s.Put(id, []byte{byte(g), byte(i)}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if data, err := s.Get(id, nil); err == nil && len(data) != 2 {
+						t.Errorf("Get(%s) = %d bytes, want 2", id, len(data))
+						return
+					}
+				case 2:
+					s.Has(id)
+					s.Len()
+				case 3:
+					if err := s.Delete(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Quiesced Len must agree with a full enumeration via Has.
+	n := 0
+	for v := 0; v < 128; v++ {
+		for g := 0; g < 16; g++ {
+			if s.Has(chunk.ID{Video: chunk.VideoID(v), Index: uint32(g)}) {
+				n++
+			}
+		}
+	}
+	if s.Len() != n {
+		t.Errorf("Len() = %d, enumeration found %d", s.Len(), n)
+	}
+}
