@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos fuzz bench bench-replay bench-edge experiments experiments-small fmt vet clean
+.PHONY: all build test test-short race chaos fuzz bench bench-replay bench-edge bench-store experiments experiments-small fmt vet clean
 
 all: build test
 
@@ -43,6 +43,12 @@ bench-replay:
 # plus the isolated cache-hit serve path (expected: 0 allocs/op).
 bench-edge:
 	$(GO) run ./cmd/benchedge -o BENCH_edge.json
+
+# Chunk-store microbenchmark: Put/Get/put+delete/recovery-scan for the
+# mem, fs and slab backends, plus the slab-vs-fs speedup summary the
+# disk layer's trajectory tracks (target: ≥5x, 0-alloc slab Get).
+bench-store:
+	$(GO) run ./cmd/benchstore -o BENCH_store.json
 
 # Regenerate every figure and table of the paper (plus extensions).
 experiments:

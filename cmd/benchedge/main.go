@@ -90,8 +90,48 @@ type report struct {
 	DiskChunks  int          `json:"disk_chunks"`
 	Videos      int          `json:"videos"`
 	Zipf        float64      `json:"zipf_s"`
+	Store       string       `json:"store"`
+	AsyncFills  bool         `json:"async_fills"`
 	Runs        []runRow     `json:"runs"`
 	ServePath   servePathRow `json:"serve_path"`
+}
+
+// storeOpts selects the chunk store backend and fill mode under test.
+type storeOpts struct {
+	kind  string // mem, fs or slab
+	async bool
+}
+
+// open builds a fresh store of the selected kind in a temp dir (for
+// the persistent backends) and returns it with its cleanup.
+func (o storeOpts) open(chunkSize int64) (store.Store, func(), error) {
+	switch o.kind {
+	case "", "mem":
+		return store.NewMem(), func() {}, nil
+	case "fs":
+		dir, err := os.MkdirTemp("", "benchedge-fs-")
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := store.NewFS(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		return s, func() { os.RemoveAll(dir) }, nil
+	case "slab":
+		dir, err := os.MkdirTemp("", "benchedge-slab-")
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := store.NewSlab(dir, store.SlabConfig{SlotBytes: chunkSize})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		return s, func() { s.Close(); os.RemoveAll(dir) }, nil
+	}
+	return nil, nil, fmt.Errorf("unknown store backend %q (mem, fs or slab)", o.kind)
 }
 
 // edgeStats is the subset of the /stats body the harness checks.
@@ -117,6 +157,8 @@ func main() {
 	diskChunks := flag.Int("disk-chunks", 8192, "edge disk size in chunks (total, divided across shards)")
 	algo := flag.String("algo", "cafe", "edge algorithm: cafe, xlru or lru")
 	alpha := flag.Float64("alpha", 2, "alpha_F2R")
+	storeKind := flag.String("store", "mem", "chunk store backend: mem, fs or slab")
+	fillAsync := flag.Bool("fill-async", false, "commit fill writes asynchronously (write-behind)")
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *requests / 4
@@ -136,7 +178,10 @@ func main() {
 		DiskChunks:  *diskChunks,
 		Videos:      *videos,
 		Zipf:        *zipfS,
+		Store:       *storeKind,
+		AsyncFills:  *fillAsync,
 	}
+	so := storeOpts{kind: *storeKind, async: *fillAsync}
 	if rep.CPUs < 4 {
 		rep.Note = fmt.Sprintf("generated on a %d-CPU machine: shard scaling is lock-contention relief only; regenerate on multi-core for real parallel speedup", rep.CPUs)
 	}
@@ -147,7 +192,7 @@ func main() {
 			fatal(fmt.Errorf("bad -shards entry %q", tok))
 		}
 		fmt.Fprintf(os.Stderr, "edge: %d shard(s), %d workers, %d requests...\n", n, *concurrency, *requests)
-		row, err := measure(n, *concurrency, *warmup, *requests, *videos, *zipfS, chunkSize, *diskChunks, *algo, *alpha, catalog)
+		row, err := measure(n, *concurrency, *warmup, *requests, *videos, *zipfS, chunkSize, *diskChunks, *algo, *alpha, catalog, so)
 		if err != nil {
 			fatal(err)
 		}
@@ -160,7 +205,7 @@ func main() {
 		}
 	}
 
-	sp, err := measureServePath(chunkSize, *algo, *alpha, catalog)
+	sp, err := measureServePath(chunkSize, *algo, *alpha, catalog, so)
 	if err != nil {
 		fatal(err)
 	}
@@ -186,13 +231,19 @@ func main() {
 	fmt.Printf("  serve_path: %.0f ns/op, %g allocs/op\n", rep.ServePath.NsPerOp, rep.ServePath.AllocsPerOp)
 }
 
-// newEdge builds origin + n-shard edge server over loopback TCP.
-func newEdge(n int, chunkSize int64, diskChunks int, algo string, alpha float64, catalog edge.Catalog) (*edge.Server, *httptest.Server, *httptest.Server, error) {
+// newEdge builds origin + n-shard edge server over loopback TCP. The
+// returned cleanup drains the fill pipeline and removes the store.
+func newEdge(n int, chunkSize int64, diskChunks int, algo string, alpha float64, catalog edge.Catalog, so storeOpts) (*edge.Server, *httptest.Server, *httptest.Server, func(), error) {
 	o, err := edge.NewOrigin(catalog, chunkSize)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	origin := httptest.NewServer(o)
+	st, storeCleanup, err := so.open(chunkSize)
+	if err != nil {
+		origin.Close()
+		return nil, nil, nil, nil, err
+	}
 	s, err := edge.NewServer(edge.Config{
 		Shards: n,
 		CacheFactory: func(_ int, sub core.Config) (core.Cache, error) {
@@ -207,26 +258,33 @@ func newEdge(n int, chunkSize int64, diskChunks int, algo string, alpha float64,
 			return nil, fmt.Errorf("unknown algorithm %q", algo)
 		},
 		CacheConfig: core.Config{ChunkSize: chunkSize, DiskChunks: diskChunks},
-		Store:       store.NewMem(),
+		Store:       st,
 		OriginURL:   origin.URL,
 		RedirectURL: "http://secondary.example",
 		ChunkSize:   chunkSize,
 		Alpha:       alpha,
+		AsyncFills:  so.async,
 	})
 	if err != nil {
+		storeCleanup()
 		origin.Close()
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	srv := httptest.NewServer(s)
-	return s, origin, srv, nil
+	cleanup := func() {
+		s.Close() // drain deferred writes before the store goes away
+		storeCleanup()
+	}
+	return s, origin, srv, cleanup, nil
 }
 
 // measure runs one closed-loop load test against an n-shard server.
-func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkSize int64, diskChunks int, algo string, alpha float64, catalog edge.Catalog) (runRow, error) {
-	s, origin, srv, err := newEdge(n, chunkSize, diskChunks, algo, alpha, catalog)
+func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkSize int64, diskChunks int, algo string, alpha float64, catalog edge.Catalog, so storeOpts) (runRow, error) {
+	s, origin, srv, cleanup, err := newEdge(n, chunkSize, diskChunks, algo, alpha, catalog, so)
 	if err != nil {
 		return runRow{}, err
 	}
+	defer cleanup()
 	defer origin.Close()
 	defer srv.Close()
 
@@ -392,11 +450,12 @@ func fetchStats(base string) (edgeStats, error) {
 // measureServePath benchmarks the isolated cache-hit byte path
 // (Server.StreamRange): this is where the 0 allocs/request invariant
 // lives.
-func measureServePath(chunkSize int64, algo string, alpha float64, catalog edge.Catalog) (servePathRow, error) {
-	s, origin, srv, err := newEdge(1, chunkSize, 256, algo, alpha, catalog)
+func measureServePath(chunkSize int64, algo string, alpha float64, catalog edge.Catalog, so storeOpts) (servePathRow, error) {
+	s, origin, srv, cleanup, err := newEdge(1, chunkSize, 256, algo, alpha, catalog, so)
 	if err != nil {
 		return servePathRow{}, err
 	}
+	defer cleanup()
 	defer origin.Close()
 	defer srv.Close()
 	const v = chunk.VideoID(1)
@@ -412,6 +471,7 @@ func measureServePath(chunkSize int64, algo string, alpha float64, catalog edge.
 			return servePathRow{}, fmt.Errorf("warmup status %d", resp.StatusCode)
 		}
 	}
+	s.Flush() // serve-path timing must not overlap deferred fill writes
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

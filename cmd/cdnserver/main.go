@@ -50,7 +50,11 @@ func main() {
 	alpha := flag.Float64("alpha", 2, "alpha_F2R")
 	diskGB := flag.Float64("disk-gb", 1, "edge disk size in GB")
 	chunkMB := flag.Float64("chunk-mb", 2, "chunk size in MB")
-	dataDir := flag.String("data", "", "chunk store directory (default: in-memory)")
+	dataDir := flag.String("data", "", "chunk store directory (required for -store fs/slab)")
+	storeKind := flag.String("store", "", "chunk store backend: mem, fs or slab (default: fs when -data is set, else mem)")
+	storePrealloc := flag.Bool("store-prealloc", false, "slab store: preallocate each segment file to full size up front")
+	fillAsync := flag.Bool("fill-async", false, "edge mode: commit fill writes asynchronously (write-behind) instead of on the serve path")
+	fillQueue := flag.Int("fill-queue", 0, "edge mode: per-shard async fill queue depth (0 = default)")
 	statePath := flag.String("state", "", "cafe state snapshot: loaded on start if present, saved after graceful shutdown (edge mode, cafe only)")
 	minMB := flag.Int64("origin-min-mb", 8, "origin catalog min video size (MB)")
 	maxMB := flag.Int64("origin-max-mb", 256, "origin catalog max video size (MB)")
@@ -148,29 +152,40 @@ func main() {
 			}
 			srvCfg.Cache = single
 		}
-		var st store.Store
-		if *dataDir != "" {
-			st, err = store.NewFS(*dataDir)
-			if err != nil {
-				fatal(err)
-			}
-		} else {
-			st = store.NewMem()
+		st, err := openStore(*storeKind, *dataDir, chunkSize, *storePrealloc)
+		if err != nil {
+			fatal(err)
 		}
 		srvCfg.Store = st
+		srvCfg.AsyncFills = *fillAsync
+		srvCfg.FillQueueDepth = *fillQueue
 		srv, err := edge.NewServer(srvCfg)
 		if err != nil {
 			fatal(err)
 		}
-		var afterDrain func()
-		if *statePath != "" {
-			if cc, ok := single.(*cafe.Cache); ok {
-				path := *statePath
-				afterDrain = func() { saveState(cc, path) }
+		afterDrain := func() {
+			// Drain order matters: stop the fill pipeline first (its
+			// workers write to the store), then snapshot and close.
+			if err := srv.Close(); err != nil {
+				log.Printf("closing fill pipeline: %v", err)
+			}
+			if *statePath != "" {
+				if cc, ok := single.(*cafe.Cache); ok {
+					saveState(cc, *statePath)
+				}
+			}
+			if c, ok := st.(interface{ Close() error }); ok {
+				if err := c.Close(); err != nil {
+					log.Printf("closing store: %v", err)
+				}
 			}
 		}
-		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk, %d shard(s)) on %s -> origin %s, redirects to %s",
-			*algo, *alpha, cfg.DiskChunks, srv.NumShards(), *listen, *origin, *redirect)
+		fillMode := "sync"
+		if *fillAsync {
+			fillMode = "async"
+		}
+		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk, %d shard(s), %s store, %s fills) on %s -> origin %s, redirects to %s",
+			*algo, *alpha, cfg.DiskChunks, srv.NumShards(), storeName(*storeKind, *dataDir), fillMode, *listen, *origin, *redirect)
 		serveGracefully(srv, *listen, *drain, afterDrain)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
@@ -251,6 +266,37 @@ func saveState(c *cafe.Cache, path string) {
 		os.Exit(1)
 	}
 	log.Printf("saved cafe state to %s (%d chunks)", path, c.Len())
+}
+
+// storeName resolves the -store flag's default: -data alone has always
+// meant the FS store, and no flags means in-memory.
+func storeName(kind, dir string) string {
+	if kind != "" {
+		return kind
+	}
+	if dir != "" {
+		return "fs"
+	}
+	return "mem"
+}
+
+// openStore builds the chunk store the flags select.
+func openStore(kind, dir string, chunkSize int64, prealloc bool) (store.Store, error) {
+	switch storeName(kind, dir) {
+	case "mem":
+		return store.NewMem(), nil
+	case "fs":
+		if dir == "" {
+			return nil, fmt.Errorf("-store fs requires -data")
+		}
+		return store.NewFS(dir)
+	case "slab":
+		if dir == "" {
+			return nil, fmt.Errorf("-store slab requires -data")
+		}
+		return store.NewSlab(dir, store.SlabConfig{SlotBytes: chunkSize, Prealloc: prealloc})
+	}
+	return nil, fmt.Errorf("unknown store backend %q (mem, fs or slab)", kind)
 }
 
 func fatal(err error) {

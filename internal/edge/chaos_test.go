@@ -55,14 +55,30 @@ type chaosRig struct {
 	client    *http.Client // does not follow redirects
 }
 
+// rigOptions selects the chaos rig's store backend and fill mode;
+// the zero value is the classic mem-store, synchronous-fill rig.
+type rigOptions struct {
+	store      store.Store // nil means a fresh Mem
+	asyncFills bool
+}
+
 func newChaosRig(t *testing.T, c core.Cache, catalog Catalog, fault FaultConfig,
 	retry resilience.RetryPolicy, breaker resilience.BreakerConfig) *chaosRig {
+	return newChaosRigWith(t, c, catalog, fault, retry, breaker, rigOptions{})
+}
+
+func newChaosRigWith(t *testing.T, c core.Cache, catalog Catalog, fault FaultConfig,
+	retry resilience.RetryPolicy, breaker resilience.BreakerConfig, opts rigOptions) *chaosRig {
 	t.Helper()
 	o, err := NewOrigin(catalog, testK)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rig := &chaosRig{fault: NewFaultOrigin(o, fault), store: &countingStore{Store: store.NewMem()}}
+	backing := opts.store
+	if backing == nil {
+		backing = store.NewMem()
+	}
+	rig := &chaosRig{fault: NewFaultOrigin(o, fault), store: &countingStore{Store: backing}}
 	rig.originSrv = httptest.NewServer(rig.fault)
 	t.Cleanup(rig.originSrv.Close)
 	now := int64(0)
@@ -75,10 +91,12 @@ func newChaosRig(t *testing.T, c core.Cache, catalog Catalog, fault FaultConfig,
 		FillTimeout: 5 * time.Second,
 		Retry:       retry,
 		Breaker:     breaker,
+		AsyncFills:  opts.asyncFills,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = s.Close() })
 	rig.edge = s
 	rig.edgeSrv = httptest.NewServer(s)
 	t.Cleanup(rig.edgeSrv.Close)
@@ -179,6 +197,96 @@ func TestChaosOnlyGoodStatusesAndAccounting(t *testing.T) {
 	}
 	if c := rig.fault.Counts(); c.Errors == 0 || c.Truncations == 0 || c.Spikes == 0 {
 		t.Errorf("fault injection inactive: %+v", c)
+	}
+}
+
+// TestChaosSlabStoreAsyncFills reruns the acceptance chaos mix over
+// the production disk pipeline: slab-segment store behind write-behind
+// fills. Responses may stream chunks straight out of pending deferred
+// writes; they must still be byte-exact, the Eq. 2 identities must
+// still reconcile against the origin's ground truth, and the slab must
+// come back from a cold reopen (header-scan recovery) holding exactly
+// what it held at close.
+func TestChaosSlabStoreAsyncFills(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 4096}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	slabCfg := store.SlabConfig{SlotBytes: testK, SegmentSlots: 256}
+	slab, err := store.NewSlab(dir, slabCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := DeterministicCatalog{MinBytes: 2 * testK, MaxBytes: 6 * testK}
+	rig := newChaosRigWith(t, cache, catalog, FaultConfig{
+		Seed: 42, ErrorRate: 0.35, LatencyRate: 0.2, Latency: 2 * time.Millisecond, TruncateRate: 0.15,
+	}, fastRetry(), neverTrip(), rigOptions{store: slab, asyncFills: true})
+
+	const goroutines, perG = 8, 30
+	var servedBytes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := chunk.VideoID(1 + (g*perG+i)%16)
+				size, _ := catalog.SizeOf(v)
+				resp, body := rig.get(t, v, 0, size-1)
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusPartialContent:
+					if !bytes.Equal(body, expected(v, 0, size-1)) {
+						t.Errorf("video %d: served body mismatch (%d bytes)", v, len(body))
+					}
+					servedBytes.Add(int64(len(body)))
+				case http.StatusFound:
+				default:
+					t.Errorf("video %d: status %d — clients must only see 200/206/302", v, resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	rig.edge.Flush()
+	st := rig.edge.SnapshotStats()
+	if st.Served+st.Redirected != goroutines*perG {
+		t.Errorf("handled %d requests, want %d", st.Served+st.Redirected, goroutines*perG)
+	}
+	if st.RequestedBytes != servedBytes.Load()+st.RedirectedBytes {
+		t.Errorf("Requested (%d) != served (%d) + Redirected (%d)",
+			st.RequestedBytes, servedBytes.Load(), st.RedirectedBytes)
+	}
+	// A healthy disk never fails a deferred write, so no Filled charge
+	// is ever reversed and ingress still equals what the origin fully
+	// delivered — deferral must not bend Eq. 2.
+	if counts := rig.fault.Counts(); st.FilledBytes != counts.ChunkBytesOK {
+		t.Errorf("FilledBytes = %d, origin fully delivered %d", st.FilledBytes, counts.ChunkBytesOK)
+	}
+	if st.AsyncWriteErrors != 0 {
+		t.Errorf("AsyncWriteErrors = %d on a healthy disk", st.AsyncWriteErrors)
+	}
+	if st.PendingFillWrites != 0 {
+		t.Errorf("%d pending writes after Flush", st.PendingFillWrites)
+	}
+
+	// Cold-reopen recovery: drain the pipeline, close the slab, and
+	// rebuild the index from slot headers alone.
+	if err := rig.edge.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := slab.Len()
+	if err := slab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := store.NewSlab(dir, slabCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != want {
+		t.Errorf("recovered %d chunks, slab held %d at close", reopened.Len(), want)
 	}
 }
 

@@ -72,6 +72,19 @@ type Config struct {
 	// Breaker tunes the origin circuit breaker (zero value →
 	// resilience package defaults).
 	Breaker resilience.BreakerConfig
+	// AsyncFills moves cache-fill store writes off the serve path: a
+	// miss streams origin bytes to the client while the store write
+	// completes behind a bounded per-shard queue (store.WriteBehind).
+	// Pending bytes are readable immediately, so responses and the
+	// Eq. 2 accounting are identical to synchronous fills; if a
+	// deferred write ultimately fails, the chunk's admission is rolled
+	// back and its Filled charge reversed, exactly as a synchronous
+	// write failure would have left things.
+	AsyncFills bool
+	// FillQueueDepth bounds each write-behind stripe's queue (0 →
+	// store default). When a stripe's queue is full, fills degrade to
+	// synchronous writes — backpressure, not unbounded buffering.
+	FillQueueDepth int
 }
 
 // Server is the HTTP edge cache.
@@ -107,6 +120,15 @@ type Server struct {
 
 	shards    []*edgeShard
 	sizeLimit int // per-shard size-cache bound
+
+	// writeBehind is the async-fill pipeline wrapped around the
+	// configured store when AsyncFills is on (nil otherwise). cfg.Store
+	// already points at the wrapper; this handle exists for flushing,
+	// closing and stats.
+	writeBehind *store.WriteBehind
+	// asyncWriteErrs counts deferred store writes that failed and were
+	// rolled back.
+	asyncWriteErrs atomic.Int64
 
 	// bufs pools per-request chunk buffers (*[]byte, grown to chunk
 	// size) so the steady-state serve path does not allocate.
@@ -301,6 +323,16 @@ func NewServer(cfg Config) (*Server, error) {
 	s.algoName = caches[0].Name()
 	if n > 1 {
 		s.algoName = fmt.Sprintf("%s×%d", s.algoName, n)
+	}
+	if cfg.AsyncFills {
+		// One write-behind stripe per shard mirrors the lock layout:
+		// fills for different shards never queue behind each other.
+		s.writeBehind = store.NewWriteBehind(cfg.Store, store.WriteBehindConfig{
+			Stripes:    n,
+			QueueDepth: cfg.FillQueueDepth,
+			OnError:    s.onAsyncWriteError,
+		})
+		s.cfg.Store = s.writeBehind
 	}
 	s.mux.HandleFunc("/video", s.handleVideo)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -545,6 +577,37 @@ func (s *Server) undoAdmission(sh *edgeShard, ids []chunk.ID) {
 			sh.storeDels.Add(1)
 		}
 	}
+}
+
+// onAsyncWriteError is the write-behind pipeline's failure callback: a
+// deferred store write was lost after its fill already succeeded. Roll
+// the chunk's admission back and reverse its ingress charge, leaving
+// the cache, store and Eq. 2 counters exactly where a synchronous
+// write failure would have left them (the serve path's preflight
+// re-fetches the chunk if it is requested again).
+func (s *Server) onAsyncWriteError(id chunk.ID, n int, _ error) {
+	sh := s.shardOf(id.Video)
+	s.asyncWriteErrs.Add(1)
+	sh.fillErrs.Add(1)
+	sh.counters.filled.Add(-int64(n))
+	s.undoAdmission(sh, []chunk.ID{id})
+}
+
+// Flush blocks until every deferred fill write has committed (or
+// failed) on the underlying store. No-op for synchronous fills.
+func (s *Server) Flush() {
+	if s.writeBehind != nil {
+		s.writeBehind.Flush()
+	}
+}
+
+// Close drains the async fill pipeline and stops its workers; further
+// fills write synchronously. No-op (nil) when AsyncFills is off.
+func (s *Server) Close() error {
+	if s.writeBehind != nil {
+		return s.writeBehind.Close()
+	}
+	return nil
 }
 
 // requestBytesHint returns the request's byte length when it is
@@ -829,6 +892,11 @@ type Stats struct {
 	OriginRetries     int64  `json:"origin_retries"`
 	BreakerState      string `json:"breaker_state"`
 	BreakerOpens      int64  `json:"breaker_opens"`
+	// Async fill pipeline gauges (present only when AsyncFills is on).
+	AsyncFills        bool  `json:"async_fills,omitempty"`
+	PendingFillWrites int   `json:"pending_fill_writes,omitempty"`
+	FillSyncFallbacks int64 `json:"fill_sync_fallbacks,omitempty"`
+	AsyncWriteErrors  int64 `json:"async_write_errors,omitempty"`
 }
 
 // SnapshotStats aggregates the per-shard counters into one report.
@@ -866,6 +934,12 @@ func (s *Server) SnapshotStats() Stats {
 	st.OriginRetries = s.retrier.Retries()
 	st.BreakerState = s.breaker.State().String()
 	st.BreakerOpens = s.breaker.Opens()
+	if s.writeBehind != nil {
+		st.AsyncFills = true
+		st.PendingFillWrites = s.writeBehind.Pending()
+		st.FillSyncFallbacks = s.writeBehind.SyncFallbacks()
+		st.AsyncWriteErrors = s.asyncWriteErrs.Load()
+	}
 	return st
 }
 
@@ -901,6 +975,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	write("videocdn_store_delete_errors_total", "Store delete failures (leaked bytes).", "counter", float64(st.StoreDeleteErrors))
 	write("videocdn_origin_retries_total", "Origin fetch retry attempts.", "counter", float64(st.OriginRetries))
 	write("videocdn_breaker_opens_total", "Times the origin circuit breaker tripped open.", "counter", float64(st.BreakerOpens))
+	if st.AsyncFills {
+		write("videocdn_pending_fill_writes", "Deferred store writes queued or in flight.", "gauge", float64(st.PendingFillWrites))
+		write("videocdn_fill_sync_fallbacks_total", "Fills written synchronously because the write-behind queue was full.", "counter", float64(st.FillSyncFallbacks))
+		write("videocdn_async_write_errors_total", "Deferred store writes that failed and were rolled back.", "counter", float64(st.AsyncWriteErrors))
+	}
 	write("videocdn_breaker_state", "Origin circuit breaker state (0 closed, 1 open, 2 half-open).", "gauge", float64(s.breaker.State()))
 	write("videocdn_edge_shards", "Independent lock shards in this edge server.", "gauge", float64(st.Shards))
 	write("videocdn_cached_chunks", "Chunks currently on disk.", "gauge", float64(st.CachedChunks))

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"testing"
+
+	"videocdn/internal/chunk"
+)
+
+// benchSlotBytes is the chunk payload used by the store benchmarks.
+// 4 KB keeps the payload memcpy (identical across backends) from
+// drowning the per-op metadata work — open/rename/stat vs a single
+// positioned read/write — which is what distinguishes the stores.
+const benchSlotBytes = 4 << 10
+
+// benchWorkingSet bounds how many distinct chunks the Put/Get/Delete
+// benchmarks cycle through, so the on-disk footprint stays small while
+// the id stream still defeats any single-key fast path.
+const benchWorkingSet = 256
+
+func benchPayload() []byte {
+	data := make([]byte, benchSlotBytes)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	return data
+}
+
+func benchIDs() []chunk.ID {
+	ids := make([]chunk.ID, benchWorkingSet)
+	for i := range ids {
+		ids[i] = chunk.ID{Video: chunk.VideoID(1 + i/16), Index: uint32(i % 16)}
+	}
+	return ids
+}
+
+// benchOpen builds one store of each kind with slot geometry matching
+// the benchmark payload.
+func benchOpen(b *testing.B, kind string) Store {
+	b.Helper()
+	switch kind {
+	case "mem":
+		return NewMem()
+	case "fs":
+		s, err := NewFS(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	case "slab":
+		s, err := NewSlab(b.TempDir(), SlabConfig{SlotBytes: benchSlotBytes, SegmentSlots: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		return s
+	}
+	b.Fatalf("unknown store kind %q", kind)
+	return nil
+}
+
+var benchStoreKinds = []string{"mem", "fs", "slab"}
+
+func BenchmarkStorePut(b *testing.B) {
+	for _, kind := range benchStoreKinds {
+		b.Run(kind, func(b *testing.B) {
+			s := benchOpen(b, kind)
+			data := benchPayload()
+			ids := benchIDs()
+			b.SetBytes(benchSlotBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Put(ids[i%len(ids)], data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	for _, kind := range benchStoreKinds {
+		b.Run(kind, func(b *testing.B) {
+			s := benchOpen(b, kind)
+			data := benchPayload()
+			ids := benchIDs()
+			for _, id := range ids {
+				if err := s.Put(id, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			buf := make([]byte, 0, benchSlotBytes)
+			b.SetBytes(benchSlotBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = s.Get(ids[i%len(ids)], buf[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreDelete measures one put+delete cycle per op (a delete
+// needs something present to remove; the put cost is identical across
+// iterations so relative store numbers stay meaningful).
+func BenchmarkStoreDelete(b *testing.B) {
+	for _, kind := range benchStoreKinds {
+		b.Run(kind, func(b *testing.B) {
+			s := benchOpen(b, kind)
+			data := benchPayload()
+			ids := benchIDs()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := ids[i%len(ids)]
+				if err := s.Put(id, data); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Delete(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreRecoveryScan measures a cold open over a populated
+// store: the FS directory walk vs the slab sequential header scan.
+// (Mem is volatile — there is nothing to recover.)
+func BenchmarkStoreRecoveryScan(b *testing.B) {
+	data := benchPayload()
+	ids := benchIDs()
+	b.Run("fs", func(b *testing.B) {
+		dir := b.TempDir()
+		s, err := NewFS(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range ids {
+			if err := s.Put(id, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := NewFS(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Len() != len(ids) {
+				b.Fatalf("recovered %d chunks, want %d", r.Len(), len(ids))
+			}
+		}
+	})
+	b.Run("slab", func(b *testing.B) {
+		dir := b.TempDir()
+		cfg := SlabConfig{SlotBytes: benchSlotBytes, SegmentSlots: 256}
+		s, err := NewSlab(dir, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range ids {
+			if err := s.Put(id, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := NewSlab(dir, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Len() != len(ids) {
+				b.Fatalf("recovered %d chunks, want %d", r.Len(), len(ids))
+			}
+			r.Close()
+		}
+	})
+}

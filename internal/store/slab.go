@@ -1,0 +1,571 @@
+package store
+
+// The slab store is the paper's Section 4 disk layout taken literally:
+// "divide the disk into small fixed-size chunks" so that allocation
+// and deallocation never fragment. Instead of one file per chunk (FS),
+// the disk is a handful of large segment files carved into fixed-size
+// slots; an in-memory index maps chunk key → slot and a freelist hands
+// out empty slots, so every Put/Get/Delete is O(1): a single pwrite or
+// pread at a computed offset, with no open/stat/rename/dentry work on
+// the hot path.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"videocdn/internal/chunk"
+)
+
+// Slot header layout (32 bytes, little-endian):
+//
+//	[0:4]   magic "SLB1"
+//	[4:12]  chunk key (video<<32 | index)
+//	[12:20] sequence number (monotonic per store; replace/crash arbiter)
+//	[20:24] body length in bytes (<= SlotBytes)
+//	[24:28] CRC-32C of the body
+//	[28:32] CRC-32C of bytes [0:28]
+//
+// A Put writes the body first, then commits the header in a second
+// pwrite. A slot whose header is missing, torn (headerCRC mismatch) or
+// whose body fails its CRC is garbage by definition and returns to the
+// freelist on recovery — a crashed mid-write Put can never produce a
+// phantom chunk. Delete and replace zero the superseded header's magic
+// on disk, and if a crash lands between a replace's new-header commit
+// and the old header's invalidation, recovery sees two valid headers
+// for one key and keeps the higher sequence number.
+const (
+	slabMagic      = 0x31424C53 // "SLB1"
+	slabHeaderSize = 32
+	slabAlign      = 4096 // slot stride alignment (device-block I/O)
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SlabConfig tunes a Slab store. The zero value is usable: 2 MB slots,
+// 256 slots per segment, lazily grown segment files.
+type SlabConfig struct {
+	// SlotBytes is the fixed slot payload capacity — the chunk size K.
+	// Defaults to chunk.DefaultSize (2 MB). Puts larger than this fail.
+	SlotBytes int64
+	// SegmentSlots is how many slots each segment file holds. Defaults
+	// to 256 (512 MB segments at 2 MB slots).
+	SegmentSlots int
+	// Prealloc extends each new segment file to its full size up front
+	// (one Truncate), so steady-state writes never extend the file.
+	// Without it segments are sparse and grow as slots are written.
+	Prealloc bool
+}
+
+func (c *SlabConfig) withDefaults() SlabConfig {
+	out := *c
+	if out.SlotBytes == 0 {
+		out.SlotBytes = chunk.DefaultSize
+	}
+	if out.SegmentSlots == 0 {
+		out.SegmentSlots = 256
+	}
+	return out
+}
+
+// slabLoc addresses one slot: segment number and slot index within it.
+type slabLoc struct {
+	seg  int32
+	slot int32
+}
+
+// slabEntry is the index value for a present chunk.
+type slabEntry struct {
+	loc slabLoc
+	len int32  // body bytes
+	gen uint32 // slot generation at admission (torn-read detection)
+}
+
+// slabSegment is one segment file plus the per-slot generation
+// counters that let lock-free readers detect slot reuse.
+type slabSegment struct {
+	f    *os.File
+	gens []uint32 // bumped under the store lock whenever the slot is freed
+}
+
+// Slab is a slab/segment Store: large segment files divided into
+// fixed-size slots, an in-memory key→slot index, and a freelist. All
+// I/O is positioned (ReadAt/WriteAt), so operations on different
+// chunks proceed fully in parallel; the store mutex guards only the
+// in-memory maps, never the disk.
+//
+// Concurrency contract: a Get that races a Delete/replace of the same
+// chunk re-checks the slot generation after the pread and retries (or
+// reports ErrNotFound), so it never returns bytes from a torn or
+// reused slot. Data for distinct chunks never shares a slot.
+type Slab struct {
+	dir string
+	cfg SlabConfig
+
+	stride   int64 // slabHeaderSize + SlotBytes, rounded up to slabAlign
+	segBytes int64 // stride * SegmentSlots
+
+	mu       sync.RWMutex
+	index    map[uint64]slabEntry
+	free     []slabLoc
+	segments []*slabSegment
+	nextSeq  uint64
+}
+
+// slabMeta is persisted as slab.meta so a reopen with a different
+// geometry fails loudly instead of misreading every offset.
+type slabMeta struct {
+	Version      int   `json:"version"`
+	SlotBytes    int64 `json:"slot_bytes"`
+	SegmentSlots int   `json:"segment_slots"`
+}
+
+const slabMetaName = "slab.meta"
+
+// NewSlab opens (or creates) a slab store rooted at dir and recovers
+// the index with a sequential scan of every segment: headers are
+// validated (magic + header CRC), bodies are verified against their
+// CRC, duplicate keys are arbitrated by sequence number, and every
+// invalid or losing slot is zeroed and returned to the freelist.
+func NewSlab(dir string, cfg SlabConfig) (*Slab, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SlotBytes < 1 {
+		return nil, fmt.Errorf("store: slab slot size must be positive, got %d", cfg.SlotBytes)
+	}
+	if cfg.SegmentSlots < 1 {
+		return nil, fmt.Errorf("store: slab segment slots must be positive, got %d", cfg.SegmentSlots)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating slab dir: %w", err)
+	}
+	stride := (slabHeaderSize + cfg.SlotBytes + slabAlign - 1) / slabAlign * slabAlign
+	s := &Slab{
+		dir:      dir,
+		cfg:      cfg,
+		stride:   stride,
+		segBytes: stride * int64(cfg.SegmentSlots),
+		index:    make(map[uint64]slabEntry),
+	}
+	if err := s.checkMeta(); err != nil {
+		return nil, err
+	}
+	if err := s.recover(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkMeta verifies (or writes) the geometry sidecar.
+func (s *Slab) checkMeta() error {
+	path := filepath.Join(s.dir, slabMetaName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		buf, err := json.Marshal(slabMeta{Version: 1, SlotBytes: s.cfg.SlotBytes, SegmentSlots: s.cfg.SegmentSlots})
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, buf, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	var m slabMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("store: corrupt %s: %w", slabMetaName, err)
+	}
+	if m.SlotBytes != s.cfg.SlotBytes || m.SegmentSlots != s.cfg.SegmentSlots {
+		return fmt.Errorf("store: slab at %s has geometry slot=%d×%d, config wants %d×%d",
+			s.dir, m.SlotBytes, m.SegmentSlots, s.cfg.SlotBytes, s.cfg.SegmentSlots)
+	}
+	return nil
+}
+
+func (s *Slab) segPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%05d.slab", i))
+}
+
+// recover scans existing segment files in order and rebuilds the index
+// and freelist. The scan is one sequential read per segment (buffered
+// stride-at-a-time), so it runs at disk bandwidth.
+func (s *Slab) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	var segNums []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".slab") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".slab"))
+		if err != nil {
+			continue
+		}
+		segNums = append(segNums, n)
+	}
+	sort.Ints(segNums)
+	for want, got := range segNums {
+		if want != got {
+			return fmt.Errorf("store: slab segment %d missing (found seg-%05d.slab)", want, got)
+		}
+	}
+
+	type winner struct {
+		entry slabEntry
+		seq   uint64
+	}
+	winners := make(map[uint64]winner)
+	var losers []slabLoc // valid slots superseded by a higher seq
+	buf := make([]byte, s.stride)
+
+	for _, n := range segNums {
+		f, err := os.OpenFile(s.segPath(n), os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		seg := &slabSegment{f: f, gens: make([]uint32, s.cfg.SegmentSlots)}
+		s.segments = append(s.segments, seg)
+
+		fi, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		fileSize := fi.Size()
+		for slot := 0; slot < s.cfg.SegmentSlots; slot++ {
+			loc := slabLoc{seg: int32(n), slot: int32(slot)}
+			off := int64(slot) * s.stride
+			if off >= fileSize {
+				// Never written (lazily grown segment): free, and so is
+				// everything after it only if the file simply ended —
+				// later slots are also beyond EOF, handled the same way.
+				s.free = append(s.free, loc)
+				continue
+			}
+			readEnd := off + s.stride
+			if readEnd > fileSize {
+				readEnd = fileSize
+			}
+			hdr := buf[:readEnd-off]
+			if m, err := f.ReadAt(hdr, off); err != nil && !(err == io.EOF && m == len(hdr)) {
+				return fmt.Errorf("store: scanning %s slot %d: %w", s.segPath(n), slot, err)
+			}
+			key, seq, length, ok := parseSlotHeader(hdr)
+			if ok && int64(length)+slabHeaderSize <= int64(len(hdr)) {
+				body := hdr[slabHeaderSize : slabHeaderSize+int64(length)]
+				if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(hdr[24:28]) {
+					ok = false // torn body (write reordering across a crash)
+				}
+			} else {
+				ok = false // header claims more body than the file holds
+			}
+			if !ok {
+				// Garbage (free, torn, or corrupt). Scrub a non-zero
+				// magic so the next restart doesn't re-parse the junk.
+				if len(hdr) >= 4 && binary.LittleEndian.Uint32(hdr[:4]) != 0 {
+					if err := s.zeroHeader(seg, loc); err != nil {
+						return err
+					}
+				}
+				s.free = append(s.free, loc)
+				continue
+			}
+			prev, dup := winners[key]
+			if dup && prev.seq >= seq {
+				losers = append(losers, loc)
+				continue
+			}
+			if dup {
+				losers = append(losers, prev.entry.loc)
+			}
+			winners[key] = winner{entry: slabEntry{loc: loc, len: int32(length)}, seq: seq}
+			if seq >= s.nextSeq {
+				s.nextSeq = seq + 1
+			}
+		}
+	}
+
+	for key, w := range winners {
+		s.index[key] = w.entry
+	}
+	for _, loc := range losers {
+		if err := s.zeroHeader(s.segments[loc.seg], loc); err != nil {
+			return err
+		}
+		s.free = append(s.free, loc)
+	}
+	// Hand out low offsets first: freshly created stores fill segment 0
+	// front to back, which keeps lazily grown files dense.
+	sort.Slice(s.free, func(i, j int) bool {
+		a, b := s.free[i], s.free[j]
+		if a.seg != b.seg {
+			return a.seg > b.seg
+		}
+		return a.slot > b.slot
+	})
+	return nil
+}
+
+// parseSlotHeader validates the fixed header fields (magic, header
+// CRC, sane length) and returns them. Body verification is the
+// caller's concern.
+func parseSlotHeader(hdr []byte) (key, seq uint64, length uint32, ok bool) {
+	if len(hdr) < slabHeaderSize {
+		return 0, 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != slabMagic {
+		return 0, 0, 0, false
+	}
+	if crc32.Checksum(hdr[0:28], castagnoli) != binary.LittleEndian.Uint32(hdr[28:32]) {
+		return 0, 0, 0, false
+	}
+	length = binary.LittleEndian.Uint32(hdr[20:24])
+	if int64(length) > int64(len(hdr))-slabHeaderSize {
+		// Impossible length for this slot geometry: corrupt.
+		return 0, 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(hdr[4:12]), binary.LittleEndian.Uint64(hdr[12:20]), length, true
+}
+
+// zeroHeader scrubs a slot's on-disk magic so it can never be
+// recovered. Only the 4 magic bytes are written; the stale body is
+// unreachable without a valid header.
+func (s *Slab) zeroHeader(seg *slabSegment, loc slabLoc) error {
+	var zero [4]byte
+	_, err := seg.f.WriteAt(zero[:], int64(loc.slot)*s.stride)
+	return err
+}
+
+// grow adds one segment file and pushes its slots onto the freelist.
+// Called with s.mu held.
+func (s *Slab) grow() error {
+	n := len(s.segments)
+	f, err := os.OpenFile(s.segPath(n), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating slab segment: %w", err)
+	}
+	if s.cfg.Prealloc {
+		if err := f.Truncate(s.segBytes); err != nil {
+			f.Close()
+			return fmt.Errorf("store: preallocating slab segment: %w", err)
+		}
+	}
+	s.segments = append(s.segments, &slabSegment{f: f, gens: make([]uint32, s.cfg.SegmentSlots)})
+	// Push in reverse so the LIFO freelist hands out slot 0 first.
+	for slot := s.cfg.SegmentSlots - 1; slot >= 0; slot-- {
+		s.free = append(s.free, slabLoc{seg: int32(n), slot: int32(slot)})
+	}
+	return nil
+}
+
+// alloc pops a free slot (growing if needed) and assigns a sequence
+// number. Called with s.mu held.
+func (s *Slab) alloc() (slabLoc, uint64, error) {
+	if len(s.free) == 0 {
+		if err := s.grow(); err != nil {
+			return slabLoc{}, 0, err
+		}
+	}
+	loc := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	seq := s.nextSeq
+	s.nextSeq++
+	return loc, seq, nil
+}
+
+// Put implements Store: one body pwrite + one header pwrite into a
+// freshly allocated slot, then an index swap. Replacing an existing
+// chunk writes the new slot first and frees the old one after the
+// swap, so concurrent readers of the old slot either finish cleanly or
+// detect the generation bump and retry.
+func (s *Slab) Put(id chunk.ID, data []byte) error {
+	if int64(len(data)) > s.cfg.SlotBytes {
+		return fmt.Errorf("store: chunk %s is %d bytes, slab slot holds %d", id, len(data), s.cfg.SlotBytes)
+	}
+	key := id.Key()
+
+	s.mu.Lock()
+	loc, seq, err := s.alloc()
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	seg := s.segments[loc.seg]
+	s.mu.Unlock()
+
+	off := int64(loc.slot) * s.stride
+	if _, err := seg.f.WriteAt(data, off+slabHeaderSize); err != nil {
+		s.unalloc(loc)
+		return fmt.Errorf("store: slab body write: %w", err)
+	}
+	var hdr [slabHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], slabMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], key)
+	binary.LittleEndian.PutUint64(hdr[12:20], seq)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(data, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[28:32], crc32.Checksum(hdr[0:28], castagnoli))
+	if _, err := seg.f.WriteAt(hdr[:], off); err != nil {
+		s.unalloc(loc)
+		return fmt.Errorf("store: slab header write: %w", err)
+	}
+
+	s.mu.Lock()
+	old, replaced := s.index[key]
+	s.index[key] = slabEntry{loc: loc, len: int32(len(data)), gen: seg.gens[loc.slot]}
+	if replaced {
+		s.segments[old.loc.seg].gens[old.loc.slot]++ // in-flight readers of the old slot now retry
+	}
+	s.mu.Unlock()
+
+	if replaced {
+		// Invalidate the superseded header before recycling the slot;
+		// a crash in between leaves two valid headers and recovery
+		// keeps ours (higher seq).
+		if err := s.zeroHeader(s.segments[old.loc.seg], old.loc); err != nil {
+			return fmt.Errorf("store: slab replace scrub: %w", err)
+		}
+		s.mu.Lock()
+		s.free = append(s.free, old.loc)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// unalloc returns a slot whose write failed to the freelist.
+func (s *Slab) unalloc(loc slabLoc) {
+	s.mu.Lock()
+	s.segments[loc.seg].gens[loc.slot]++
+	s.free = append(s.free, loc)
+	s.mu.Unlock()
+}
+
+// Get implements Store: a single positioned read into buf's spare
+// capacity (grown once if needed) — zero allocations when the caller
+// cycles one buffer, as the edge serve path does. The slot generation
+// is re-checked after the read; a race with Delete/replace retries.
+func (s *Slab) Get(id chunk.ID, buf []byte) ([]byte, error) {
+	key := id.Key()
+	for {
+		s.mu.RLock()
+		e, ok := s.index[key]
+		var seg *slabSegment
+		var gen uint32
+		if ok {
+			seg = s.segments[e.loc.seg]
+			gen = seg.gens[e.loc.slot]
+		}
+		s.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		if gen != e.gen {
+			// The slot was recycled after this entry was indexed but
+			// before we read it; the index must have moved on too.
+			continue
+		}
+
+		off, n := len(buf), int(e.len)
+		if cap(buf)-off < n {
+			grown := make([]byte, off+n)
+			copy(grown, buf)
+			buf = grown
+		} else {
+			buf = buf[:off+n]
+		}
+		if _, err := seg.f.ReadAt(buf[off:off+n], int64(e.loc.slot)*s.stride+slabHeaderSize); err != nil {
+			return nil, fmt.Errorf("store: slab read %s: %w", id, err)
+		}
+
+		s.mu.RLock()
+		e2, ok2 := s.index[key]
+		gen2 := seg.gens[e.loc.slot]
+		s.mu.RUnlock()
+		if ok2 && e2 == e && gen2 == gen {
+			return buf, nil
+		}
+		buf = buf[:off]
+		if !ok2 {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		// Replaced mid-read: retry against the new slot.
+	}
+}
+
+// Delete implements Store: drop the index entry, bump the slot
+// generation (stops in-flight readers), scrub the on-disk header so a
+// restart cannot resurrect the chunk, and free the slot.
+func (s *Slab) Delete(id chunk.ID) error {
+	key := id.Key()
+	s.mu.Lock()
+	e, ok := s.index[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	delete(s.index, key)
+	seg := s.segments[e.loc.seg]
+	seg.gens[e.loc.slot]++
+	s.mu.Unlock()
+
+	if err := s.zeroHeader(seg, e.loc); err != nil {
+		// The chunk is gone from the index either way; without the
+		// scrub a crash could resurrect it, so surface the error.
+		return fmt.Errorf("store: slab delete scrub: %w", err)
+	}
+	s.mu.Lock()
+	s.free = append(s.free, e.loc)
+	s.mu.Unlock()
+	return nil
+}
+
+// Has implements Store.
+func (s *Slab) Has(id chunk.ID) bool {
+	s.mu.RLock()
+	_, ok := s.index[id.Key()]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Len implements Store.
+func (s *Slab) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Segments reports how many segment files back the store (operational
+// introspection, tests).
+func (s *Slab) Segments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segments)
+}
+
+// Close releases the segment file handles. The store must not be used
+// afterwards.
+func (s *Slab) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, seg := range s.segments {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segments = nil
+	s.index = map[uint64]slabEntry{}
+	s.free = nil
+	return first
+}
+
+var _ Store = (*Slab)(nil)

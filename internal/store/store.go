@@ -136,23 +136,129 @@ func (s *Mem) Len() int {
 
 // ---------- Filesystem store ----------
 
+// FSConfig tunes the filesystem store.
+type FSConfig struct {
+	// Durable makes Put fsync the temp file before the rename and the
+	// shard directory after it, so a committed chunk survives power
+	// loss (not just process crash). Off by default: a video cache can
+	// refetch lost chunks from the origin, so most deployments prefer
+	// the cheaper rename-only atomicity.
+	Durable bool
+}
+
 // FS stores each chunk as a file "<shard>/<video>-<index>" under a
-// root directory, with 256 shards to keep directories small.
+// root directory, with 256 precreated shard directories to keep each
+// directory small.
 type FS struct {
 	root string
+	cfg  FSConfig
 	mu   sync.RWMutex
 	n    int
 	seen map[uint64]struct{}
+	// legacy holds keys whose file still sits at the pre-scatter shard
+	// path (see legacyShard). Reads fall back there; the copy is
+	// migrated away by the next Put or Delete of the chunk.
+	legacy map[uint64]struct{}
+
+	// crashAfterTemp, when set by a test, makes Put stop after writing
+	// the temp file — simulating a crash between the write and the
+	// rename.
+	crashAfterTemp func() error
+}
+
+// fsShard is the shard directory index for a chunk key. The key packs
+// video<<32|index, so consecutive chunks of one video share high bits
+// and the old `key>>3%256` piled them into a handful of directories;
+// the splitmix64 multiply-shift (same scatter as Mem.stripe) spreads
+// them uniformly across all 256.
+func fsShard(key uint64) uint8 {
+	return uint8((key * 0x9E3779B97F4A7C15) >> 56)
+}
+
+// legacyShard is the pre-scatter shard function, kept so a store
+// written by an older layout stays readable in place.
+func legacyShard(key uint64) uint8 {
+	return uint8(key >> 3 % 256)
+}
+
+// parseChunkName parses a "<video>-<index>" chunk filename. It
+// replaces the old fmt.Sscanf call, which accepted junk like leading
+// "+", stray trailing text, and values overflowing the on-disk key
+// layout. Returns ok=false for anything that Put could not have
+// written.
+func parseChunkName(name string) (chunk.ID, bool) {
+	dash := -1
+	for i := 0; i < len(name); i++ {
+		if name[i] == '-' {
+			dash = i
+			break
+		}
+	}
+	if dash <= 0 || dash == len(name)-1 {
+		return chunk.ID{}, false
+	}
+	video, ok := parseChunkUint(name[:dash], 1<<32-1)
+	if !ok {
+		return chunk.ID{}, false
+	}
+	index, ok := parseChunkUint(name[dash+1:], 1<<32-1)
+	if !ok {
+		return chunk.ID{}, false
+	}
+	return chunk.ID{Video: chunk.VideoID(video), Index: uint32(index)}, true
+}
+
+// parseChunkUint parses a non-empty all-digit string into a uint64,
+// rejecting values above max. No sign, no whitespace, no hex.
+func parseChunkUint(s string, max uint64) (uint64, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if v > max/10 {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+		if v > max {
+			return 0, false
+		}
+	}
+	return v, true
 }
 
 // NewFS creates (or reuses) the root directory and scans existing
 // chunks.
 func NewFS(root string) (*FS, error) {
+	return NewFSWithConfig(root, FSConfig{})
+}
+
+// NewFSWithConfig is NewFS with explicit tuning.
+func NewFSWithConfig(root string, cfg FSConfig) (*FS, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating root: %w", err)
 	}
-	s := &FS{root: root, seen: make(map[uint64]struct{})}
-	// Recover existing chunks (restart support).
+	// Precreate every shard directory once, so Put never pays a
+	// MkdirAll on the hot path.
+	for i := 0; i < 256; i++ {
+		if err := os.Mkdir(filepath.Join(root, fmt.Sprintf("%02x", i)), 0o755); err != nil && !os.IsExist(err) {
+			return nil, fmt.Errorf("store: creating shard dir: %w", err)
+		}
+	}
+	s := &FS{
+		root:   root,
+		cfg:    cfg,
+		seen:   make(map[uint64]struct{}),
+		legacy: make(map[uint64]struct{}),
+	}
+	// Recover existing chunks (restart support). Files at their old
+	// pre-scatter shard path are indexed as legacy so they stay
+	// readable without a stop-the-world migration; stray .tmp files
+	// from a crashed Put are removed.
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		return nil, err
@@ -161,16 +267,37 @@ func NewFS(root string) (*FS, error) {
 		if !e.IsDir() {
 			continue
 		}
-		files, err := os.ReadDir(filepath.Join(root, e.Name()))
+		dir := filepath.Join(root, e.Name())
+		files, err := os.ReadDir(dir)
 		if err != nil {
 			return nil, err
 		}
 		for _, f := range files {
-			var v uint64
-			var idx uint32
-			if _, err := fmt.Sscanf(f.Name(), "%d-%d", &v, &idx); err == nil {
-				s.seen[(chunk.ID{Video: chunk.VideoID(v), Index: idx}).Key()] = struct{}{}
+			name := f.Name()
+			if len(name) > 4 && name[len(name)-4:] == ".tmp" {
+				_ = os.Remove(filepath.Join(dir, name))
+				continue
+			}
+			id, ok := parseChunkName(name)
+			if !ok {
+				continue
+			}
+			key := id.Key()
+			if _, dup := s.seen[key]; dup {
+				continue
+			}
+			switch e.Name() {
+			case fmt.Sprintf("%02x", fsShard(key)):
+				s.seen[key] = struct{}{}
 				s.n++
+			case fmt.Sprintf("%02x", legacyShard(key)):
+				s.seen[key] = struct{}{}
+				s.n++
+				s.legacy[key] = struct{}{}
+			default:
+				// A chunk file in a directory neither shard function
+				// maps to is unreachable by path(); don't index what
+				// Get could never read.
 			}
 		}
 	}
@@ -178,30 +305,93 @@ func NewFS(root string) (*FS, error) {
 }
 
 func (s *FS) path(id chunk.ID) string {
-	shard := fmt.Sprintf("%02x", uint8(id.Key()>>3%256))
+	shard := fmt.Sprintf("%02x", fsShard(id.Key()))
 	return filepath.Join(s.root, shard, fmt.Sprintf("%d-%d", id.Video, id.Index))
+}
+
+// legacyPath is the chunk's location under the pre-scatter layout.
+func (s *FS) legacyPath(id chunk.ID) string {
+	shard := fmt.Sprintf("%02x", legacyShard(id.Key()))
+	return filepath.Join(s.root, shard, fmt.Sprintf("%d-%d", id.Video, id.Index))
+}
+
+// isLegacy reports whether the chunk's bytes live at the old path.
+func (s *FS) isLegacy(key uint64) bool {
+	s.mu.RLock()
+	_, ok := s.legacy[key]
+	s.mu.RUnlock()
+	return ok
 }
 
 // Put implements Store.
 func (s *FS) Put(id chunk.ID, data []byte) error {
 	p := s.path(id)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	tmp := p + ".tmp"
+	if s.cfg.Durable {
+		if err := writeFileSync(tmp, data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
+	if s.crashAfterTemp != nil {
+		return s.crashAfterTemp()
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		return err
 	}
+	if s.cfg.Durable {
+		if err := syncDir(filepath.Dir(p)); err != nil {
+			return err
+		}
+	}
+	key := id.Key()
 	s.mu.Lock()
-	if _, ok := s.seen[id.Key()]; !ok {
-		s.seen[id.Key()] = struct{}{}
+	if _, ok := s.seen[key]; !ok {
+		s.seen[key] = struct{}{}
 		s.n++
 	}
+	wasLegacy := false
+	if _, ok := s.legacy[key]; ok {
+		delete(s.legacy, key)
+		wasLegacy = true
+	}
 	s.mu.Unlock()
+	if wasLegacy {
+		// The fresh copy at the new path supersedes the old one.
+		_ = os.Remove(s.legacyPath(id))
+	}
 	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory, making a completed rename durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get implements Store. The chunk is read directly into buf's spare
@@ -210,6 +400,11 @@ func (s *FS) Put(id chunk.ID, data []byte) error {
 // chunks without allocating.
 func (s *FS) Get(id chunk.ID, buf []byte) ([]byte, error) {
 	f, err := os.Open(s.path(id))
+	if err != nil && os.IsNotExist(err) && s.isLegacy(id.Key()) {
+		// Migration fallback: the chunk predates the scatter shard
+		// function and still lives at its old path.
+		f, err = os.Open(s.legacyPath(id))
+	}
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -241,12 +436,23 @@ func (s *FS) Delete(id chunk.ID) error {
 	if err != nil && !os.IsNotExist(err) {
 		return err
 	}
+	key := id.Key()
 	s.mu.Lock()
-	if _, ok := s.seen[id.Key()]; ok {
-		delete(s.seen, id.Key())
+	if _, ok := s.seen[key]; ok {
+		delete(s.seen, key)
 		s.n--
 	}
+	wasLegacy := false
+	if _, ok := s.legacy[key]; ok {
+		delete(s.legacy, key)
+		wasLegacy = true
+	}
 	s.mu.Unlock()
+	if wasLegacy {
+		if err := os.Remove(s.legacyPath(id)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -10,13 +10,22 @@ import (
 	"videocdn/internal/chunk"
 )
 
+// stores returns one instance of every Store implementation, so each
+// table-driven test below doubles as a conformance suite.
 func stores(t *testing.T) map[string]Store {
 	t.Helper()
 	fs, err := NewFS(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]Store{"mem": NewMem(), "fs": fs}
+	slab, err := NewSlab(t.TempDir(), testSlabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { slab.Close() })
+	wb := NewWriteBehind(NewMem(), WriteBehindConfig{Stripes: 2, QueueDepth: 8})
+	t.Cleanup(func() { wb.Close() })
+	return map[string]Store{"mem": NewMem(), "fs": fs, "slab": slab, "writebehind": wb}
 }
 
 func TestPutGetDelete(t *testing.T) {
@@ -202,6 +211,66 @@ func TestGetReusesBufferCapacity(t *testing.T) {
 			small, err := s.Get(id, make([]byte, 0, 8))
 			if err != nil || !bytes.Equal(small, payload) {
 				t.Errorf("Get with small buf = %q, %v", small, err)
+			}
+		})
+	}
+}
+
+// TestStoreConformanceMixedOps runs every implementation through the
+// same concurrent mix of Put/Get/Has/Delete/Len and then checks the
+// quiesced Len against a full enumeration — the invariants the edge
+// server leans on, exercised under -race for each backend.
+func TestStoreConformanceMixedOps(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 120; i++ {
+						id := chunk.ID{Video: chunk.VideoID(i % 24), Index: uint32(g)}
+						switch i % 4 {
+						case 0, 1:
+							if err := s.Put(id, []byte{byte(g), byte(i)}); err != nil {
+								t.Error(err)
+								return
+							}
+						case 2:
+							if data, err := s.Get(id, nil); err == nil && len(data) != 2 {
+								t.Errorf("Get(%s) = %d bytes, want 2", id, len(data))
+								return
+							}
+							s.Has(id)
+							s.Len()
+						case 3:
+							if err := s.Delete(id); err != nil {
+								t.Error(err)
+								return
+							}
+							// Idempotent: deleting again must be a no-op.
+							if err := s.Delete(id); err != nil {
+								t.Errorf("repeat Delete(%s): %v", id, err)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if wb, ok := s.(*WriteBehind); ok {
+				wb.Flush()
+			}
+			n := 0
+			for v := 0; v < 24; v++ {
+				for g := 0; g < 6; g++ {
+					if s.Has(chunk.ID{Video: chunk.VideoID(v), Index: uint32(g)}) {
+						n++
+					}
+				}
+			}
+			if s.Len() != n {
+				t.Errorf("Len() = %d, enumeration found %d", s.Len(), n)
 			}
 		})
 	}
