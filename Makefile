@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos fuzz bench bench-replay bench-edge bench-store experiments experiments-small fmt vet clean
+.PHONY: all build test test-short race chaos check-oracle cover fuzz bench bench-replay bench-edge bench-store experiments experiments-small fmt vet clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/edge/ ./internal/resilience/ ./internal/store/ ./internal/shard/ ./internal/sim/
+	$(GO) test -race ./internal/edge/ ./internal/resilience/ ./internal/store/ ./internal/shard/ ./internal/sim/ ./internal/oracle/
 
 # Fault-injection suite: drives the edge↔origin stack through seeded
 # outages (5xx bursts, latency spikes, mid-body truncation) and asserts
@@ -25,9 +25,24 @@ race:
 chaos:
 	$(GO) test -race -count=2 -run 'TestChaos|TestFilledBytes|TestPrefetchCharges|TestSelfHealCounts' ./internal/edge/
 
+# Model-based oracle: seeded scenario sequences through the real edge
+# across the {mem,fs,slab}×{sync,async}×{1,8 shards}×{cafe,xlru}
+# matrix, every response and counter diffed against the reference
+# model. For soaks beyond CI budgets use cmd/checker (see README).
+check-oracle:
+	$(GO) test -race -count=1 ./internal/oracle/
+
+# Coverage gate (also run in CI): ≥80% on the paper-critical packages,
+# measured with a shared profile so the oracle's cross-package driving
+# counts toward the policies it exercises.
+cover:
+	scripts/coverage.sh
+
 fuzz:
 	$(GO) test -fuzz=FuzzBinaryReader -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzTextReader -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzParseRange -fuzztime=30s ./internal/edge/
+	$(GO) test -fuzz=FuzzSlabRecovery -fuzztime=30s ./internal/store/
 
 bench: bench-replay
 	$(GO) test -bench=. -benchmem ./...

@@ -21,9 +21,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, exposed only via -pprof
 	"os"
@@ -56,6 +58,7 @@ func main() {
 	fillAsync := flag.Bool("fill-async", false, "edge mode: commit fill writes asynchronously (write-behind) instead of on the serve path")
 	fillQueue := flag.Int("fill-queue", 0, "edge mode: per-shard async fill queue depth (0 = default)")
 	statePath := flag.String("state", "", "cafe state snapshot: loaded on start if present, saved after graceful shutdown (edge mode, cafe only)")
+	statsOut := flag.String("stats-out", "", "write the final stats snapshot (JSON) here after graceful shutdown (edge mode)")
 	minMB := flag.Int64("origin-min-mb", 8, "origin catalog min video size (MB)")
 	maxMB := flag.Int64("origin-max-mb", 256, "origin catalog max video size (MB)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
@@ -169,6 +172,9 @@ func main() {
 			if err := srv.Close(); err != nil {
 				log.Printf("closing fill pipeline: %v", err)
 			}
+			if *statsOut != "" {
+				saveStats(srv, *statsOut)
+			}
 			if *statePath != "" {
 				if cc, ok := single.(*cafe.Cache); ok {
 					saveState(cc, *statePath)
@@ -195,11 +201,18 @@ func main() {
 // serveGracefully runs an http.Server until SIGINT/SIGTERM, then
 // drains in-flight requests for up to drain before closing them, and
 // finally runs afterDrain (if any) — so state snapshots happen with no
-// handler mid-request.
+// handler mid-request. The listener is bound before serving and its
+// resolved address logged, so -listen :0 yields a discoverable port
+// (the e2e shutdown test depends on that line).
 func serveGracefully(h http.Handler, listen string, drain time.Duration, afterDrain func()) {
-	srv := &http.Server{Addr: listen, Handler: h}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+	srv := &http.Server{Handler: h}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -266,6 +279,25 @@ func saveState(c *cafe.Cache, path string) {
 		os.Exit(1)
 	}
 	log.Printf("saved cafe state to %s (%d chunks)", path, c.Len())
+}
+
+// saveStats writes the final stats snapshot as JSON via a temp file +
+// rename. It runs after the drain and after the fill pipeline has
+// stopped, so the counters are final.
+func saveStats(srv *edge.Server, path string) {
+	data, err := json.MarshalIndent(srv.SnapshotStats(), "", "  ")
+	if err == nil {
+		data = append(data, '\n')
+		tmp := path + ".tmp"
+		if err = os.WriteFile(tmp, data, 0o644); err == nil {
+			err = os.Rename(tmp, path)
+		}
+	}
+	if err != nil {
+		log.Printf("saving stats: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("saved stats snapshot to %s", path)
 }
 
 // storeName resolves the -store flag's default: -data alone has always

@@ -1,0 +1,98 @@
+// Command checker soak-tests the HTTP edge server against the
+// reference model (internal/oracle) far beyond CI budgets: it runs
+// seeded scenario checks — every response and every counter diffed
+// against the model, store↔cache coherence verified at each quiescent
+// point — over one configuration or the whole matrix, for a fixed
+// number of seeds or until a time budget runs out.
+//
+// Output discipline: result lines on stdout are a pure function of the
+// flags (two identical invocations produce byte-identical stdout, which
+// is itself a determinism check); progress and timing go to stderr.
+//
+// On a violation the process exits 1 after printing the failing seed,
+// op index and a minimal reproduction command — operations are a pure
+// function of the seed, so replaying with -ops <failing op>+1 is the
+// shortest run that still fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"videocdn/internal/oracle"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "first seed; successive passes increment it")
+		ops      = flag.Int("ops", 200000, "operations per check run")
+		duration = flag.Duration("duration", 0, "keep starting new seeds until this much time has passed (0: one pass)")
+		algo     = flag.String("algo", "cafe", "cache policy: cafe or xlru")
+		storeK   = flag.String("store", "slab", "byte store: mem, fs or slab")
+		shards   = flag.Int("shards", 8, "edge lock shards (power of two)")
+		async    = flag.Bool("async", true, "use async (write-behind) fills")
+		matrix   = flag.Bool("matrix", false, "run the full {algo}×{store}×{fills}×{shards} matrix per seed instead of one configuration")
+	)
+	flag.Parse()
+
+	type combo struct {
+		algo, store string
+		async       bool
+		shards      int
+	}
+	combos := []combo{{*algo, *storeK, *async, *shards}}
+	if *matrix {
+		combos = combos[:0]
+		for _, a := range []string{"cafe", "xlru"} {
+			for _, s := range []string{"mem", "fs", "slab"} {
+				for _, as := range []bool{false, true} {
+					for _, sh := range []int{1, 8} {
+						combos = append(combos, combo{a, s, as, sh})
+					}
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	runs := 0
+	for s := *seed; ; s++ {
+		for _, c := range combos {
+			dir, err := os.MkdirTemp("", "checker-*")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "checker:", err)
+				os.Exit(2)
+			}
+			res, err := oracle.Check(oracle.CheckConfig{
+				Algo: c.algo, StoreKind: c.store, AsyncFills: c.async, Shards: c.shards,
+				Seed: s, Ops: *ops, Dir: dir,
+				Progress: func(done, total int) {
+					if done%20000 == 0 {
+						fmt.Fprintf(os.Stderr, "... %s/%s/async=%v/shards=%d seed=%d: %d/%d ops\n",
+							c.algo, c.store, c.async, c.shards, s, done, total)
+					}
+				},
+			})
+			os.RemoveAll(dir)
+			runs++
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "VIOLATION:", err)
+				repro := *ops
+				if res != nil && res.FailedOp >= 0 {
+					repro = res.FailedOp + 1
+				}
+				fmt.Fprintf(os.Stderr,
+					"reproduce (minimal): go run ./cmd/checker -algo %s -store %s -shards %d -async=%v -seed %d -ops %d\n",
+					c.algo, c.store, c.shards, c.async, s, repro)
+				os.Exit(1)
+			}
+			fmt.Printf("%s/%s/async=%v/shards=%d seed=%d: %s\n", c.algo, c.store, c.async, c.shards, s, res)
+		}
+		if *duration == 0 || time.Since(start) >= *duration {
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "checker: %d runs, 0 violations, %s\n", runs, time.Since(start).Round(time.Millisecond))
+}

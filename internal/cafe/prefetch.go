@@ -6,7 +6,10 @@ import (
 
 // PrefetchChunk proactively fills one chunk outside the request path —
 // the paper's "proactive caching for spare ingress" future-work hook
-// (Section 10). It returns whether the chunk was admitted.
+// (Section 10). It returns whether the chunk was admitted, plus the
+// chunks displaced to make room — drivers that materialize bytes (the
+// HTTP edge server) must delete exactly those from their store, or the
+// displaced bytes leak.
 //
 // Admission is conservative so prefetching cannot pollute the cache:
 // the chunk needs an IAT estimate (its own history, or the video's
@@ -15,10 +18,10 @@ import (
 // resident, which it then displaces. Callers are responsible for
 // spending ingress only when it is actually spare (e.g. off-peak); see
 // internal/prefetch.
-func (c *Cache) PrefetchChunk(id chunk.ID, now int64) bool {
+func (c *Cache) PrefetchChunk(id chunk.ID, now int64) (admitted bool, evicted []chunk.ID) {
 	if now < c.lastTime {
 		// Prefetch uses the same logical clock as requests.
-		return false
+		return false, nil
 	}
 	if !c.started {
 		c.firstTime = now
@@ -26,7 +29,7 @@ func (c *Cache) PrefetchChunk(id chunk.ID, now int64) bool {
 	}
 	c.lastTime = now
 	if c.tree.Contains(id.Key()) {
-		return false
+		return false, nil
 	}
 	k := c.iatKey(id)
 	e, ok := c.iat[k]
@@ -42,20 +45,22 @@ func (c *Cache) PrefetchChunk(id chunk.ID, now int64) bool {
 	default:
 		v, vok := c.videoEstimate(id.Video, now)
 		if !vok {
-			return false // nothing known; refuse blind ingress
+			return false, nil // nothing known; refuse blind ingress
 		}
 		est = v
 	}
 	if free := c.cfg.DiskChunks - c.tree.Len(); free <= 0 {
 		// Displace only a strictly less popular resident.
 		if est >= c.CacheAge(now) {
-			return false
+			return false, nil
 		}
 		minID, _, okMin := c.tree.Min()
 		if !okMin {
-			return false
+			return false, nil
 		}
-		c.evictChunk(chunk.FromKey(minID))
+		victim := chunk.FromKey(minID)
+		c.evictChunk(victim)
+		evicted = append(evicted, victim)
 	}
 	if !ok || e.dt == unknownDT {
 		// Materialize the estimate as the chunk's state so the tree
@@ -70,7 +75,7 @@ func (c *Cache) PrefetchChunk(id chunk.ID, now int64) bool {
 		c.videos[id.Video] = set
 	}
 	set[id.Index] = struct{}{}
-	return true
+	return true, evicted
 }
 
 // HighestCachedIndex returns the largest cached chunk index of the

@@ -126,3 +126,65 @@ func TestPrefetchValidation(t *testing.T) {
 		t.Errorf("cold prefetch: status %d body %q", resp.StatusCode, body)
 	}
 }
+
+// TestPrefetchDisplacementDeletesFromStore forces the prefetch path
+// that displaces a resident chunk (full disk, prefetch target strictly
+// more popular than the coldest resident) and asserts the displaced
+// chunk's bytes leave the store with it. PrefetchChunk reports its
+// victims precisely so the edge can mirror the displacement; skipping
+// that delete leaks the victim's bytes as store orphans.
+func TestPrefetchDisplacementDeletesFromStore(t *testing.T) {
+	cache, err := cafe.New(core.Config{ChunkSize: testK, DiskChunks: 4}, 1, cafe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := MapCatalog{1: 3 * testK, 2: 2 * testK}
+	rig := newRig(t, cache, catalog)
+
+	// Fill the disk exactly: two chunks of the soon-hot video 1, two of
+	// the cold video 2 (warmup admission, free space available).
+	rig.get(t, 1, 0, 2*testK-1)
+	rig.advance(1)
+	rig.get(t, 2, 0, 2*testK-1)
+	if cache.Len() != 4 {
+		t.Fatalf("cache holds %d chunks, want a full disk of 4", cache.Len())
+	}
+
+	// Heat video 1 with a tight request cadence; video 2 never recurs,
+	// so its chunks become the coldest residents.
+	for i := 0; i < 6; i++ {
+		rig.advance(5)
+		rig.get(t, 1, 0, 2*testK-1)
+	}
+	rig.advance(5)
+
+	resp, body := postPrefetch(t, rig, "v=1&chunks=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.HasPrefix(body, "accepted 1") {
+		t.Fatalf("body = %q, want accepted 1 (displacement refused?)", body)
+	}
+	target := chunk.ID{Video: 1, Index: 2}
+	if !cache.Contains(target) || !rig.chunkStr.Has(target) {
+		t.Fatal("prefetched chunk missing from cache or store")
+	}
+	// The displacement must have hit video 2, and the store must agree
+	// with the cache chunk for chunk — a displaced resident whose bytes
+	// survive in the store is an orphan leak.
+	displaced := 0
+	for _, id := range []chunk.ID{{Video: 2, Index: 0}, {Video: 2, Index: 1}} {
+		if cache.Contains(id) != rig.chunkStr.Has(id) {
+			t.Errorf("chunk %v: cache=%v store=%v diverge", id, cache.Contains(id), rig.chunkStr.Has(id))
+		}
+		if !cache.Contains(id) {
+			displaced++
+		}
+	}
+	if displaced != 1 {
+		t.Fatalf("%d cold chunks displaced, want exactly 1", displaced)
+	}
+	if cache.Len() != 4 {
+		t.Fatalf("cache holds %d chunks after displacement, want 4", cache.Len())
+	}
+}

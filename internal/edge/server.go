@@ -356,7 +356,7 @@ func (s *Server) NumShards() int { return len(s.shards) }
 // for proactive, popularity-gated fills (the paper's Section 10
 // "proactive caching").
 type prefetcher interface {
-	PrefetchChunk(id chunk.ID, now int64) bool
+	PrefetchChunk(id chunk.ID, now int64) (admitted bool, evicted []chunk.ID)
 	HighestCachedIndex(v chunk.VideoID) (uint32, bool)
 }
 
@@ -419,8 +419,17 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		id := chunk.ID{Video: v, Index: hi + 1}
-		admitted := p.PrefetchChunk(id, now)
+		admitted, evicted := p.PrefetchChunk(id, now)
 		sh.mu.Unlock()
+		// The displacement stands whether or not the fill below
+		// succeeds: mirror it in the store immediately, exactly as
+		// handleVideo mirrors EvictedIDs, so no displaced bytes squat
+		// in the store.
+		for _, ev := range evicted {
+			if err := s.cfg.Store.Delete(ev); err != nil {
+				sh.storeDels.Add(1)
+			}
+		}
 		if !admitted {
 			break
 		}
@@ -670,6 +679,10 @@ func (s *Server) stream(fc *fillCtx, sh *edgeShard, w io.Writer, v chunk.VideoID
 			// preflight). Self-heal from origin; this is real ingress
 			// and is charged inside the fetch.
 			if err2 := s.heal(fc, sh, id); err2 != nil {
+				// Charged here so the stream entrypoint's ledger
+				// matches handleVideo's preflight, which counts the
+				// identical failure at its call site.
+				sh.fillErrs.Add(1)
 				return err
 			}
 			if data, err = s.cfg.Store.Get(id, (*bp)[:0]); err != nil {

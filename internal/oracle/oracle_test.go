@@ -1,0 +1,78 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCheckMatrix runs the oracle across the full configuration
+// matrix: {mem,fs,slab} stores × {sync,async} fills × {1,8} shards ×
+// {cafe,xlru} policies, each with fixed seeds. Any response diff, any
+// ledger drift, any coherence violation fails with the op index and
+// seed needed to replay it (go test -run or cmd/checker -seed).
+func TestCheckMatrix(t *testing.T) {
+	ops := 400
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		ops = 150
+		seeds = seeds[:1]
+	}
+	for _, algo := range []string{"cafe", "xlru"} {
+		for _, kind := range []string{"mem", "fs", "slab"} {
+			for _, async := range []bool{false, true} {
+				for _, shards := range []int{1, 8} {
+					algo, kind, async, shards := algo, kind, async, shards
+					name := fmt.Sprintf("%s/%s/async=%v/shards=%d", algo, kind, async, shards)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						for _, seed := range seeds {
+							res, err := Check(CheckConfig{
+								Algo: algo, StoreKind: kind, AsyncFills: async, Shards: shards,
+								Seed: seed, Ops: ops, Dir: t.TempDir(),
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if res.Gets == 0 || res.OK200+res.Partial206 == 0 || res.Found302 == 0 {
+								t.Errorf("seed %d: degenerate op mix: %s", seed, res)
+							}
+							t.Logf("seed %d: %s", seed, res)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestCheckDeterministic pins the bit-identical replay guarantee: two
+// runs with the same config and seed must produce identical digests
+// (responses and final stats), and a different seed must not.
+func TestCheckDeterministic(t *testing.T) {
+	cfg := CheckConfig{Algo: "cafe", StoreKind: "slab", AsyncFills: true, Shards: 8, Seed: 7, Ops: 250}
+	cfg.Dir = t.TempDir()
+	a, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dir = t.TempDir()
+	b, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different digests: %s vs %s", a.Digest, b.Digest)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different results:\n%s\n%s", a, b)
+	}
+	cfg.Dir = t.TempDir()
+	cfg.Seed = 8
+	c, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest == a.Digest {
+		t.Fatalf("different seeds produced identical digest %s", a.Digest)
+	}
+}

@@ -27,8 +27,9 @@ import (
 // *cafe.Cache implements it.
 type Prefetchable interface {
 	core.Cache
-	// PrefetchChunk fills one chunk if the cache's policy admits it.
-	PrefetchChunk(id chunk.ID, now int64) bool
+	// PrefetchChunk fills one chunk if the cache's policy admits it,
+	// reporting any chunks displaced to make room.
+	PrefetchChunk(id chunk.ID, now int64) (admitted bool, evicted []chunk.ID)
 	// HighestCachedIndex supports sequential read-ahead planning.
 	HighestCachedIndex(v chunk.VideoID) (uint32, bool)
 }
@@ -220,7 +221,10 @@ func Replay(c Prefetchable, reqs []trace.Request, model cost.Model, pcfg Config,
 			}
 			id := chunk.ID{Video: v, Index: hi + 1}
 			res.Stats.Attempted++
-			if c.PrefetchChunk(id, r.Time) {
+			// The simulator tracks no byte store, so displaced chunks
+			// need no cleanup here; the HTTP edge server must delete
+			// them (see edge.Server.handlePrefetch).
+			if admitted, _ := c.PrefetchChunk(id, r.Time); admitted {
 				res.Stats.Accepted++
 				res.Stats.PrefetchedBytes += chunkSize
 				ahead[v]++

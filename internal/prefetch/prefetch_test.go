@@ -68,18 +68,18 @@ func TestCafePrefetchChunkBasics(t *testing.T) {
 	c.HandleRequest(req(0, 1, 0, 1))
 	c.HandleRequest(req(10, 1, 0, 1))
 	// Blind prefetch of an unknown video must be refused.
-	if c.PrefetchChunk(chunk.ID{Video: 9, Index: 0}, 10) {
+	if ok, _ := c.PrefetchChunk(chunk.ID{Video: 9, Index: 0}, 10); ok {
 		t.Error("prefetch with no information should be refused")
 	}
 	// Prefetch the next chunk: video estimate exists -> accept.
-	if !c.PrefetchChunk(chunk.ID{Video: 1, Index: 2}, 11) {
+	if ok, _ := c.PrefetchChunk(chunk.ID{Video: 1, Index: 2}, 11); !ok {
 		t.Error("read-ahead on a known video should be accepted")
 	}
 	if !c.Contains(chunk.ID{Video: 1, Index: 2}) {
 		t.Error("prefetched chunk should be cached")
 	}
 	// Idempotent: already-cached chunk refuses.
-	if c.PrefetchChunk(chunk.ID{Video: 1, Index: 2}, 12) {
+	if ok, _ := c.PrefetchChunk(chunk.ID{Video: 1, Index: 2}, 12); ok {
 		t.Error("prefetch of a cached chunk should be refused")
 	}
 }
@@ -95,8 +95,12 @@ func TestCafePrefetchRespectsFullDisk(t *testing.T) {
 	}
 	// Disk holds 1/0 and 2/0. Prefetching 2/1 (hot video estimate)
 	// should displace the least popular resident (1/0).
-	if !c.PrefetchChunk(chunk.ID{Video: 2, Index: 1}, 15) {
+	ok, evicted := c.PrefetchChunk(chunk.ID{Video: 2, Index: 1}, 15)
+	if !ok {
 		t.Fatal("hot prefetch should displace a stale resident")
+	}
+	if len(evicted) != 1 || evicted[0] != (chunk.ID{Video: 1, Index: 0}) {
+		t.Errorf("evicted = %v, want exactly the displaced resident 1/0", evicted)
 	}
 	if c.Len() != 2 {
 		t.Errorf("disk overflow: %d", c.Len())
@@ -111,7 +115,7 @@ func TestCafePrefetchRespectsFullDisk(t *testing.T) {
 	c2.HandleRequest(req(10, 1, 0, 0))
 	c2.HandleRequest(req(11, 2, 0, 0))
 	c2.HandleRequest(req(21, 2, 0, 0)) // video 2 is the least popular resident
-	if c2.PrefetchChunk(chunk.ID{Video: 2, Index: 1}, 22) {
+	if ok, _ := c2.PrefetchChunk(chunk.ID{Video: 2, Index: 1}, 22); ok {
 		t.Error("prefetch estimated from the eviction floor itself should be refused")
 	}
 }
