@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos check-oracle cover fuzz bench bench-replay bench-edge bench-store experiments experiments-small fmt vet clean
+.PHONY: all build test test-short race chaos check-oracle cover fuzz bench bench-replay bench-edge bench-store perf-gate experiments experiments-small fmt vet clean
 
 all: build test
 
@@ -60,10 +60,21 @@ bench-edge:
 	$(GO) run ./cmd/benchedge -o BENCH_edge.json
 
 # Chunk-store microbenchmark: Put/Get/put+delete/recovery-scan for the
-# mem, fs and slab backends, plus the slab-vs-fs speedup summary the
-# disk layer's trajectory tracks (target: ≥5x, 0-alloc slab Get).
+# mem, fs, slab, slab-mmap and tiered backends, the zero-copy GetBorrow
+# path, the tier hit breakdown, and the slab-vs-fs / tiered-vs-slab
+# speedup summaries the disk layer's trajectory tracks (targets: ≥5x
+# each, 0-alloc Get).
 bench-store:
 	$(GO) run ./cmd/benchstore -o BENCH_store.json
+
+# Perf-regression smoke gate (also run in CI): regenerate both
+# benchmark reports at smoke size and compare against the committed
+# baselines. Fails only on order-of-magnitude ns/op regressions or a
+# zero-alloc path starting to allocate — safe on small noisy CI boxes.
+perf-gate:
+	$(GO) run ./cmd/benchstore -o /tmp/bench_store_smoke.json
+	$(GO) run ./cmd/benchedge -shards 1 -concurrency 8 -requests 2000 -warmup 500 -videos 64 -o /tmp/bench_edge_smoke.json
+	$(GO) run ./cmd/perfgate BENCH_store.json /tmp/bench_store_smoke.json BENCH_edge.json /tmp/bench_edge_smoke.json
 
 # Regenerate every figure and table of the paper (plus extensions).
 experiments:

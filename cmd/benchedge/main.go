@@ -68,6 +68,16 @@ type runRow struct {
 	// Eq2Exact asserts the /stats efficiency equals Eq. 2 recomputed
 	// from the aggregated byte counters and the cost model, bit-exact.
 	Eq2Exact bool `json:"eq2_identity_exact"`
+	// Tier columns: /stats deltas over the measured window (all zero
+	// with the hot tier off). HotHitRatio is hot hits over all tier
+	// lookups — how much of the store traffic never touched the cold
+	// line of defense.
+	HotTierHits         int64   `json:"hot_tier_hits"`
+	ColdTierHits        int64   `json:"cold_tier_hits"`
+	TierMisses          int64   `json:"tier_misses"`
+	HotTierBytesServed  int64   `json:"hot_tier_bytes_served"`
+	ColdTierBytesServed int64   `json:"cold_tier_bytes_served"`
+	HotHitRatio         float64 `json:"hot_hit_ratio"`
 }
 
 type servePathRow struct {
@@ -92,14 +102,21 @@ type report struct {
 	Zipf        float64      `json:"zipf_s"`
 	Store       string       `json:"store"`
 	AsyncFills  bool         `json:"async_fills"`
+	HotMB       int64        `json:"hot_mb"`
 	Runs        []runRow     `json:"runs"`
 	ServePath   servePathRow `json:"serve_path"`
+	// ServePathCold is the same isolated cache-hit benchmark with the
+	// hot tier disabled — the pooled-copy baseline the zero-copy path
+	// is measured against.
+	ServePathCold servePathRow `json:"serve_path_cold"`
 }
 
-// storeOpts selects the chunk store backend and fill mode under test.
+// storeOpts selects the chunk store backend, fill mode, and hot tier
+// budget under test.
 type storeOpts struct {
-	kind  string // mem, fs or slab
-	async bool
+	kind     string // mem, fs or slab
+	async    bool
+	hotBytes int64 // RAM hot tier budget; 0 disables the tier
 }
 
 // open builds a fresh store of the selected kind in a temp dir (for
@@ -124,7 +141,9 @@ func (o storeOpts) open(chunkSize int64) (store.Store, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		s, err := store.NewSlab(dir, store.SlabConfig{SlotBytes: chunkSize})
+		// Mmap on: the serve path borrows page-cache bytes directly
+		// wherever the platform supports it.
+		s, err := store.NewSlab(dir, store.SlabConfig{SlotBytes: chunkSize, Mmap: true})
 		if err != nil {
 			os.RemoveAll(dir)
 			return nil, nil, err
@@ -143,6 +162,12 @@ type edgeStats struct {
 	RedirectedBytes int64   `json:"redirected_bytes"`
 	Efficiency      float64 `json:"efficiency"`
 	IngressRatio    float64 `json:"ingress_ratio"`
+	// Tier counters (absent from the body with the hot tier off).
+	HotTierHits         int64 `json:"hot_tier_hits"`
+	ColdTierHits        int64 `json:"cold_tier_hits"`
+	TierMisses          int64 `json:"tier_misses"`
+	HotTierBytesServed  int64 `json:"hot_tier_bytes_served"`
+	ColdTierBytesServed int64 `json:"cold_tier_bytes_served"`
 }
 
 func main() {
@@ -159,6 +184,7 @@ func main() {
 	alpha := flag.Float64("alpha", 2, "alpha_F2R")
 	storeKind := flag.String("store", "mem", "chunk store backend: mem, fs or slab")
 	fillAsync := flag.Bool("fill-async", false, "commit fill writes asynchronously (write-behind)")
+	hotMB := flag.Int64("hot-mb", 64, "RAM hot tier budget in MB (0 disables the tier)")
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *requests / 4
@@ -180,8 +206,9 @@ func main() {
 		Zipf:        *zipfS,
 		Store:       *storeKind,
 		AsyncFills:  *fillAsync,
+		HotMB:       *hotMB,
 	}
-	so := storeOpts{kind: *storeKind, async: *fillAsync}
+	so := storeOpts{kind: *storeKind, async: *fillAsync, hotBytes: *hotMB << 20}
 	if rep.CPUs < 4 {
 		rep.Note = fmt.Sprintf("generated on a %d-CPU machine: shard scaling is lock-contention relief only; regenerate on multi-core for real parallel speedup", rep.CPUs)
 	}
@@ -210,6 +237,13 @@ func main() {
 		fatal(err)
 	}
 	rep.ServePath = sp
+	coldOpts := so
+	coldOpts.hotBytes = 0
+	spCold, err := measureServePath(chunkSize, *algo, *alpha, catalog, coldOpts)
+	if err != nil {
+		fatal(err)
+	}
+	rep.ServePathCold = spCold
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -225,10 +259,17 @@ func main() {
 		if r.SpeedupVs1 != 0 {
 			extra = fmt.Sprintf("  %.2fx vs 1 shard", r.SpeedupVs1)
 		}
-		fmt.Printf("  shards=%d: %.0f req/s  p50=%.0fus p99=%.0fus  hit=%.2f%s\n",
-			r.Shards, r.ThroughputRPS, r.P50Us, r.P99Us, r.HitRatio, extra)
+		tier := ""
+		if lookups := r.HotTierHits + r.ColdTierHits + r.TierMisses; lookups > 0 {
+			tier = fmt.Sprintf("  tier hot/cold/miss=%d/%d/%d (%.0f%% hot)",
+				r.HotTierHits, r.ColdTierHits, r.TierMisses, 100*r.HotHitRatio)
+		}
+		fmt.Printf("  shards=%d: %.0f req/s  p50=%.0fus p99=%.0fus  hit=%.2f%s%s\n",
+			r.Shards, r.ThroughputRPS, r.P50Us, r.P99Us, r.HitRatio, extra, tier)
 	}
-	fmt.Printf("  serve_path: %.0f ns/op, %g allocs/op\n", rep.ServePath.NsPerOp, rep.ServePath.AllocsPerOp)
+	fmt.Printf("  serve_path: %.0f ns/op, %g allocs/op (hot tier on); %.0f ns/op, %g allocs/op (off)\n",
+		rep.ServePath.NsPerOp, rep.ServePath.AllocsPerOp,
+		rep.ServePathCold.NsPerOp, rep.ServePathCold.AllocsPerOp)
 }
 
 // newEdge builds origin + n-shard edge server over loopback TCP. The
@@ -264,6 +305,7 @@ func newEdge(n int, chunkSize int64, diskChunks int, algo string, alpha float64,
 		ChunkSize:   chunkSize,
 		Alpha:       alpha,
 		AsyncFills:  so.async,
+		HotBytes:    so.hotBytes,
 	})
 	if err != nil {
 		storeCleanup()
@@ -413,7 +455,7 @@ func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkS
 			hit = 0
 		}
 	}
-	return runRow{
+	row := runRow{
 		Shards:           n,
 		Concurrency:      concurrency,
 		Requests:         len(all),
@@ -430,7 +472,16 @@ func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkS
 			Filled:     after.FilledBytes,
 			Redirected: after.RedirectedBytes,
 		}).Efficiency(cost.MustModel(alpha)),
-	}, nil
+		HotTierHits:         after.HotTierHits - before.HotTierHits,
+		ColdTierHits:        after.ColdTierHits - before.ColdTierHits,
+		TierMisses:          after.TierMisses - before.TierMisses,
+		HotTierBytesServed:  after.HotTierBytesServed - before.HotTierBytesServed,
+		ColdTierBytesServed: after.ColdTierBytesServed - before.ColdTierBytesServed,
+	}
+	if lookups := row.HotTierHits + row.ColdTierHits + row.TierMisses; lookups > 0 {
+		row.HotHitRatio = float64(row.HotTierHits) / float64(lookups)
+	}
+	return row, nil
 }
 
 // fetchStats decodes the subset of /stats the harness verifies.

@@ -55,6 +55,8 @@ func main() {
 	dataDir := flag.String("data", "", "chunk store directory (required for -store fs/slab)")
 	storeKind := flag.String("store", "", "chunk store backend: mem, fs or slab (default: fs when -data is set, else mem)")
 	storePrealloc := flag.Bool("store-prealloc", false, "slab store: preallocate each segment file to full size up front")
+	storeMmap := flag.Bool("store-mmap", false, "slab store: mmap segments read-only so cache hits serve page-cache bytes without copying")
+	hotMB := flag.Int64("hot-mb", 0, "edge mode: RAM hot tier budget in MB over the chunk store (0 disables; hot chunks are served from memory without touching the store)")
 	fillAsync := flag.Bool("fill-async", false, "edge mode: commit fill writes asynchronously (write-behind) instead of on the serve path")
 	fillQueue := flag.Int("fill-queue", 0, "edge mode: per-shard async fill queue depth (0 = default)")
 	statePath := flag.String("state", "", "cafe state snapshot: loaded on start if present, saved after graceful shutdown (edge mode, cafe only)")
@@ -155,13 +157,14 @@ func main() {
 			}
 			srvCfg.Cache = single
 		}
-		st, err := openStore(*storeKind, *dataDir, chunkSize, *storePrealloc)
+		st, err := openStore(*storeKind, *dataDir, chunkSize, *storePrealloc, *storeMmap)
 		if err != nil {
 			fatal(err)
 		}
 		srvCfg.Store = st
 		srvCfg.AsyncFills = *fillAsync
 		srvCfg.FillQueueDepth = *fillQueue
+		srvCfg.HotBytes = *hotMB << 20
 		srv, err := edge.NewServer(srvCfg)
 		if err != nil {
 			fatal(err)
@@ -190,8 +193,12 @@ func main() {
 		if *fillAsync {
 			fillMode = "async"
 		}
-		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk, %d shard(s), %s store, %s fills) on %s -> origin %s, redirects to %s",
-			*algo, *alpha, cfg.DiskChunks, srv.NumShards(), storeName(*storeKind, *dataDir), fillMode, *listen, *origin, *redirect)
+		tierNote := ""
+		if *hotMB > 0 {
+			tierNote = fmt.Sprintf(", %dMB hot tier", *hotMB)
+		}
+		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk, %d shard(s), %s store%s, %s fills) on %s -> origin %s, redirects to %s",
+			*algo, *alpha, cfg.DiskChunks, srv.NumShards(), storeName(*storeKind, *dataDir), tierNote, fillMode, *listen, *origin, *redirect)
 		serveGracefully(srv, *listen, *drain, afterDrain)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
@@ -313,7 +320,7 @@ func storeName(kind, dir string) string {
 }
 
 // openStore builds the chunk store the flags select.
-func openStore(kind, dir string, chunkSize int64, prealloc bool) (store.Store, error) {
+func openStore(kind, dir string, chunkSize int64, prealloc, mmap bool) (store.Store, error) {
 	switch storeName(kind, dir) {
 	case "mem":
 		return store.NewMem(), nil
@@ -326,7 +333,7 @@ func openStore(kind, dir string, chunkSize int64, prealloc bool) (store.Store, e
 		if dir == "" {
 			return nil, fmt.Errorf("-store slab requires -data")
 		}
-		return store.NewSlab(dir, store.SlabConfig{SlotBytes: chunkSize, Prealloc: prealloc})
+		return store.NewSlab(dir, store.SlabConfig{SlotBytes: chunkSize, Prealloc: prealloc, Mmap: mmap})
 	}
 	return nil, fmt.Errorf("unknown store backend %q (mem, fs or slab)", kind)
 }

@@ -33,7 +33,8 @@ func main() {
 		storeK   = flag.String("store", "slab", "byte store: mem, fs or slab")
 		shards   = flag.Int("shards", 8, "edge lock shards (power of two)")
 		async    = flag.Bool("async", true, "use async (write-behind) fills")
-		matrix   = flag.Bool("matrix", false, "run the full {algo}×{store}×{fills}×{shards} matrix per seed instead of one configuration")
+		hotKB    = flag.Int64("hot-kb", 0, "RAM hot tier budget in KB (0 disables the tier)")
+		matrix   = flag.Bool("matrix", false, "run the full {algo}×{store}×{fills}×{shards}×{hot} matrix per seed instead of one configuration")
 	)
 	flag.Parse()
 
@@ -41,15 +42,18 @@ func main() {
 		algo, store string
 		async       bool
 		shards      int
+		hotBytes    int64
 	}
-	combos := []combo{{*algo, *storeK, *async, *shards}}
+	combos := []combo{{*algo, *storeK, *async, *shards, *hotKB << 10}}
 	if *matrix {
 		combos = combos[:0]
 		for _, a := range []string{"cafe", "xlru"} {
 			for _, s := range []string{"mem", "fs", "slab"} {
 				for _, as := range []bool{false, true} {
 					for _, sh := range []int{1, 8} {
-						combos = append(combos, combo{a, s, as, sh})
+						for _, hot := range []int64{0, 32 << 10} {
+							combos = append(combos, combo{a, s, as, sh, hot})
+						}
 					}
 				}
 			}
@@ -67,11 +71,11 @@ func main() {
 			}
 			res, err := oracle.Check(oracle.CheckConfig{
 				Algo: c.algo, StoreKind: c.store, AsyncFills: c.async, Shards: c.shards,
-				Seed: s, Ops: *ops, Dir: dir,
+				HotBytes: c.hotBytes, Seed: s, Ops: *ops, Dir: dir,
 				Progress: func(done, total int) {
 					if done%20000 == 0 {
-						fmt.Fprintf(os.Stderr, "... %s/%s/async=%v/shards=%d seed=%d: %d/%d ops\n",
-							c.algo, c.store, c.async, c.shards, s, done, total)
+						fmt.Fprintf(os.Stderr, "... %s/%s/async=%v/shards=%d/hot=%d seed=%d: %d/%d ops\n",
+							c.algo, c.store, c.async, c.shards, c.hotBytes, s, done, total)
 					}
 				},
 			})
@@ -84,11 +88,11 @@ func main() {
 					repro = res.FailedOp + 1
 				}
 				fmt.Fprintf(os.Stderr,
-					"reproduce (minimal): go run ./cmd/checker -algo %s -store %s -shards %d -async=%v -seed %d -ops %d\n",
-					c.algo, c.store, c.shards, c.async, s, repro)
+					"reproduce (minimal): go run ./cmd/checker -algo %s -store %s -shards %d -async=%v -hot-kb %d -seed %d -ops %d\n",
+					c.algo, c.store, c.shards, c.async, c.hotBytes>>10, s, repro)
 				os.Exit(1)
 			}
-			fmt.Printf("%s/%s/async=%v/shards=%d seed=%d: %s\n", c.algo, c.store, c.async, c.shards, s, res)
+			fmt.Printf("%s/%s/async=%v/shards=%d/hot=%d seed=%d: %s\n", c.algo, c.store, c.async, c.shards, c.hotBytes, s, res)
 		}
 		if *duration == 0 || time.Since(start) >= *duration {
 			break

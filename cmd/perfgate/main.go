@@ -1,0 +1,158 @@
+// Command perfgate compares freshly generated benchmark reports
+// against committed baselines and fails only on order-of-magnitude
+// regressions — the coarse smoke gate CI runs on every push.
+//
+// It deliberately does NOT assert "no slowdown": CI containers are
+// small (often a single CPU), noisy, and unlike the machine that
+// generated the committed baseline, so any tight threshold would flap.
+// What a 10x tolerance still catches is the class of bug this
+// repository's perf work actually regresses by: an accidental
+// O(n) scan on a hot path, a lost fast path, a copy where a borrow
+// should be. Two rules:
+//
+//  1. every ns_per_op metric present in both reports may grow at most
+//     -tolerance-fold (default 10x);
+//  2. every allocs_per_op metric that is zero in the baseline must
+//     stay zero — the zero-alloc serve and Get paths are structural
+//     invariants, not timings, so they hold on any machine.
+//
+// Metrics are discovered by walking the JSON trees, so the gate needs
+// no schema knowledge and keeps working as reports grow new sections.
+// A metric present in the baseline but missing from the current report
+// fails the gate: silently dropping a measured path is itself a
+// regression.
+//
+// Usage:
+//
+//	perfgate BENCH_store.json /tmp/store_smoke.json [BENCH_edge.json /tmp/edge_smoke.json ...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	tolerance := flag.Float64("tolerance", 10, "max allowed ns_per_op growth factor vs baseline")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 || len(args)%2 != 0 {
+		fmt.Fprintln(os.Stderr, "usage: perfgate [-tolerance N] baseline.json current.json [baseline2.json current2.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for i := 0; i < len(args); i += 2 {
+		if !comparePair(args[i], args[i+1], *tolerance) {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("perfgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: ok")
+}
+
+// comparePair diffs one (baseline, current) report pair and reports
+// whether it passes.
+func comparePair(basePath, curPath string, tolerance float64) bool {
+	base, err := loadMetrics(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		return false
+	}
+	cur, err := loadMetrics(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		return false
+	}
+	fmt.Printf("%s vs %s:\n", basePath, curPath)
+	paths := make([]string, 0, len(base))
+	for p := range base {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	ok := true
+	checked := 0
+	for _, p := range paths {
+		b := base[p]
+		c, present := cur[p]
+		if !present {
+			fmt.Printf("  MISSING %s (baseline %g; metric disappeared from the current report)\n", p, b)
+			ok = false
+			continue
+		}
+		switch metricKind(p) {
+		case "ns_per_op":
+			checked++
+			if b > 0 && c > b*tolerance {
+				fmt.Printf("  REGRESSION %s: %.0f ns/op vs baseline %.0f (%.1fx > %.0fx tolerance)\n",
+					p, c, b, c/b, tolerance)
+				ok = false
+			}
+		case "allocs_per_op":
+			checked++
+			if b == 0 && c > 0 {
+				fmt.Printf("  REGRESSION %s: %g allocs/op on a path that was allocation-free\n", p, c)
+				ok = false
+			}
+		}
+	}
+	if ok {
+		fmt.Printf("  %d metrics within tolerance\n", checked)
+	}
+	return ok
+}
+
+// metricKind classifies a metric path by its leaf field name.
+func metricKind(path string) string {
+	for _, leaf := range []string{"ns_per_op", "allocs_per_op"} {
+		if n := len(path) - len(leaf); n >= 0 && path[n:] == leaf {
+			return leaf
+		}
+	}
+	return ""
+}
+
+// loadMetrics flattens every ns_per_op / allocs_per_op leaf of a
+// report into path → value.
+func loadMetrics(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tree any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := map[string]float64{}
+	collect("", tree, out)
+	return out, nil
+}
+
+// collect walks the JSON tree recording the gated leaves. Array
+// elements are addressed by index — stable as long as the same binary
+// generated both reports, which the Makefile target guarantees.
+func collect(prefix string, v any, out map[string]float64) {
+	switch node := v.(type) {
+	case map[string]any:
+		for k, child := range node {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			if f, isNum := child.(float64); isNum && metricKind(p) != "" {
+				out[p] = f
+				continue
+			}
+			collect(p, child, out)
+		}
+	case []any:
+		for i, child := range node {
+			collect(fmt.Sprintf("%s[%d]", prefix, i), child, out)
+		}
+	}
+}

@@ -85,6 +85,14 @@ type Config struct {
 	// store default). When a stripe's queue is full, fills degrade to
 	// synchronous writes — backpressure, not unbounded buffering.
 	FillQueueDepth int
+	// HotBytes, when positive, layers a bounded RAM hot tier
+	// (store.Tiered) over the configured store — the paper's
+	// line-of-defense idea applied recursively inside the server: the
+	// hottest chunks serve from memory and never touch the disk line.
+	// Striping matches the shard count. Responses and the Eq. 2
+	// accounting are byte-identical with the tier on or off; only the
+	// tier counters in /stats differ.
+	HotBytes int64
 }
 
 // Server is the HTTP edge cache.
@@ -126,6 +134,13 @@ type Server struct {
 	// already points at the wrapper; this handle exists for flushing,
 	// closing and stats.
 	writeBehind *store.WriteBehind
+	// hotTier is the RAM hot tier when HotBytes > 0 (nil otherwise).
+	// The store chain is WriteBehind(Tiered(cold)): reads check pending
+	// fills first, then RAM, then the cold store.
+	hotTier *store.Tiered
+	// borrow is the store chain's zero-copy read capability, if any;
+	// the serve path tries it before falling back to pooled-buffer Get.
+	borrow store.BorrowGetter
 	// asyncWriteErrs counts deferred store writes that failed and were
 	// rolled back.
 	asyncWriteErrs atomic.Int64
@@ -324,16 +339,29 @@ func NewServer(cfg Config) (*Server, error) {
 	if n > 1 {
 		s.algoName = fmt.Sprintf("%s×%d", s.algoName, n)
 	}
+	if cfg.HotBytes > 0 {
+		// One tier stripe per shard mirrors the lock layout, like the
+		// write-behind stripes below.
+		s.hotTier = store.NewTiered(s.cfg.Store, store.TieredConfig{
+			HotBytes: cfg.HotBytes,
+			Stripes:  n,
+		})
+		s.cfg.Store = s.hotTier
+	}
 	if cfg.AsyncFills {
 		// One write-behind stripe per shard mirrors the lock layout:
 		// fills for different shards never queue behind each other.
-		s.writeBehind = store.NewWriteBehind(cfg.Store, store.WriteBehindConfig{
+		// Wrapping outside the hot tier gives read-your-writes across
+		// tiers for free: a pending fill is readable before either
+		// tier has seen the bytes.
+		s.writeBehind = store.NewWriteBehind(s.cfg.Store, store.WriteBehindConfig{
 			Stripes:    n,
 			QueueDepth: cfg.FillQueueDepth,
 			OnError:    s.onAsyncWriteError,
 		})
 		s.cfg.Store = s.writeBehind
 	}
+	s.borrow, _ = s.cfg.Store.(store.BorrowGetter)
 	s.mux.HandleFunc("/video", s.handleVideo)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -610,6 +638,11 @@ func (s *Server) Flush() {
 	}
 }
 
+// HotTier returns the RAM hot tier, or nil when Config.HotBytes is 0.
+// The model-based oracle uses it to check the two-tier coherence
+// invariant (hot keyset ⊆ cold∪pending, byte-identical content).
+func (s *Server) HotTier() *store.Tiered { return s.hotTier }
+
 // Close drains the async fill pipeline and stops its workers; further
 // fills write synchronously. No-op (nil) when AsyncFills is off.
 func (s *Server) Close() error {
@@ -659,19 +692,42 @@ func (s *Server) StreamRange(ctx context.Context, w io.Writer, v chunk.VideoID, 
 	return s.stream(&fc, s.shardOf(v), w, v, b0, b1)
 }
 
-// stream writes [b0,b1] of the video from the chunk store through a
-// pooled chunk buffer.
+// stream writes [b0,b1] of the video from the chunk store. Each chunk
+// is served zero-copy when the store chain can lend its bytes (RAM hot
+// tier, pending fill, mmap slab slot); otherwise it is copied through
+// a pooled chunk buffer, fetched lazily so an all-borrowed response
+// never touches the pool.
 func (s *Server) stream(fc *fillCtx, sh *edgeShard, w io.Writer, v chunk.VideoID, b0, b1 int64) error {
-	bp, _ := s.bufs.Get().(*[]byte)
-	if bp == nil {
-		bp = new([]byte)
-	}
-	defer s.bufs.Put(bp)
+	var bp *[]byte
+	defer func() {
+		if bp != nil {
+			s.bufs.Put(bp)
+		}
+	}()
 	k := s.cfg.ChunkSize
 	c0 := uint32(b0 / k)
 	c1 := uint32(b1 / k)
 	for c := c0; c <= c1; c++ {
 		id := chunk.ID{Video: v, Index: c}
+		if s.borrow != nil {
+			if br, err := s.borrow.GetBorrow(id); err == nil {
+				err = writeRange(w, br.Data, int64(c)*k, b0, b1)
+				br.Release()
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			// Every borrow failure — ErrNoBorrow, a lost chunk, a cold
+			// store that cannot lend — falls through to the copy path,
+			// which owns the self-heal logic.
+		}
+		if bp == nil {
+			bp, _ = s.bufs.Get().(*[]byte)
+			if bp == nil {
+				bp = new([]byte)
+			}
+		}
 		data, err := s.cfg.Store.Get(id, (*bp)[:0])
 		if err != nil {
 			// The cache believed the chunk was present but the store
@@ -690,22 +746,29 @@ func (s *Server) stream(fc *fillCtx, sh *edgeShard, w io.Writer, v chunk.VideoID
 			}
 		}
 		*bp = data[:0] // keep the grown capacity for the next chunk/request
-		lo := int64(c) * k
-		from, to := int64(0), int64(len(data)-1)
-		if lo < b0 {
-			from = b0 - lo
-		}
-		if lo+to > b1 {
-			to = b1 - lo
-		}
-		if from > to {
-			continue
-		}
-		if _, err := w.Write(data[from : to+1]); err != nil {
+		if err := writeRange(w, data, int64(c)*k, b0, b1); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeRange writes the intersection of one chunk's bytes (whose first
+// byte sits at absolute video offset lo) with the request range
+// [b0, b1].
+func writeRange(w io.Writer, data []byte, lo, b0, b1 int64) error {
+	from, to := int64(0), int64(len(data)-1)
+	if lo < b0 {
+		from = b0 - lo
+	}
+	if lo+to > b1 {
+		to = b1 - lo
+	}
+	if from > to {
+		return nil
+	}
+	_, err := w.Write(data[from : to+1])
+	return err
 }
 
 // fill fetches one whole chunk from origin into the store, coalescing
@@ -910,6 +973,19 @@ type Stats struct {
 	PendingFillWrites int   `json:"pending_fill_writes,omitempty"`
 	FillSyncFallbacks int64 `json:"fill_sync_fallbacks,omitempty"`
 	AsyncWriteErrors  int64 `json:"async_write_errors,omitempty"`
+	// RAM hot tier counters (present only when HotBytes > 0). These are
+	// observability only — the Eq. 2 identity and every response byte
+	// are independent of which tier served.
+	HotTier             bool  `json:"hot_tier,omitempty"`
+	HotTierHits         int64 `json:"hot_tier_hits,omitempty"`
+	ColdTierHits        int64 `json:"cold_tier_hits,omitempty"`
+	TierMisses          int64 `json:"tier_misses,omitempty"`
+	HotTierBytesServed  int64 `json:"hot_tier_bytes_served,omitempty"`
+	ColdTierBytesServed int64 `json:"cold_tier_bytes_served,omitempty"`
+	HotTierPromotions   int64 `json:"hot_tier_promotions,omitempty"`
+	HotTierEvictions    int64 `json:"hot_tier_evictions,omitempty"`
+	HotTierBytes        int64 `json:"hot_tier_bytes,omitempty"`
+	HotTierChunks       int   `json:"hot_tier_chunks,omitempty"`
 }
 
 // SnapshotStats aggregates the per-shard counters into one report.
@@ -953,6 +1029,19 @@ func (s *Server) SnapshotStats() Stats {
 		st.FillSyncFallbacks = s.writeBehind.SyncFallbacks()
 		st.AsyncWriteErrors = s.asyncWriteErrs.Load()
 	}
+	if s.hotTier != nil {
+		ts := s.hotTier.Stats()
+		st.HotTier = true
+		st.HotTierHits = ts.HotHits
+		st.ColdTierHits = ts.ColdHits
+		st.TierMisses = ts.Misses
+		st.HotTierBytesServed = ts.HotBytesServed
+		st.ColdTierBytesServed = ts.ColdBytesServed
+		st.HotTierPromotions = ts.Promotions
+		st.HotTierEvictions = ts.Evictions
+		st.HotTierBytes = ts.HotBytes
+		st.HotTierChunks = ts.HotChunks
+	}
 	return st
 }
 
@@ -992,6 +1081,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		write("videocdn_pending_fill_writes", "Deferred store writes queued or in flight.", "gauge", float64(st.PendingFillWrites))
 		write("videocdn_fill_sync_fallbacks_total", "Fills written synchronously because the write-behind queue was full.", "counter", float64(st.FillSyncFallbacks))
 		write("videocdn_async_write_errors_total", "Deferred store writes that failed and were rolled back.", "counter", float64(st.AsyncWriteErrors))
+	}
+	if st.HotTier {
+		write("videocdn_hot_tier_hits_total", "Store reads served by the RAM hot tier.", "counter", float64(st.HotTierHits))
+		write("videocdn_cold_tier_hits_total", "Store reads served by the cold tier (disk line).", "counter", float64(st.ColdTierHits))
+		write("videocdn_tier_misses_total", "Store reads absent from both tiers.", "counter", float64(st.TierMisses))
+		write("videocdn_hot_tier_bytes_served_total", "Bytes served from the RAM hot tier.", "counter", float64(st.HotTierBytesServed))
+		write("videocdn_cold_tier_bytes_served_total", "Bytes served from the cold tier.", "counter", float64(st.ColdTierBytesServed))
+		write("videocdn_hot_tier_promotions_total", "Chunks promoted into the RAM hot tier.", "counter", float64(st.HotTierPromotions))
+		write("videocdn_hot_tier_evictions_total", "Chunks evicted from the RAM hot tier (demoted to cold-only).", "counter", float64(st.HotTierEvictions))
+		write("videocdn_hot_tier_bytes", "Bytes currently resident in the RAM hot tier.", "gauge", float64(st.HotTierBytes))
+		write("videocdn_hot_tier_chunks", "Chunks currently resident in the RAM hot tier.", "gauge", float64(st.HotTierChunks))
 	}
 	write("videocdn_breaker_state", "Origin circuit breaker state (0 closed, 1 open, 2 half-open).", "gauge", float64(s.breaker.State()))
 	write("videocdn_edge_shards", "Independent lock shards in this edge server.", "gauge", float64(st.Shards))

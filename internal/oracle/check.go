@@ -31,6 +31,11 @@ type CheckConfig struct {
 	StoreKind string
 	// AsyncFills turns on the write-behind fill pipeline.
 	AsyncFills bool
+	// HotBytes enables the RAM hot tier over the byte store with this
+	// budget. 0 — the default — leaves the tier off. The tier must be
+	// invisible to every modeled response and counter; it only adds the
+	// two-tier coherence invariant at quiescent points.
+	HotBytes int64
 	// Shards is the edge server's lock-shard count (power of two).
 	Shards int
 	// Seed fixes the operation sequence; every response and counter is
@@ -238,8 +243,10 @@ func (h *harness) openStore() error {
 		}
 		h.raw = fs
 	case "slab":
+		// Mmap on: the borrow path (zero-copy serve) runs under the
+		// oracle wherever the platform supports it.
 		sl, err := store.NewSlab(filepath.Join(h.cfg.Dir, "slab"),
-			store.SlabConfig{SlotBytes: h.cfg.ChunkSize, SegmentSlots: 16})
+			store.SlabConfig{SlotBytes: h.cfg.ChunkSize, SegmentSlots: 16, Mmap: true})
 		if err != nil {
 			return err
 		}
@@ -277,6 +284,7 @@ func (h *harness) buildServer() error {
 		Breaker:        resilience.BreakerConfig{MinSamples: 1 << 30},
 		AsyncFills:     h.cfg.AsyncFills,
 		FillQueueDepth: 64,
+		HotBytes:       h.cfg.HotBytes,
 	})
 	if err != nil {
 		return err
@@ -722,6 +730,50 @@ func (h *harness) checkCoherence() error {
 	}
 	if total, _ := h.model.cachedChunks(); claimed != total {
 		return fmt.Errorf("coherence: caches claim %d chunks but only %d have store bytes", total, claimed)
+	}
+	return h.checkTierCoherence()
+}
+
+// checkTierCoherence asserts the two-tier residency invariant at a
+// quiescent point (nothing pending, so cold∪pending is just the cold
+// store, which checkCoherence has already proven equal to the model's
+// key set): every hot-resident chunk must exist in the model's store
+// set with byte-identical deterministic content. The tier's own
+// counters are diagnostics and never enter the digest or diffStats.
+func (h *harness) checkTierCoherence() error {
+	tier := h.server.HotTier()
+	if tier == nil {
+		return nil
+	}
+	var tierErr error
+	hot := 0
+	tier.ForEachHot(func(id chunk.ID, data []byte) bool {
+		hot++
+		if _, ok := h.model.store[id.Key()]; !ok {
+			tierErr = fmt.Errorf("coherence: hot tier serves %s which the model evicted or rolled back (hot ⊄ cold)", id)
+			return false
+		}
+		want := h.expectedBody(id.Video, int64(id.Index)*h.cfg.ChunkSize,
+			int64(id.Index)*h.cfg.ChunkSize+h.model.chunkBytes(id)-1)
+		if !bytes.Equal(data, want) {
+			tierErr = fmt.Errorf("coherence: hot copy of %s corrupt (%d vs %d bytes, first diff at %d)",
+				id, len(data), len(want), firstDiff(data, want))
+			return false
+		}
+		return true
+	})
+	if tierErr != nil {
+		return tierErr
+	}
+	ts := tier.Stats()
+	if ts.HotChunks != hot {
+		return fmt.Errorf("coherence: tier reports %d hot chunks, walk found %d", ts.HotChunks, hot)
+	}
+	if ts.HotBytes < 0 || (hot == 0 && ts.HotBytes != 0) {
+		return fmt.Errorf("coherence: tier byte accounting drifted: %d bytes for %d chunks", ts.HotBytes, hot)
+	}
+	if hot > len(h.model.store) {
+		return fmt.Errorf("coherence: %d hot chunks exceed the %d cold-resident chunks", hot, len(h.model.store))
 	}
 	return nil
 }

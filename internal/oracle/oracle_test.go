@@ -7,9 +7,12 @@ import (
 
 // TestCheckMatrix runs the oracle across the full configuration
 // matrix: {mem,fs,slab} stores × {sync,async} fills × {1,8} shards ×
-// {cafe,xlru} policies, each with fixed seeds. Any response diff, any
-// ledger drift, any coherence violation fails with the op index and
-// seed needed to replay it (go test -run or cmd/checker -seed).
+// {off,32KB} hot tier × {cafe,xlru} policies, each with fixed seeds.
+// Any response diff, any ledger drift, any coherence violation fails
+// with the op index and seed needed to replay it (go test -run or
+// cmd/checker -seed). The 32 KB hot budget is deliberately tiny
+// relative to the working set so promotion, admission rejection, and
+// eviction all churn under the two-tier coherence check.
 func TestCheckMatrix(t *testing.T) {
 	ops := 400
 	seeds := []int64{1, 2}
@@ -21,24 +24,26 @@ func TestCheckMatrix(t *testing.T) {
 		for _, kind := range []string{"mem", "fs", "slab"} {
 			for _, async := range []bool{false, true} {
 				for _, shards := range []int{1, 8} {
-					algo, kind, async, shards := algo, kind, async, shards
-					name := fmt.Sprintf("%s/%s/async=%v/shards=%d", algo, kind, async, shards)
-					t.Run(name, func(t *testing.T) {
-						t.Parallel()
-						for _, seed := range seeds {
-							res, err := Check(CheckConfig{
-								Algo: algo, StoreKind: kind, AsyncFills: async, Shards: shards,
-								Seed: seed, Ops: ops, Dir: t.TempDir(),
-							})
-							if err != nil {
-								t.Fatal(err)
+					for _, hot := range []int64{0, 32 << 10} {
+						algo, kind, async, shards, hot := algo, kind, async, shards, hot
+						name := fmt.Sprintf("%s/%s/async=%v/shards=%d/hot=%d", algo, kind, async, shards, hot)
+						t.Run(name, func(t *testing.T) {
+							t.Parallel()
+							for _, seed := range seeds {
+								res, err := Check(CheckConfig{
+									Algo: algo, StoreKind: kind, AsyncFills: async, Shards: shards,
+									HotBytes: hot, Seed: seed, Ops: ops, Dir: t.TempDir(),
+								})
+								if err != nil {
+									t.Fatal(err)
+								}
+								if res.Gets == 0 || res.OK200+res.Partial206 == 0 || res.Found302 == 0 {
+									t.Errorf("seed %d: degenerate op mix: %s", seed, res)
+								}
+								t.Logf("seed %d: %s", seed, res)
 							}
-							if res.Gets == 0 || res.OK200+res.Partial206 == 0 || res.Found302 == 0 {
-								t.Errorf("seed %d: degenerate op mix: %s", seed, res)
-							}
-							t.Logf("seed %d: %s", seed, res)
-						}
-					})
+						})
+					}
 				}
 			}
 		}
@@ -74,5 +79,29 @@ func TestCheckDeterministic(t *testing.T) {
 	}
 	if c.Digest == a.Digest {
 		t.Fatalf("different seeds produced identical digest %s", a.Digest)
+	}
+}
+
+// TestHotTierDigestInvariant pins the strongest form of the tier's
+// invisibility: the full response-and-stats digest — which folds in
+// every payload byte, every Location, and the bit-exact Eq. 2
+// efficiency — is identical with the hot tier off, tiny, and huge.
+func TestHotTierDigestInvariant(t *testing.T) {
+	base := CheckConfig{Algo: "cafe", StoreKind: "slab", AsyncFills: true, Shards: 8, Seed: 11, Ops: 250}
+	digests := map[int64]string{}
+	for _, hot := range []int64{0, 32 << 10, 1 << 30} {
+		cfg := base
+		cfg.HotBytes = hot
+		cfg.Dir = t.TempDir()
+		res, err := Check(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[hot] = res.Digest
+	}
+	for hot, d := range digests {
+		if d != digests[0] {
+			t.Errorf("hot=%d digest %s != hot-off digest %s (tier changed an observable)", hot, d, digests[0])
+		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"videocdn/internal/chunk"
 )
@@ -63,6 +64,13 @@ type SlabConfig struct {
 	// (one Truncate), so steady-state writes never extend the file.
 	// Without it segments are sparse and grow as slots are written.
 	Prealloc bool
+	// Mmap maps every segment read-only (MAP_SHARED), enabling the
+	// zero-copy GetBorrow path: a cache hit serves straight from the
+	// page cache instead of pread+copy. Segment files are extended to
+	// their full size on creation/open (sparse holes read as zeros) so
+	// the fixed-length mapping can never fault. Ignored on platforms
+	// without mmap support, where GetBorrow reports ErrNoBorrow.
+	Mmap bool
 }
 
 func (c *SlabConfig) withDefaults() SlabConfig {
@@ -90,10 +98,37 @@ type slabEntry struct {
 }
 
 // slabSegment is one segment file plus the per-slot generation
-// counters that let lock-free readers detect slot reuse.
+// counters that let lock-free readers detect slot reuse. With Mmap on
+// it also carries the read-only mapping and the per-slot borrow pins
+// that keep a lent slot's body bytes from being recycled.
 type slabSegment struct {
+	s    *Slab
+	num  int32
 	f    *os.File
+	data []byte   // read-only MAP_SHARED view of the whole segment (nil without Mmap)
 	gens []uint32 // bumped under the store lock whenever the slot is freed
+	// pins counts outstanding GetBorrow views per slot; quar flags a
+	// freed slot that still had borrowers — it joins the freelist only
+	// when the last borrow is released (whoever wins the CAS on the
+	// flag owns the hand-back). nil without Mmap.
+	pins []atomic.Int32
+	quar []atomic.Bool
+}
+
+// releaseBorrow implements borrowReleaser: unpin the slot and, if a
+// Delete/replace quarantined it while lent out, return it to the
+// freelist now that no reader can observe its recycled bytes.
+func (seg *slabSegment) releaseBorrow(token uint64) {
+	slot := int32(token)
+	if seg.pins[slot].Add(-1) != 0 || !seg.quar[slot].Load() {
+		return
+	}
+	s := seg.s
+	s.mu.Lock()
+	if !s.closed && seg.pins[slot].Load() == 0 && seg.quar[slot].CompareAndSwap(true, false) {
+		s.free = append(s.free, slabLoc{seg: seg.num, slot: slot})
+	}
+	s.mu.Unlock()
 }
 
 // Slab is a slab/segment Store: large segment files divided into
@@ -118,6 +153,7 @@ type Slab struct {
 	free     []slabLoc
 	segments []*slabSegment
 	nextSeq  uint64
+	closed   bool
 }
 
 // slabMeta is persisted as slab.meta so a reopen with a different
@@ -193,6 +229,42 @@ func (s *Slab) segPath(i int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("seg-%05d.slab", i))
 }
 
+// useMmap reports whether segments should be memory-mapped.
+func (s *Slab) useMmap() bool { return s.cfg.Mmap && mmapSupported }
+
+// newSegment builds the in-memory bookkeeping for segment n.
+func (s *Slab) newSegment(n int, f *os.File) *slabSegment {
+	seg := &slabSegment{s: s, num: int32(n), f: f, gens: make([]uint32, s.cfg.SegmentSlots)}
+	if s.useMmap() {
+		seg.pins = make([]atomic.Int32, s.cfg.SegmentSlots)
+		seg.quar = make([]atomic.Bool, s.cfg.SegmentSlots)
+	}
+	return seg
+}
+
+// mapSegment extends the segment file to its full size (sparse holes
+// read as zeros, so a lazily grown file costs no disk) and maps it
+// read-only. The fixed-length mapping can therefore never fault past
+// EOF, and pwrites through the fd stay visible in it (MAP_SHARED: one
+// unified page cache).
+func (s *Slab) mapSegment(seg *slabSegment) error {
+	fi, err := seg.f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() < s.segBytes {
+		if err := seg.f.Truncate(s.segBytes); err != nil {
+			return fmt.Errorf("store: sizing slab segment for mmap: %w", err)
+		}
+	}
+	data, err := mmapFile(seg.f, s.segBytes)
+	if err != nil {
+		return fmt.Errorf("store: mmap slab segment: %w", err)
+	}
+	seg.data = data
+	return nil
+}
+
 // recover scans existing segment files in order and rebuilds the index
 // and freelist. The scan is one sequential read per segment (buffered
 // stride-at-a-time), so it runs at disk bandwidth.
@@ -233,7 +305,7 @@ func (s *Slab) recover() error {
 		if err != nil {
 			return err
 		}
-		seg := &slabSegment{f: f, gens: make([]uint32, s.cfg.SegmentSlots)}
+		seg := s.newSegment(n, f)
 		s.segments = append(s.segments, seg)
 
 		fi, err := f.Stat()
@@ -312,6 +384,15 @@ func (s *Slab) recover() error {
 		}
 		return a.slot > b.slot
 	})
+	if s.useMmap() {
+		// Map after the scan: scanning consults real file sizes to skip
+		// never-written slots, mapping wants the file at full length.
+		for _, seg := range s.segments {
+			if err := s.mapSegment(seg); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -359,7 +440,14 @@ func (s *Slab) grow() error {
 			return fmt.Errorf("store: preallocating slab segment: %w", err)
 		}
 	}
-	s.segments = append(s.segments, &slabSegment{f: f, gens: make([]uint32, s.cfg.SegmentSlots)})
+	seg := s.newSegment(n, f)
+	if s.useMmap() {
+		if err := s.mapSegment(seg); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	s.segments = append(s.segments, seg)
 	// Push in reverse so the LIFO freelist hands out slot 0 first.
 	for slot := s.cfg.SegmentSlots - 1; slot >= 0; slot-- {
 		s.free = append(s.free, slabLoc{seg: int32(n), slot: int32(slot)})
@@ -435,7 +523,7 @@ func (s *Slab) Put(id chunk.ID, data []byte) error {
 			return fmt.Errorf("store: slab replace scrub: %w", err)
 		}
 		s.mu.Lock()
-		s.free = append(s.free, old.loc)
+		s.freeSlot(old.loc)
 		s.mu.Unlock()
 	}
 	return nil
@@ -445,8 +533,29 @@ func (s *Slab) Put(id chunk.ID, data []byte) error {
 func (s *Slab) unalloc(loc slabLoc) {
 	s.mu.Lock()
 	s.segments[loc.seg].gens[loc.slot]++
-	s.free = append(s.free, loc)
+	s.freeSlot(loc)
 	s.mu.Unlock()
+}
+
+// freeSlot returns loc to the freelist — unless outstanding borrows
+// still pin it, in which case it is quarantined and handed back by the
+// last releaseBorrow (the zeroHeader scrub only touches the 4 magic
+// bytes, so a lent body is never overwritten while quarantined, and no
+// new borrow can pin a slot with no index entry). Called with s.mu
+// held.
+func (s *Slab) freeSlot(loc slabLoc) {
+	seg := s.segments[loc.seg]
+	if seg.pins != nil && seg.pins[loc.slot].Load() > 0 {
+		seg.quar[loc.slot].Store(true)
+		// The last borrower may have released between our two pin loads
+		// and missed the flag; re-check, and let the CAS decide who owns
+		// pushing the slot back.
+		if seg.pins[loc.slot].Load() == 0 && seg.quar[loc.slot].CompareAndSwap(true, false) {
+			s.free = append(s.free, loc)
+		}
+		return
+	}
+	s.free = append(s.free, loc)
 }
 
 // Get implements Store: a single positioned read into buf's spare
@@ -523,9 +632,46 @@ func (s *Slab) Delete(id chunk.ID) error {
 		return fmt.Errorf("store: slab delete scrub: %w", err)
 	}
 	s.mu.Lock()
-	s.free = append(s.free, e.loc)
+	s.freeSlot(e.loc)
 	s.mu.Unlock()
 	return nil
+}
+
+// GetBorrow implements BorrowGetter when the store was opened with
+// SlabConfig.Mmap: the returned view aliases the segment mapping, so a
+// cold hit is served by the page cache with no pread and no copy. The
+// view pins its slot — a concurrent Delete/replace quarantines the
+// slot instead of recycling it — so the bytes stay stable until
+// Release. Without mmap (or on unsupported platforms) it reports
+// ErrNoBorrow and callers fall back to Get.
+func (s *Slab) GetBorrow(id chunk.ID) (Borrowed, error) {
+	key := id.Key()
+	for {
+		s.mu.RLock()
+		e, ok := s.index[key]
+		if !ok {
+			s.mu.RUnlock()
+			return Borrowed{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		seg := s.segments[e.loc.seg]
+		if seg.data == nil {
+			s.mu.RUnlock()
+			return Borrowed{}, ErrNoBorrow
+		}
+		if seg.gens[e.loc.slot] != e.gen {
+			// The slot was recycled after this entry was indexed; the
+			// index must have moved on too — re-resolve.
+			s.mu.RUnlock()
+			continue
+		}
+		// Pin while the generation is provably current (free paths bump
+		// gens under the write lock, which excludes this section), so
+		// the slot body cannot be recycled from under the view.
+		seg.pins[e.loc.slot].Add(1)
+		s.mu.RUnlock()
+		off := int64(e.loc.slot)*s.stride + slabHeaderSize
+		return Borrowed{Data: seg.data[off : off+int64(e.len)], rel: seg, token: uint64(e.loc.slot)}, nil
+	}
 }
 
 // Has implements Store.
@@ -551,13 +697,31 @@ func (s *Slab) Segments() int {
 	return len(s.segments)
 }
 
-// Close releases the segment file handles. The store must not be used
-// afterwards.
+// Close releases the segment file handles and mappings. The store must
+// not be used afterwards. A segment with outstanding borrows keeps its
+// mapping (the lent slices must stay readable); the fd is closed
+// regardless — a mapping survives its descriptor.
 func (s *Slab) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	var first error
 	for _, seg := range s.segments {
+		if seg.data != nil {
+			pinned := false
+			for i := range seg.pins {
+				if seg.pins[i].Load() != 0 {
+					pinned = true
+					break
+				}
+			}
+			if !pinned {
+				if err := munmapFile(seg.data); err != nil && first == nil {
+					first = err
+				}
+			}
+			seg.data = nil
+		}
 		if err := seg.f.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -568,4 +732,7 @@ func (s *Slab) Close() error {
 	return first
 }
 
-var _ Store = (*Slab)(nil)
+var (
+	_ Store        = (*Slab)(nil)
+	_ BorrowGetter = (*Slab)(nil)
+)

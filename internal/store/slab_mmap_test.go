@@ -1,0 +1,210 @@
+//go:build unix
+
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"videocdn/internal/chunk"
+)
+
+func newTestMmapSlab(t *testing.T, dir string) *Slab {
+	t.Helper()
+	cfg := testSlabConfig()
+	cfg.Mmap = true
+	s, err := NewSlab(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestSlabWithoutMmapReportsNoBorrow(t *testing.T) {
+	s := newTestSlab(t, t.TempDir())
+	id := chunk.ID{Video: 1, Index: 0}
+	if err := s.Put(id, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetBorrow(id); !errors.Is(err, ErrNoBorrow) {
+		t.Fatalf("GetBorrow without mmap = %v, want ErrNoBorrow", err)
+	}
+}
+
+func TestSlabMmapBorrowBasics(t *testing.T) {
+	s := newTestMmapSlab(t, t.TempDir())
+	id := chunk.ID{Video: 1, Index: 3}
+	payload := bytes.Repeat([]byte("page"), 64)
+	if err := s.Put(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	br, err := s.GetBorrow(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(br.Data, payload) {
+		t.Fatalf("borrowed %d bytes, mismatch", len(br.Data))
+	}
+	br.Release()
+	// Get still works alongside the mapping (pread path untouched).
+	got, err := s.Get(id, nil)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %v", err)
+	}
+}
+
+// TestSlabMmapQuarantine is the use-after-evict guard in miniature: a
+// deleted-but-borrowed slot must not be handed to new writes until the
+// borrow is released, and must rejoin the freelist afterwards.
+func TestSlabMmapQuarantine(t *testing.T) {
+	s := newTestMmapSlab(t, t.TempDir())
+	a := chunk.ID{Video: 1, Index: 0}
+	payload := bytes.Repeat([]byte("A"), 512)
+	if err := s.Put(a, payload); err != nil { // slot 0 of segment 0
+		t.Fatal(err)
+	}
+	br, err := s.GetBorrow(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the rest of segment 0 and one more chunk. Slot 0 is
+	// quarantined, so the 8th write must grow a second segment instead
+	// of recycling the lent slot.
+	for i := 0; i < 8; i++ {
+		id := chunk.ID{Video: 2, Index: uint32(i)}
+		if err := s.Put(id, bytes.Repeat([]byte{byte('a' + i)}, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Segments(); got != 2 {
+		t.Fatalf("Segments = %d, want 2 (quarantined slot was recycled?)", got)
+	}
+	if !bytes.Equal(br.Data, payload) {
+		t.Fatalf("borrowed bytes changed while quarantined")
+	}
+	br.Release()
+	// Released: the slot is free again, so one more write must NOT grow
+	// a third segment.
+	if err := s.Put(chunk.ID{Video: 3, Index: 0}, []byte("reuse me")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Segments(); got != 2 {
+		t.Errorf("Segments = %d after release, want 2 (released slot not reclaimed)", got)
+	}
+	for i := 0; i < 8; i++ {
+		id := chunk.ID{Video: 2, Index: uint32(i)}
+		got, err := s.Get(id, nil)
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte('a' + i)}, 512)) {
+			t.Errorf("Get(%s) corrupted: %v", id, err)
+		}
+	}
+}
+
+// TestSlabMmapReplaceKeepsBorrowStable: replacing a chunk mid-borrow
+// must leave the old view intact (new bytes land in a fresh slot) and
+// serve the new bytes to new readers.
+func TestSlabMmapReplaceKeepsBorrowStable(t *testing.T) {
+	s := newTestMmapSlab(t, t.TempDir())
+	id := chunk.ID{Video: 4, Index: 0}
+	if err := s.Put(id, []byte("old-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	br, err := s.GetBorrow(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(id, []byte("new-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if string(br.Data) != "old-bytes" {
+		t.Errorf("old view = %q", br.Data)
+	}
+	br2, err := s.GetBorrow(id)
+	if err != nil || string(br2.Data) != "new-bytes" {
+		t.Fatalf("new view = %q, %v", br2.Data, err)
+	}
+	br2.Release()
+	br.Release()
+}
+
+func TestSlabMmapRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testSlabConfig()
+	cfg.Mmap = true
+	s1, err := NewSlab(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ { // spans two segments
+		if err := s1.Put(chunk.ID{Video: 1, Index: uint32(i)}, []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: lazily grown segments were extended for the mapping;
+	// recovery must still find exactly the written chunks.
+	s2, err := NewSlab(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 12 {
+		t.Fatalf("recovered Len = %d, want 12", s2.Len())
+	}
+	for i := 0; i < 12; i++ {
+		br, err := s2.GetBorrow(chunk.ID{Video: 1, Index: uint32(i)})
+		if err != nil || string(br.Data) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("recovered borrow(%d) = %q, %v", i, br.Data, err)
+		}
+		br.Release()
+	}
+	// And a plain (non-mmap) reopen of the same files still works.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := NewSlab(dir, testSlabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 12 {
+		t.Fatalf("plain reopen Len = %d, want 12", s3.Len())
+	}
+}
+
+// TestSlabMmapCloseWithOutstandingBorrow: Close must leave a pinned
+// segment's mapping alive so the lent slice stays readable, and a late
+// Release must not crash or touch freed state.
+func TestSlabMmapCloseWithOutstandingBorrow(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testSlabConfig()
+	cfg.Mmap = true
+	s, err := NewSlab(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := chunk.ID{Video: 9, Index: 9}
+	payload := bytes.Repeat([]byte("live"), 100)
+	if err := s.Put(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	br, err := s.GetBorrow(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(br.Data, payload) {
+		t.Error("borrowed bytes unreadable after Close")
+	}
+	br.Release() // must not panic on the closed store
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates SlabConfig.Mmap: on non-unix builds the flag is
+// ignored and GetBorrow degrades to ErrNoBorrow.
+const mmapSupported = true
+
+// mmapFile maps length bytes of f read-only and shared, so pwrites
+// through the file descriptor are visible in the mapping (one unified
+// page cache — the whole point: a borrowed read is the page cache).
+func mmapFile(f *os.File, length int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -40,6 +40,50 @@ type Store interface {
 	Len() int
 }
 
+// ---------- Zero-copy borrow contract ----------
+
+// ErrNoBorrow is returned by GetBorrow when the store holds the chunk
+// but cannot lend a stable view of its bytes (e.g. a slab store opened
+// without mmap, or a filesystem store). Callers fall back to Get; the
+// chunk itself is present, so ErrNoBorrow is never an ErrNotFound.
+var ErrNoBorrow = errors.New("store: zero-copy borrow unavailable")
+
+// BorrowGetter is the optional zero-copy read capability. GetBorrow
+// returns a view of the chunk's bytes that stays valid — never mutated,
+// never recycled — until Release is called, so the serve path can write
+// the slice straight to the client without copying through a buffer.
+// Errors: ErrNotFound if the chunk is absent, ErrNoBorrow if this store
+// (or the chunk's current residency) cannot lend bytes.
+type BorrowGetter interface {
+	GetBorrow(id chunk.ID) (Borrowed, error)
+}
+
+// Borrowed is a zero-copy view of one chunk's contents. It is a plain
+// value (no heap allocation on the borrow path); callers must not
+// retain Data after Release, and must call Release exactly once for
+// every successful GetBorrow — a store lending pinned resources (the
+// mmap slab) cannot recycle the underlying slot until then. Release on
+// the zero value is a no-op, as is releasing a view of GC-managed bytes.
+type Borrowed struct {
+	Data  []byte
+	rel   borrowReleaser
+	token uint64
+}
+
+// Release returns the view to the store. Safe on the zero value.
+func (b Borrowed) Release() {
+	if b.rel != nil {
+		b.rel.releaseBorrow(b.token)
+	}
+}
+
+// borrowReleaser is implemented by stores whose borrows pin a resource
+// (an interface rather than a closure so the borrow path stays
+// allocation-free).
+type borrowReleaser interface {
+	releaseBorrow(token uint64)
+}
+
 // ---------- In-memory store ----------
 
 // memStripes is the number of independent lock domains in Mem (a
@@ -99,6 +143,22 @@ func (s *Mem) Get(id chunk.ID, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	return append(buf, data...), nil
+}
+
+// GetBorrow implements BorrowGetter. Safe without pinning: Mem never
+// mutates a stored slice in place (Put installs a fresh copy), so the
+// returned view stays valid for as long as the caller holds it — a
+// racing replace or delete only drops the map's reference, and the GC
+// keeps the borrowed bytes alive.
+func (s *Mem) GetBorrow(id chunk.ID) (Borrowed, error) {
+	st := s.stripe(id.Key())
+	st.mu.RLock()
+	data, ok := st.m[id.Key()]
+	st.mu.RUnlock()
+	if !ok {
+		return Borrowed{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return Borrowed{Data: data}, nil
 }
 
 // Delete implements Store.
@@ -472,6 +532,7 @@ func (s *FS) Len() int {
 }
 
 var (
-	_ Store = (*Mem)(nil)
-	_ Store = (*FS)(nil)
+	_ Store        = (*Mem)(nil)
+	_ Store        = (*FS)(nil)
+	_ BorrowGetter = (*Mem)(nil)
 )

@@ -25,7 +25,27 @@ func stores(t *testing.T) map[string]Store {
 	t.Cleanup(func() { slab.Close() })
 	wb := NewWriteBehind(NewMem(), WriteBehindConfig{Stripes: 2, QueueDepth: 8})
 	t.Cleanup(func() { wb.Close() })
-	return map[string]Store{"mem": NewMem(), "fs": fs, "slab": slab, "writebehind": wb}
+	out := map[string]Store{
+		"mem": NewMem(), "fs": fs, "slab": slab, "writebehind": wb,
+		"tiered": NewTiered(NewMem(), TieredConfig{HotBytes: 1 << 20, Stripes: 2}),
+	}
+	if mmapSupported {
+		cfg := testSlabConfig()
+		cfg.Mmap = true
+		ms, err := NewSlab(t.TempDir(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ms.Close() })
+		out["slab-mmap"] = ms
+		ms2, err := NewSlab(t.TempDir(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ms2.Close() })
+		out["tiered-slab"] = NewTiered(ms2, TieredConfig{HotBytes: 1 << 20, Stripes: 2})
+	}
+	return out
 }
 
 func TestPutGetDelete(t *testing.T) {
@@ -271,6 +291,142 @@ func TestStoreConformanceMixedOps(t *testing.T) {
 			}
 			if s.Len() != n {
 				t.Errorf("Len() = %d, enumeration found %d", s.Len(), n)
+			}
+		})
+	}
+}
+
+// TestGetNeverAliasesStoreMemory pins the Get contract the borrow work
+// leans on: the slice Get returns is the caller's, so mutating it must
+// never corrupt what the store serves next (the store does not retain
+// the returned slice).
+func TestGetNeverAliasesStoreMemory(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			id := chunk.ID{Video: 42, Index: 7}
+			payload := []byte("immutable payload")
+			if err := s.Put(id, payload); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				got[i] = 0xFF // caller scribbles on its slice
+			}
+			again, err := s.Get(id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again, payload) {
+				t.Errorf("store served %q after caller mutated a returned slice; want %q", again, payload)
+			}
+		})
+	}
+}
+
+// TestBorrowConformance runs every BorrowGetter through the borrow
+// contract: the view matches Get, stays byte-stable across a replace
+// and a delete of the chunk (the store must never mutate lent bytes in
+// place — the use-after-evict guard), and Release is safe exactly once
+// plus on the zero value.
+func TestBorrowConformance(t *testing.T) {
+	for name, s := range stores(t) {
+		bg, ok := s.(BorrowGetter)
+		if !ok {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			id := chunk.ID{Video: 77, Index: 1}
+			payload := bytes.Repeat([]byte("borrow"), 30)
+			if err := s.Put(id, payload); err != nil {
+				t.Fatal(err)
+			}
+			br, err := bg.GetBorrow(id)
+			if errors.Is(err, ErrNoBorrow) {
+				t.Skipf("%s cannot borrow on this platform", name)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(br.Data, payload) {
+				t.Fatalf("GetBorrow = %q, want %q", br.Data, payload)
+			}
+			// Replace and delete while the view is outstanding: the lent
+			// bytes must not change underfoot.
+			if err := s.Put(id, bytes.Repeat([]byte("fresh!"), 30)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(br.Data, payload) {
+				t.Errorf("borrowed view mutated after replace+delete: %q", br.Data)
+			}
+			br.Release()
+			Borrowed{}.Release() // zero value is a no-op
+
+			// Absent chunk: ErrNotFound, not ErrNoBorrow.
+			if _, err := bg.GetBorrow(chunk.ID{Video: 78}); !errors.Is(err, ErrNotFound) {
+				t.Errorf("GetBorrow(absent) = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+// TestBorrowMatchesGet cross-checks the two read paths byte for byte
+// under a churning writer, per store.
+func TestBorrowMatchesGet(t *testing.T) {
+	for name, s := range stores(t) {
+		bg, ok := s.(BorrowGetter)
+		if !ok {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			id := chunk.ID{Video: 5, Index: 5}
+			if err := s.Put(id, []byte("generation-9999")); err != nil {
+				t.Fatal(err)
+			}
+			if br, err := bg.GetBorrow(id); err == nil {
+				br.Release()
+			} else if errors.Is(err, ErrNoBorrow) {
+				t.Skipf("%s cannot borrow on this platform", name)
+			}
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			defer wg.Wait()
+			defer func() { close(stop) }()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.Put(id, []byte(fmt.Sprintf("generation-%04d", i%8))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			for i := 0; i < 300; i++ {
+				br, err := bg.GetBorrow(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Whatever generation we borrowed, it must be a complete,
+				// untorn value some Put wrote.
+				if len(br.Data) != len("generation-0000") || string(br.Data[:11]) != "generation-" {
+					t.Fatalf("borrowed torn value %q", br.Data)
+				}
+				cp := append([]byte(nil), br.Data...)
+				br.Release()
+				if got, err := s.Get(id, nil); err != nil || len(got) != len(cp) {
+					t.Fatalf("Get after borrow: %q, %v", got, err)
+				}
 			}
 		})
 	}

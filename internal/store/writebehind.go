@@ -70,6 +70,7 @@ type wbStripe struct {
 //     race a synchronous write of the same chunk.
 type WriteBehind struct {
 	backing Store
+	borrow  BorrowGetter // non-nil iff backing can lend bytes
 	cfg     WriteBehindConfig
 	stripes []wbStripe
 	mask    uint64
@@ -98,6 +99,7 @@ func NewWriteBehind(backing Store, cfg WriteBehindConfig) *WriteBehind {
 		stripes: make([]wbStripe, n),
 		mask:    uint64(n - 1),
 	}
+	w.borrow, _ = backing.(BorrowGetter)
 	for i := range w.stripes {
 		st := &w.stripes[i]
 		st.pending = make(map[uint64]*wbEntry)
@@ -206,6 +208,28 @@ func (w *WriteBehind) Get(id chunk.ID, buf []byte) ([]byte, error) {
 	return w.backing.Get(id, buf)
 }
 
+// GetBorrow implements BorrowGetter: a pending entry's bytes are
+// immutable after enqueue, so they can be lent without a pin (a
+// superseding Put installs a new entry rather than touching the old
+// one's data, and the GC keeps the borrowed slice alive); otherwise
+// the backing store lends them. Read-your-writes across tiers holds by
+// construction — a deferred write is readable, borrowed or copied, the
+// moment Put returns.
+func (w *WriteBehind) GetBorrow(id chunk.ID) (Borrowed, error) {
+	key := id.Key()
+	st := w.stripe(key)
+	st.mu.Lock()
+	if e, ok := st.pending[key]; ok && !e.canceled {
+		st.mu.Unlock()
+		return Borrowed{Data: e.data}, nil
+	}
+	st.mu.Unlock()
+	if w.borrow == nil {
+		return Borrowed{}, ErrNoBorrow
+	}
+	return w.borrow.GetBorrow(id)
+}
+
 // Has implements Store.
 func (w *WriteBehind) Has(id chunk.ID) bool {
 	key := id.Key()
@@ -291,4 +315,7 @@ func (w *WriteBehind) Close() error {
 	return nil
 }
 
-var _ Store = (*WriteBehind)(nil)
+var (
+	_ Store        = (*WriteBehind)(nil)
+	_ BorrowGetter = (*WriteBehind)(nil)
+)
