@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos check-oracle cover fuzz bench bench-replay bench-edge bench-store perf-gate experiments experiments-small fmt vet clean
+.PHONY: all build test test-short race chaos chaos-cluster check-oracle cover fuzz bench bench-replay bench-edge bench-store perf-gate experiments experiments-small fmt vet clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/edge/ ./internal/resilience/ ./internal/store/ ./internal/shard/ ./internal/sim/ ./internal/oracle/
+	$(GO) test -race ./internal/cluster/ ./internal/edge/ ./internal/resilience/ ./internal/store/ ./internal/shard/ ./internal/sim/ ./internal/oracle/
 
 # Fault-injection suite: drives the edge↔origin stack through seeded
 # outages (5xx bursts, latency spikes, mid-body truncation) and asserts
@@ -24,6 +24,14 @@ race:
 # no goroutine leaks. -count=2 catches state leaking between runs.
 chaos:
 	$(GO) test -race -count=2 -run 'TestChaos|TestFilledBytes|TestPrefetchCharges|TestSelfHealCounts' ./internal/edge/
+
+# Cluster fault-injection suite: a 3-node edge cluster where one peer
+# is hard-killed and another slowed/truncated mid-run, asserting
+# rebalancing onto survivors, per-peer breaker open→probe→close, the
+# bit-exact cluster-wide efficiency identity (including C_P), and the
+# 1-node-cluster ≡ standalone differential gate.
+chaos-cluster:
+	$(GO) test -race -count=2 -run 'TestChaosCluster|TestClusterOfOne|TestProberAndClientShutdownNoGoroutineLeak' ./internal/cluster/
 
 # Model-based oracle: seeded scenario sequences through the real edge
 # across the {mem,fs,slab}×{sync,async}×{1,8 shards}×{cafe,xlru}

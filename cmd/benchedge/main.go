@@ -39,6 +39,7 @@ import (
 
 	"videocdn/internal/cafe"
 	"videocdn/internal/chunk"
+	"videocdn/internal/cluster"
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
 	"videocdn/internal/edge"
@@ -78,6 +79,14 @@ type runRow struct {
 	HotTierBytesServed  int64   `json:"hot_tier_bytes_served"`
 	ColdTierBytesServed int64   `json:"cold_tier_bytes_served"`
 	HotHitRatio         float64 `json:"hot_hit_ratio"`
+	// Cluster columns (present only with -peers > 1): C_P bytes moved
+	// over the intra-cluster peer line during the measured window, and
+	// PeerHitRatio — the share of ingress bytes the peer line carried
+	// instead of the origin.
+	Peers           int     `json:"peers,omitempty"`
+	PeerFilledBytes int64   `json:"peer_filled_bytes,omitempty"`
+	PeerServedBytes int64   `json:"peer_served_bytes,omitempty"`
+	PeerHitRatio    float64 `json:"peer_hit_ratio,omitempty"`
 }
 
 type servePathRow struct {
@@ -168,6 +177,26 @@ type edgeStats struct {
 	TierMisses          int64 `json:"tier_misses"`
 	HotTierBytesServed  int64 `json:"hot_tier_bytes_served"`
 	ColdTierBytesServed int64 `json:"cold_tier_bytes_served"`
+	// Peer counters (absent without cluster peer traffic).
+	PeerFilledBytes int64 `json:"peer_filled_bytes"`
+	PeerServedBytes int64 `json:"peer_served_bytes"`
+}
+
+// add accumulates another node's stats into the receiver (cluster
+// runs sum per-node ledgers; Efficiency is recomputed from the sums).
+func (s *edgeStats) add(o edgeStats) {
+	s.Served += o.Served
+	s.Redirected += o.Redirected
+	s.RequestedBytes += o.RequestedBytes
+	s.FilledBytes += o.FilledBytes
+	s.RedirectedBytes += o.RedirectedBytes
+	s.HotTierHits += o.HotTierHits
+	s.ColdTierHits += o.ColdTierHits
+	s.TierMisses += o.TierMisses
+	s.HotTierBytesServed += o.HotTierBytesServed
+	s.ColdTierBytesServed += o.ColdTierBytesServed
+	s.PeerFilledBytes += o.PeerFilledBytes
+	s.PeerServedBytes += o.PeerServedBytes
 }
 
 func main() {
@@ -185,6 +214,8 @@ func main() {
 	storeKind := flag.String("store", "mem", "chunk store backend: mem, fs or slab")
 	fillAsync := flag.Bool("fill-async", false, "commit fill writes asynchronously (write-behind)")
 	hotMB := flag.Int64("hot-mb", 64, "RAM hot tier budget in MB (0 disables the tier)")
+	peers := flag.Int("peers", 0, "cluster size: N in-process edge nodes with rendezvous-routed peer fill, workers spread across all of them (0 or 1 = standalone)")
+	peerAlpha := flag.Float64("peer-alpha", 0.25, "alpha_P2R: peer-fill cost relative to a redirect (cluster runs)")
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *requests / 4
@@ -218,8 +249,12 @@ func main() {
 		if err != nil || n < 1 {
 			fatal(fmt.Errorf("bad -shards entry %q", tok))
 		}
-		fmt.Fprintf(os.Stderr, "edge: %d shard(s), %d workers, %d requests...\n", n, *concurrency, *requests)
-		row, err := measure(n, *concurrency, *warmup, *requests, *videos, *zipfS, chunkSize, *diskChunks, *algo, *alpha, catalog, so)
+		if *peers > 1 {
+			fmt.Fprintf(os.Stderr, "edge: %d-node cluster, %d shard(s), %d workers, %d requests...\n", *peers, n, *concurrency, *requests)
+		} else {
+			fmt.Fprintf(os.Stderr, "edge: %d shard(s), %d workers, %d requests...\n", n, *concurrency, *requests)
+		}
+		row, err := measure(n, *peers, *concurrency, *warmup, *requests, *videos, *zipfS, chunkSize, *diskChunks, *algo, *alpha, *peerAlpha, catalog, so)
 		if err != nil {
 			fatal(err)
 		}
@@ -264,8 +299,12 @@ func main() {
 			tier = fmt.Sprintf("  tier hot/cold/miss=%d/%d/%d (%.0f%% hot)",
 				r.HotTierHits, r.ColdTierHits, r.TierMisses, 100*r.HotHitRatio)
 		}
-		fmt.Printf("  shards=%d: %.0f req/s  p50=%.0fus p99=%.0fus  hit=%.2f%s%s\n",
-			r.Shards, r.ThroughputRPS, r.P50Us, r.P99Us, r.HitRatio, extra, tier)
+		peer := ""
+		if r.Peers > 1 {
+			peer = fmt.Sprintf("  peers=%d peer-hit=%.2f C_P=%dB", r.Peers, r.PeerHitRatio, r.PeerFilledBytes)
+		}
+		fmt.Printf("  shards=%d: %.0f req/s  p50=%.0fus p99=%.0fus  hit=%.2f%s%s%s\n",
+			r.Shards, r.ThroughputRPS, r.P50Us, r.P99Us, r.HitRatio, extra, tier, peer)
 	}
 	fmt.Printf("  serve_path: %.0f ns/op, %g allocs/op (hot tier on); %.0f ns/op, %g allocs/op (off)\n",
 		rep.ServePath.NsPerOp, rep.ServePath.AllocsPerOp,
@@ -286,26 +325,16 @@ func newEdge(n int, chunkSize int64, diskChunks int, algo string, alpha float64,
 		return nil, nil, nil, nil, err
 	}
 	s, err := edge.NewServer(edge.Config{
-		Shards: n,
-		CacheFactory: func(_ int, sub core.Config) (core.Cache, error) {
-			switch algo {
-			case "cafe":
-				return cafe.New(sub, alpha, cafe.Options{})
-			case "xlru":
-				return xlru.New(sub, alpha)
-			case "lru":
-				return purelru.New(sub)
-			}
-			return nil, fmt.Errorf("unknown algorithm %q", algo)
-		},
-		CacheConfig: core.Config{ChunkSize: chunkSize, DiskChunks: diskChunks},
-		Store:       st,
-		OriginURL:   origin.URL,
-		RedirectURL: "http://secondary.example",
-		ChunkSize:   chunkSize,
-		Alpha:       alpha,
-		AsyncFills:  so.async,
-		HotBytes:    so.hotBytes,
+		Shards:       n,
+		CacheFactory: cacheFactory(algo, alpha),
+		CacheConfig:  core.Config{ChunkSize: chunkSize, DiskChunks: diskChunks},
+		Store:        st,
+		OriginURL:    origin.URL,
+		RedirectURL:  "http://secondary.example",
+		ChunkSize:    chunkSize,
+		Alpha:        alpha,
+		AsyncFills:   so.async,
+		HotBytes:     so.hotBytes,
 	})
 	if err != nil {
 		storeCleanup()
@@ -320,15 +349,145 @@ func newEdge(n int, chunkSize int64, diskChunks int, algo string, alpha float64,
 	return s, origin, srv, cleanup, nil
 }
 
-// measure runs one closed-loop load test against an n-shard server.
-func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkSize int64, diskChunks int, algo string, alpha float64, catalog edge.Catalog, so storeOpts) (runRow, error) {
-	s, origin, srv, cleanup, err := newEdge(n, chunkSize, diskChunks, algo, alpha, catalog, so)
+// cacheFactory builds the per-shard decision engine the -algo flag
+// selects.
+func cacheFactory(algo string, alpha float64) func(int, core.Config) (core.Cache, error) {
+	return func(_ int, sub core.Config) (core.Cache, error) {
+		switch algo {
+		case "cafe":
+			return cafe.New(sub, alpha, cafe.Options{})
+		case "xlru":
+			return xlru.New(sub, alpha)
+		case "lru":
+			return purelru.New(sub)
+		}
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+// settableHandler lets a node's listener exist before the edge server
+// behind it: the cluster's peer clients need every node's URL before
+// any edge can be built.
+type settableHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (l *settableHandler) set(h http.Handler) {
+	l.mu.Lock()
+	l.h = h
+	l.mu.Unlock()
+}
+
+func (l *settableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.RLock()
+	h := l.h
+	l.mu.RUnlock()
+	h.ServeHTTP(w, r)
+}
+
+// newEdgeCluster builds one origin and peers edge nodes wired into a
+// rendezvous cluster: every node consults the owning peer before the
+// origin. Each node gets its own store and n shards.
+func newEdgeCluster(peers, n int, chunkSize int64, diskChunks int, algo string, alpha, peerAlpha float64, catalog edge.Catalog, so storeOpts) ([]*edge.Server, []*httptest.Server, *httptest.Server, func(), error) {
+	o, err := edge.NewOrigin(catalog, chunkSize)
 	if err != nil {
-		return runRow{}, err
+		return nil, nil, nil, nil, err
+	}
+	origin := httptest.NewServer(o)
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	fail := func(err error) ([]*edge.Server, []*httptest.Server, *httptest.Server, func(), error) {
+		cleanup()
+		origin.Close()
+		return nil, nil, nil, nil, err
+	}
+
+	lates := make([]*settableHandler, peers)
+	targets := make([]*httptest.Server, peers)
+	var members []cluster.Node
+	for i := 0; i < peers; i++ {
+		lates[i] = &settableHandler{}
+		targets[i] = httptest.NewServer(lates[i])
+		srv := targets[i]
+		cleanups = append(cleanups, srv.Close)
+		members = append(members, cluster.Node{ID: fmt.Sprintf("node-%d", i), URL: srv.URL})
+	}
+	membership, err := cluster.NewMembership(members)
+	if err != nil {
+		return fail(err)
+	}
+	router := cluster.NewRouter(membership)
+
+	servers := make([]*edge.Server, peers)
+	for i := 0; i < peers; i++ {
+		client := cluster.NewClient(router, cluster.ClientConfig{
+			Self:          members[i].ID,
+			MaxChunkBytes: chunkSize,
+		})
+		cleanups = append(cleanups, client.Close)
+		st, storeCleanup, err := so.open(chunkSize)
+		if err != nil {
+			return fail(err)
+		}
+		cleanups = append(cleanups, storeCleanup)
+		s, err := edge.NewServer(edge.Config{
+			Shards:       n,
+			CacheFactory: cacheFactory(algo, alpha),
+			CacheConfig:  core.Config{ChunkSize: chunkSize, DiskChunks: diskChunks},
+			Store:        st,
+			OriginURL:    origin.URL,
+			RedirectURL:  "http://secondary.example",
+			ChunkSize:    chunkSize,
+			Alpha:        alpha,
+			AsyncFills:   so.async,
+			HotBytes:     so.hotBytes,
+			PeerFill:     client,
+			PeerAlpha:    peerAlpha,
+			NodeID:       members[i].ID,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		// Drain before the store and listener go away (cleanups run in
+		// reverse order).
+		cleanups = append(cleanups, func() { s.Close() })
+		servers[i] = s
+		lates[i].set(s)
+	}
+	return servers, targets, origin, cleanup, nil
+}
+
+// measure runs one closed-loop load test against an n-shard server, or
+// against a peers-node cluster of them when peers > 1 (workers spread
+// across all nodes, so non-owners pull over the peer line).
+func measure(n, peers, concurrency, warmup, requests, videos int, zipfS float64, chunkSize int64, diskChunks int, algo string, alpha, peerAlpha float64, catalog edge.Catalog, so storeOpts) (runRow, error) {
+	var (
+		servers []*edge.Server
+		targets []*httptest.Server
+		origin  *httptest.Server
+		cleanup func()
+		err     error
+	)
+	if peers > 1 {
+		servers, targets, origin, cleanup, err = newEdgeCluster(peers, n, chunkSize, diskChunks, algo, alpha, peerAlpha, catalog, so)
+		if err != nil {
+			return runRow{}, err
+		}
+	} else {
+		s, o, srv, c, nerr := newEdge(n, chunkSize, diskChunks, algo, alpha, catalog, so)
+		if nerr != nil {
+			return runRow{}, nerr
+		}
+		servers, targets, origin = []*edge.Server{s}, []*httptest.Server{srv}, o
+		cleanup = func() { c(); srv.Close() }
 	}
 	defer cleanup()
 	defer origin.Close()
-	defer srv.Close()
 
 	transport := &http.Transport{
 		MaxIdleConns:        concurrency * 2,
@@ -356,6 +515,7 @@ func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkS
 						return http.ErrUseLastResponse
 					},
 				}
+				base := targets[w%len(targets)].URL
 				if record {
 					lats[w] = make([]int64, 0, total/concurrency*2)
 				}
@@ -374,7 +534,7 @@ func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkS
 						end = size - 1
 					}
 					t0 := time.Now()
-					resp, err := client.Get(fmt.Sprintf("%s/video?v=%d&start=%d&end=%d", srv.URL, v, start, end))
+					resp, err := client.Get(fmt.Sprintf("%s/video?v=%d&start=%d&end=%d", base, v, start, end))
 					if err != nil {
 						firstErr.CompareAndSwap(nil, err)
 						return
@@ -404,10 +564,26 @@ func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkS
 		return lats, redirects.Load(), nil
 	}
 
+	// sumStats fetches every node's /stats; the aggregate is the sum of
+	// the per-node ledgers, the per-node list feeds the identity check.
+	sumStats := func() (edgeStats, []edgeStats, error) {
+		var agg edgeStats
+		nodes := make([]edgeStats, 0, len(targets))
+		for _, tgt := range targets {
+			st, err := fetchStats(tgt.URL)
+			if err != nil {
+				return edgeStats{}, nil, err
+			}
+			nodes = append(nodes, st)
+			agg.add(st)
+		}
+		return agg, nodes, nil
+	}
+
 	if _, _, err := run(warmup, false); err != nil {
 		return runRow{}, err
 	}
-	before, err := fetchStats(srv.URL)
+	before, _, err := sumStats()
 	if err != nil {
 		return runRow{}, err
 	}
@@ -423,11 +599,11 @@ func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkS
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&m1)
 
-	after, err := fetchStats(srv.URL)
+	after, perNode, err := sumStats()
 	if err != nil {
 		return runRow{}, err
 	}
-	if got := s.NumShards(); got != n {
+	if got := servers[0].NumShards(); got != n {
 		return runRow{}, fmt.Errorf("server has %d shards, want %d", got, n)
 	}
 
@@ -445,33 +621,60 @@ func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkS
 	}
 
 	// Steady-state hit ratio over the measured window (stats delta).
+	// Ingress of either kind — origin fill or peer fill — is not a
+	// local hit.
 	dReq := after.RequestedBytes - before.RequestedBytes
 	dFill := after.FilledBytes - before.FilledBytes
 	dRed := after.RedirectedBytes - before.RedirectedBytes
+	dPeer := after.PeerFilledBytes - before.PeerFilledBytes
 	hit := 0.0
 	if dReq > 0 {
-		hit = 1 - float64(dFill)/float64(dReq) - float64(dRed)/float64(dReq)
+		hit = 1 - float64(dFill+dPeer)/float64(dReq) - float64(dRed)/float64(dReq)
 		if hit < 0 {
 			hit = 0
 		}
 	}
+
+	// The efficiency identity, cluster-wide: every node must report an
+	// efficiency bit-equal to Eq. 2 recomputed from its own counters,
+	// and the cluster row reports the aggregate over the summed
+	// ledgers under the same model.
+	model := cost.MustModel(alpha)
+	if peers > 1 {
+		if model, err = model.WithPeer(peerAlpha); err != nil {
+			return runRow{}, err
+		}
+	}
+	exact := true
+	for _, st := range perNode {
+		want := (cost.Counters{
+			Requested:  st.RequestedBytes,
+			Filled:     st.FilledBytes,
+			Redirected: st.RedirectedBytes,
+			PeerFilled: st.PeerFilledBytes,
+		}).Efficiency(model)
+		exact = exact && st.Efficiency == want
+	}
+	efficiency := (cost.Counters{
+		Requested:  after.RequestedBytes,
+		Filled:     after.FilledBytes,
+		Redirected: after.RedirectedBytes,
+		PeerFilled: after.PeerFilledBytes,
+	}).Efficiency(model)
+
 	row := runRow{
-		Shards:           n,
-		Concurrency:      concurrency,
-		Requests:         len(all),
-		WallMs:           float64(wall.Nanoseconds()) / 1e6,
-		ThroughputRPS:    float64(len(all)) / wall.Seconds(),
-		P50Us:            pct(0.50),
-		P99Us:            pct(0.99),
-		Redirects:        redirects,
-		HitRatio:         hit,
-		Efficiency:       after.Efficiency,
-		AllocsPerRequest: float64(m1.Mallocs-m0.Mallocs) / float64(len(all)),
-		Eq2Exact: after.Efficiency == (cost.Counters{
-			Requested:  after.RequestedBytes,
-			Filled:     after.FilledBytes,
-			Redirected: after.RedirectedBytes,
-		}).Efficiency(cost.MustModel(alpha)),
+		Shards:              n,
+		Concurrency:         concurrency,
+		Requests:            len(all),
+		WallMs:              float64(wall.Nanoseconds()) / 1e6,
+		ThroughputRPS:       float64(len(all)) / wall.Seconds(),
+		P50Us:               pct(0.50),
+		P99Us:               pct(0.99),
+		Redirects:           redirects,
+		HitRatio:            hit,
+		Efficiency:          efficiency,
+		AllocsPerRequest:    float64(m1.Mallocs-m0.Mallocs) / float64(len(all)),
+		Eq2Exact:            exact,
 		HotTierHits:         after.HotTierHits - before.HotTierHits,
 		ColdTierHits:        after.ColdTierHits - before.ColdTierHits,
 		TierMisses:          after.TierMisses - before.TierMisses,
@@ -480,6 +683,14 @@ func measure(n, concurrency, warmup, requests, videos int, zipfS float64, chunkS
 	}
 	if lookups := row.HotTierHits + row.ColdTierHits + row.TierMisses; lookups > 0 {
 		row.HotHitRatio = float64(row.HotTierHits) / float64(lookups)
+	}
+	if peers > 1 {
+		row.Peers = peers
+		row.PeerFilledBytes = dPeer
+		row.PeerServedBytes = after.PeerServedBytes - before.PeerServedBytes
+		if ingress := dFill + dPeer; ingress > 0 {
+			row.PeerHitRatio = float64(dPeer) / float64(ingress)
+		}
 	}
 	return row, nil
 }

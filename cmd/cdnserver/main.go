@@ -31,11 +31,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"videocdn/internal/cafe"
+	"videocdn/internal/cluster"
 	"videocdn/internal/core"
+	"videocdn/internal/cost"
 	"videocdn/internal/edge"
 	"videocdn/internal/purelru"
 	"videocdn/internal/resilience"
@@ -63,7 +66,17 @@ func main() {
 	statsOut := flag.String("stats-out", "", "write the final stats snapshot (JSON) here after graceful shutdown (edge mode)")
 	minMB := flag.Int64("origin-min-mb", 8, "origin catalog min video size (MB)")
 	maxMB := flag.Int64("origin-max-mb", 256, "origin catalog max video size (MB)")
+	nodeID := flag.String("node-id", "", "this node's cluster ID (edge mode; required with -peers)")
+	peersSpec := flag.String("peers", "", "cluster members as id=url,id=url,... (edge mode; include every node — peers rendezvous-route misses to each other before the origin)")
+	advertise := flag.String("advertise", "", "URL peers reach this node at (edge mode; adds or overrides this node's -peers entry)")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "deadline per peer fetch attempt (edge mode)")
+	peerAlpha := flag.Float64("peer-alpha", 0.25, "alpha_P2R: peer-fill cost relative to a redirect (edge mode)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "peer health probe interval (edge mode with -peers)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout: how long a client may dribble request headers (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", 60*time.Second, "http.Server ReadTimeout for the whole request read (0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 0, "http.Server WriteTimeout (0 disables — large videos stream for a while)")
 	fillTimeout := flag.Duration("fill-timeout", 15*time.Second, "per-request budget for origin fills (edge mode)")
 	retries := flag.Int("retries", 3, "max attempts per origin fetch (edge mode)")
 	breakerOpenFor := flag.Duration("breaker-open-for", 5*time.Second, "how long the origin breaker stays open before probing (edge mode)")
@@ -91,6 +104,12 @@ func main() {
 	}
 
 	chunkSize := int64(*chunkMB * (1 << 20))
+	timeouts := serverTimeouts{
+		readHeader: *readHeaderTimeout,
+		read:       *readTimeout,
+		write:      *writeTimeout,
+		idle:       *idleTimeout,
+	}
 	switch *mode {
 	case "origin":
 		catalog := edge.DeterministicCatalog{MinBytes: *minMB << 20, MaxBytes: *maxMB << 20}
@@ -99,7 +118,7 @@ func main() {
 			fatal(err)
 		}
 		log.Printf("origin listening on %s (chunk %d bytes)", *listen, chunkSize)
-		serveGracefully(o, *listen, *drain, nil)
+		serveGracefully(o, *listen, *drain, timeouts, nil)
 	case "edge":
 		if *redirect == "" {
 			fatal(fmt.Errorf("-redirect is required in edge mode (the alternative server location)"))
@@ -165,11 +184,73 @@ func main() {
 		srvCfg.AsyncFills = *fillAsync
 		srvCfg.FillQueueDepth = *fillQueue
 		srvCfg.HotBytes = *hotMB << 20
+
+		// Cluster wiring: a shared member view, a rendezvous router, a
+		// breaker-guarded peer client the edge consults before the
+		// origin, a health prober that rehashes around dead peers, and
+		// the /cluster/stats roll-up.
+		var (
+			peerClient *cluster.Client
+			prober     *cluster.Prober
+			aggregator *cluster.Aggregator
+		)
+		if *peersSpec != "" {
+			if *nodeID == "" {
+				fatal(fmt.Errorf("-peers requires -node-id"))
+			}
+			members, err := parsePeers(*peersSpec, *nodeID, *advertise)
+			if err != nil {
+				fatal(err)
+			}
+			membership, err := cluster.NewMembership(members)
+			if err != nil {
+				fatal(err)
+			}
+			router := cluster.NewRouter(membership)
+			peerClient = cluster.NewClient(router, cluster.ClientConfig{
+				Self:          *nodeID,
+				Timeout:       *peerTimeout,
+				MaxChunkBytes: chunkSize,
+			})
+			prober = cluster.NewProber(membership, cluster.ProberConfig{
+				Self:     *nodeID,
+				Interval: *probeInterval,
+			})
+			model, err := cost.NewModel(*alpha)
+			if err != nil {
+				fatal(err)
+			}
+			if model, err = model.WithPeer(*peerAlpha); err != nil {
+				fatal(err)
+			}
+			aggregator = cluster.NewAggregator(membership, cluster.AggregatorConfig{Model: model})
+			srvCfg.PeerFill = peerClient
+			srvCfg.PeerAlpha = *peerAlpha
+			srvCfg.NodeID = *nodeID
+		}
+
 		srv, err := edge.NewServer(srvCfg)
 		if err != nil {
 			fatal(err)
 		}
+		// The one listener serves clients and peers alike (/video and
+		// /peer/chunk share the mux); /cluster/stats rides along when
+		// clustered.
+		var handler http.Handler = srv
+		if aggregator != nil {
+			outer := http.NewServeMux()
+			outer.Handle("/cluster/stats", aggregator)
+			outer.Handle("/", srv)
+			handler = outer
+			prober.Start()
+		}
 		afterDrain := func() {
+			if prober != nil {
+				prober.Stop()
+			}
+			if peerClient != nil {
+				peerClient.Close()
+			}
 			// Drain order matters: stop the fill pipeline first (its
 			// workers write to the store), then snapshot and close.
 			if err := srv.Close(); err != nil {
@@ -197,12 +278,26 @@ func main() {
 		if *hotMB > 0 {
 			tierNote = fmt.Sprintf(", %dMB hot tier", *hotMB)
 		}
-		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk, %d shard(s), %s store%s, %s fills) on %s -> origin %s, redirects to %s",
-			*algo, *alpha, cfg.DiskChunks, srv.NumShards(), storeName(*storeKind, *dataDir), tierNote, fillMode, *listen, *origin, *redirect)
-		serveGracefully(srv, *listen, *drain, afterDrain)
+		clusterNote := ""
+		if peerClient != nil {
+			clusterNote = fmt.Sprintf(", cluster node %q (alpha_P=%.2g)", *nodeID, *peerAlpha)
+		}
+		log.Printf("edge (%s, alpha=%.2g, %d-chunk disk, %d shard(s), %s store%s, %s fills%s) on %s -> origin %s, redirects to %s",
+			*algo, *alpha, cfg.DiskChunks, srv.NumShards(), storeName(*storeKind, *dataDir), tierNote, fillMode, clusterNote, *listen, *origin, *redirect)
+		serveGracefully(handler, *listen, *drain, timeouts, afterDrain)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// serverTimeouts carries the http.Server deadline knobs: without a
+// ReadHeaderTimeout a handful of slowloris connections dribbling one
+// header byte at a time can pin every server goroutine forever.
+type serverTimeouts struct {
+	readHeader time.Duration
+	read       time.Duration
+	write      time.Duration
+	idle       time.Duration
 }
 
 // serveGracefully runs an http.Server until SIGINT/SIGTERM, then
@@ -210,14 +305,21 @@ func main() {
 // finally runs afterDrain (if any) — so state snapshots happen with no
 // handler mid-request. The listener is bound before serving and its
 // resolved address logged, so -listen :0 yields a discoverable port
-// (the e2e shutdown test depends on that line).
-func serveGracefully(h http.Handler, listen string, drain time.Duration, afterDrain func()) {
+// (the e2e shutdown test depends on that line). The same hardened
+// listener fronts clients and cluster peers alike.
+func serveGracefully(h http.Handler, listen string, drain time.Duration, t serverTimeouts, afterDrain func()) {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		fatal(err)
 	}
 	log.Printf("listening on %s", ln.Addr())
-	srv := &http.Server{Handler: h}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.readHeader,
+		ReadTimeout:       t.read,
+		WriteTimeout:      t.write,
+		IdleTimeout:       t.idle,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -305,6 +407,41 @@ func saveStats(srv *edge.Server, path string) {
 		os.Exit(1)
 	}
 	log.Printf("saved stats snapshot to %s", path)
+}
+
+// parsePeers turns "-peers id=url,id=url,..." into the member list. A
+// missing entry for self is added from -advertise (so the same -peers
+// string can be shared across the whole cluster), and -advertise
+// overrides self's URL when both are given.
+func parsePeers(spec, self, advertise string) ([]cluster.Node, error) {
+	var nodes []cluster.Node
+	selfSeen := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		url = strings.TrimRight(url, "/")
+		if id == self {
+			selfSeen = true
+			if advertise != "" {
+				url = strings.TrimRight(advertise, "/")
+			}
+		}
+		nodes = append(nodes, cluster.Node{ID: id, URL: url})
+	}
+	if !selfSeen {
+		if advertise == "" {
+			return nil, fmt.Errorf("-peers does not list node %q and no -advertise given", self)
+		}
+		nodes = append(nodes, cluster.Node{ID: self, URL: strings.TrimRight(advertise, "/")})
+	}
+	return nodes, nil
 }
 
 // storeName resolves the -store flag's default: -data alone has always

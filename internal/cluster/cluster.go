@@ -1,0 +1,27 @@
+// Package cluster turns N independent edge servers into one
+// failure-aware cluster — the paper's "strong lines of defense"
+// applied between edges, not just between an edge and its origin.
+//
+// A rendezvous-hash (highest-random-weight) router deterministically
+// assigns every video an ordered list of owner nodes. On a local miss
+// an edge first asks the owning *peer* for the chunk over HTTP (cheap
+// intra-cluster transfer, charged at C_P in the extended Eq. 2) and
+// only then pays the origin (C_F). The robustness layer is the point:
+//
+//   - every peer fetch runs under a per-peer circuit breaker
+//     (resilience.Group), a hard deadline, and a bounded number of
+//     distinct-peer attempts;
+//   - a background health prober flips nodes dead/alive in the shared
+//     membership view, and the router rehashes around dead nodes with
+//     a deterministic failover order (the next owner in HRW order);
+//   - node join/leave changes only the minimal set of video→owner
+//     assignments (the HRW property), so rebalancing is automatic;
+//   - when the whole peer line is lost, fetches fall through to the
+//     edge's existing origin path — retries, origin breaker,
+//     degrade-to-redirect — so clients only ever see 200, 206 or 302.
+//
+// The serving side (edge's /peer/chunk) reads the local store only: it
+// never fills and never forwards, so peer traffic is structurally
+// loop-free; a hop-count header guards against misconfiguration on top
+// of that.
+package cluster

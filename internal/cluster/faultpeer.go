@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// FaultPeerConfig tunes a FaultPeer. Rates are probabilities in [0,1],
+// drawn per request from the seeded stream, so a fault pattern is a
+// pure function of (Seed, request order).
+type FaultPeerConfig struct {
+	Seed int64
+	// ErrorRate answers 503 instead of forwarding to the node.
+	ErrorRate float64
+	// LatencyRate injects a Latency sleep before handling — the "slow
+	// peer" failure mode that deadlines and breakers must absorb.
+	LatencyRate float64
+	Latency     time.Duration
+	// TruncateRate cuts a /peer/chunk body mid-stream and aborts the
+	// connection.
+	TruncateRate float64
+}
+
+// FaultPeerCounts reports what a FaultPeer has done.
+type FaultPeerCounts struct {
+	Requests    int64 // requests received (dropped ones included)
+	Dropped     int64 // connections aborted because the node was down
+	Errors      int64 // 503s injected
+	Spikes      int64 // latency spikes injected
+	Truncations int64 // mid-body truncations injected
+}
+
+// FaultPeer wraps one cluster node's HTTP handler with deterministic,
+// seeded fault injection — the intra-cluster sibling of
+// edge.FaultOrigin. Beyond the probabilistic modes it models a hard
+// kill: SetDown(true) aborts every connection at the transport level
+// (clients see a reset, not an HTTP status), exactly what a dead
+// process looks like to its peers — including the prober, whose
+// /healthz probes die with everything else. Safe for concurrent use;
+// swap the config to script chaos phases.
+type FaultPeer struct {
+	inner http.Handler
+
+	mu     sync.Mutex
+	cfg    FaultPeerConfig
+	rng    *rand.Rand
+	down   bool
+	counts FaultPeerCounts
+}
+
+// NewFaultPeer wraps inner with fault injection.
+func NewFaultPeer(inner http.Handler, cfg FaultPeerConfig) *FaultPeer {
+	return &FaultPeer{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetConfig swaps the fault configuration and reseeds the stream.
+func (f *FaultPeer) SetConfig(cfg FaultPeerConfig) {
+	f.mu.Lock()
+	f.cfg = cfg
+	f.rng = rand.New(rand.NewSource(cfg.Seed))
+	f.mu.Unlock()
+}
+
+// SetDown hard-kills (or resurrects) the node.
+func (f *FaultPeer) SetDown(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+// Down reports whether the node is currently hard-killed.
+func (f *FaultPeer) Down() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+// Counts returns a snapshot of the injection counters.
+func (f *FaultPeer) Counts() FaultPeerCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+// ServeHTTP implements http.Handler.
+func (f *FaultPeer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	cfg := f.cfg
+	f.counts.Requests++
+	if f.down {
+		f.counts.Dropped++
+		f.mu.Unlock()
+		// A dead process does not say goodbye.
+		panic(http.ErrAbortHandler)
+	}
+	// Draw every verdict so the pattern depends only on request order.
+	spike := f.rng.Float64() < cfg.LatencyRate
+	fail := f.rng.Float64() < cfg.ErrorRate
+	truncate := f.rng.Float64() < cfg.TruncateRate
+	if spike {
+		f.counts.Spikes++
+	}
+	f.mu.Unlock()
+
+	if spike && cfg.Latency > 0 {
+		time.Sleep(cfg.Latency)
+	}
+	if fail {
+		f.mu.Lock()
+		f.counts.Errors++
+		f.mu.Unlock()
+		http.Error(w, "fault injected", http.StatusServiceUnavailable)
+		return
+	}
+	if truncate && r.URL.Path == "/peer/chunk" {
+		f.mu.Lock()
+		f.counts.Truncations++
+		f.mu.Unlock()
+		f.inner.ServeHTTP(&peerTruncatingWriter{ResponseWriter: w}, r)
+		panic(http.ErrAbortHandler) // short body, not a clean EOF
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// peerTruncatingWriter forwards half of the declared body and swallows
+// the rest; the wrapping handler aborts the connection.
+type peerTruncatingWriter struct {
+	http.ResponseWriter
+	limit   int64
+	written int64
+	armed   bool
+}
+
+func (w *peerTruncatingWriter) arm() {
+	if w.armed {
+		return
+	}
+	w.armed = true
+	w.limit = 1
+	if cl, err := strconv.ParseInt(w.Header().Get("Content-Length"), 10, 64); err == nil && cl > 1 {
+		w.limit = cl / 2
+	}
+}
+
+func (w *peerTruncatingWriter) WriteHeader(code int) {
+	w.arm()
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *peerTruncatingWriter) Write(p []byte) (int, error) {
+	w.arm()
+	remain := w.limit - w.written
+	if remain <= 0 {
+		return len(p), nil
+	}
+	if int64(len(p)) > remain {
+		n, err := w.ResponseWriter.Write(p[:remain])
+		w.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return len(p), nil
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.written += int64(n)
+	return n, err
+}

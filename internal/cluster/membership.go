@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node is one edge server in the cluster.
+type Node struct {
+	ID  string // stable name; the rendezvous hash and breaker key
+	URL string // base URL of the node's HTTP listener
+}
+
+// Membership is the cluster's shared view of which nodes exist and
+// which are currently alive. The node set changes on operator
+// join/leave (SetNodes); liveness changes on prober verdicts
+// (SetAlive). Routers read it on every request, so reads are cheap
+// (RWMutex, no allocation on the liveness path). Safe for concurrent
+// use.
+type Membership struct {
+	mu    sync.RWMutex
+	nodes []Node // sorted by ID for deterministic iteration
+	alive map[string]bool
+	// epoch increments on every node-set or liveness change, so
+	// observers (stats, tests) can detect rebalancing events.
+	epoch uint64
+}
+
+// NewMembership builds a membership over the given nodes, all alive.
+// Node IDs must be unique and non-empty.
+func NewMembership(nodes []Node) (*Membership, error) {
+	m := &Membership{alive: make(map[string]bool)}
+	if err := m.SetNodes(nodes); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SetNodes replaces the node set (join/leave). Nodes that persist keep
+// their liveness; new nodes start alive. The change is one atomic
+// swap, so routing before and after is consistent — the HRW router
+// guarantees only videos owned by joined/left nodes move.
+func (m *Membership) SetNodes(nodes []Node) error {
+	sorted := make([]Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, n := range sorted {
+		if n.ID == "" {
+			return fmt.Errorf("cluster: node with empty ID")
+		}
+		if i > 0 && sorted[i-1].ID == n.ID {
+			return fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	alive := make(map[string]bool, len(sorted))
+	for _, n := range sorted {
+		if was, ok := m.alive[n.ID]; ok {
+			alive[n.ID] = was
+		} else {
+			alive[n.ID] = true
+		}
+	}
+	m.nodes = sorted
+	m.alive = alive
+	m.epoch++
+	return nil
+}
+
+// SetAlive flips one node's liveness, reporting whether that changed
+// anything (false also for unknown IDs).
+func (m *Membership) SetAlive(id string, alive bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	was, ok := m.alive[id]
+	if !ok || was == alive {
+		return false
+	}
+	// Copy-on-write so snapshot() readers outside the lock never see a
+	// map being mutated (cluster node counts are tiny).
+	next := make(map[string]bool, len(m.alive))
+	for k, v := range m.alive {
+		next[k] = v
+	}
+	next[id] = alive
+	m.alive = next
+	m.epoch++
+	return true
+}
+
+// Alive reports whether the node is currently considered alive
+// (unknown IDs are dead).
+func (m *Membership) Alive(id string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.alive[id]
+}
+
+// Nodes returns a copy of the node set, sorted by ID.
+func (m *Membership) Nodes() []Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Node, len(m.nodes))
+	copy(out, m.nodes)
+	return out
+}
+
+// AliveIDs returns the IDs of currently alive nodes, sorted.
+func (m *Membership) AliveIDs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		if m.alive[n.ID] {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Epoch returns the membership change counter (node-set and liveness
+// changes both advance it).
+func (m *Membership) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// snapshot returns the node slice and liveness map under one read
+// lock, for the router's owner computation. Callers must not mutate
+// either; SetNodes replaces both wholesale, so a snapshot stays
+// internally consistent even across a concurrent change.
+func (m *Membership) snapshot() ([]Node, map[string]bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.nodes, m.alive
+}

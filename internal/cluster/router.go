@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"sort"
+
+	"videocdn/internal/chunk"
+)
+
+// Router assigns videos to nodes by rendezvous (highest-random-weight)
+// hashing over the current membership. Every node computes identical
+// owner lists from the same membership, with no coordination and no
+// stored routing table; adding or removing a node reassigns only the
+// videos that hash highest to that node (minimal disruption), which is
+// exactly the rebalancing behavior a cache cluster wants — everything
+// else keeps hitting where it already filled.
+//
+// Owners(v) is the failover order: the first alive entry is the
+// video's current owner, and when the prober marks it dead every node
+// deterministically agrees on the next one.
+type Router struct {
+	m *Membership
+}
+
+// NewRouter builds a router over the membership.
+func NewRouter(m *Membership) *Router { return &Router{m: m} }
+
+// score is the HRW weight of (node, video): a splitmix64-style mix of
+// the node ID hash and the video ID. Deterministic across processes —
+// no map iteration, no seed.
+func score(nodeHash uint64, v chunk.VideoID) uint64 {
+	x := nodeHash ^ (uint64(v) * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashID is FNV-1a over the node ID, the per-node half of the HRW
+// weight (computed per call; owner lookups are a handful of multiplies
+// for the single-digit node counts a cluster has).
+func hashID(id string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime
+	}
+	return h
+}
+
+// Owners returns all nodes in descending HRW order for the video —
+// the deterministic failover order, independent of liveness. Ties
+// break by node ID so the order is total.
+func (r *Router) Owners(v chunk.VideoID) []Node {
+	nodes, _ := r.m.snapshot()
+	type scored struct {
+		n Node
+		s uint64
+	}
+	ss := make([]scored, len(nodes))
+	for i, n := range nodes {
+		ss[i] = scored{n: n, s: score(hashID(n.ID), v)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].s != ss[j].s {
+			return ss[i].s > ss[j].s
+		}
+		return ss[i].n.ID < ss[j].n.ID
+	})
+	out := make([]Node, len(ss))
+	for i, s := range ss {
+		out[i] = s.n
+	}
+	return out
+}
+
+// Route returns the video's current owner: the highest-weight alive
+// node. ok is false when no node is alive.
+func (r *Router) Route(v chunk.VideoID) (Node, bool) {
+	nodes, alive := r.m.snapshot()
+	var best Node
+	var bestScore uint64
+	found := false
+	for _, n := range nodes {
+		if !alive[n.ID] {
+			continue
+		}
+		s := score(hashID(n.ID), v)
+		if !found || s > bestScore || (s == bestScore && n.ID < best.ID) {
+			best, bestScore, found = n, s, true
+		}
+	}
+	return best, found
+}
+
+// AliveOwners returns the failover order restricted to alive nodes.
+func (r *Router) AliveOwners(v chunk.VideoID) []Node {
+	owners := r.Owners(v)
+	_, alive := r.m.snapshot()
+	out := owners[:0]
+	for _, n := range owners {
+		if alive[n.ID] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"videocdn/internal/cost"
+	"videocdn/internal/edge"
+)
+
+// AggregatorConfig tunes the cluster-wide stats fan-out.
+type AggregatorConfig struct {
+	// Model is the cost model (including the C_P peer term) the
+	// cluster-wide efficiency is computed with. Every node must run
+	// the same model for the aggregate to mean anything.
+	Model cost.Model
+	// Timeout bounds the whole fan-out (default 2s).
+	Timeout time.Duration
+	// HTTPClient fetches each node's /stats.
+	HTTPClient *http.Client
+}
+
+// NodeStats is one node's contribution to the cluster report.
+type NodeStats struct {
+	Node  Node        `json:"node"`
+	Alive bool        `json:"alive"`
+	Err   string      `json:"error,omitempty"`
+	Stats *edge.Stats `json:"stats,omitempty"`
+}
+
+// ClusterStats is the cluster-wide roll-up: per-node ledgers plus
+// their sums and the extended Eq. 2 efficiency recomputed from the
+// summed integer counters — so the cluster identity reconciles
+// bit-exactly against the per-node ledgers (integer sums first,
+// floating point once).
+type ClusterStats struct {
+	Nodes      []NodeStats `json:"nodes"`
+	NodesTotal int         `json:"nodes_total"`
+	NodesAlive int         `json:"nodes_alive"`
+
+	RequestedBytes  int64 `json:"requested_bytes"`
+	FilledBytes     int64 `json:"filled_bytes"`
+	PeerFilledBytes int64 `json:"peer_filled_bytes"`
+	RedirectedBytes int64 `json:"redirected_bytes"`
+	PeerServedBytes int64 `json:"peer_served_bytes"`
+
+	Alpha      float64 `json:"alpha_f2r"`
+	AlphaP     float64 `json:"alpha_p2r"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// Aggregator fans out to every member node's /stats and rolls the
+// ledgers up into one cluster report. It is itself failure-aware: a
+// node that cannot be reached contributes an error entry, not a
+// failure of the whole report.
+type Aggregator struct {
+	m   *Membership
+	cfg AggregatorConfig
+}
+
+// NewAggregator builds an aggregator over the membership.
+func NewAggregator(m *Membership, cfg AggregatorConfig) *Aggregator {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: cfg.Timeout}
+	}
+	return &Aggregator{m: m, cfg: cfg}
+}
+
+// Snapshot fans out concurrently and rolls up.
+func (a *Aggregator) Snapshot(ctx context.Context) ClusterStats {
+	ctx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
+	defer cancel()
+	nodes := a.m.Nodes()
+	out := ClusterStats{
+		Nodes:      make([]NodeStats, len(nodes)),
+		NodesTotal: len(nodes),
+		Alpha:      a.cfg.Model.Alpha,
+		AlphaP:     a.cfg.Model.AlphaP,
+	}
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			ns := NodeStats{Node: n, Alive: a.m.Alive(n.ID)}
+			st, err := a.fetchStats(ctx, n)
+			if err != nil {
+				ns.Err = err.Error()
+			} else {
+				ns.Stats = st
+			}
+			out.Nodes[i] = ns
+		}(i, n)
+	}
+	wg.Wait()
+
+	var agg cost.Counters
+	for _, ns := range out.Nodes {
+		if ns.Alive {
+			out.NodesAlive++
+		}
+		if ns.Stats == nil {
+			continue
+		}
+		agg.Add(cost.Counters{
+			Requested:  ns.Stats.RequestedBytes,
+			Filled:     ns.Stats.FilledBytes,
+			Redirected: ns.Stats.RedirectedBytes,
+			PeerFilled: ns.Stats.PeerFilledBytes,
+		})
+		out.PeerServedBytes += ns.Stats.PeerServedBytes
+	}
+	out.RequestedBytes = agg.Requested
+	out.FilledBytes = agg.Filled
+	out.PeerFilledBytes = agg.PeerFilled
+	out.RedirectedBytes = agg.Redirected
+	out.Efficiency = agg.Efficiency(a.cfg.Model)
+	return out
+}
+
+// fetchStats decodes one node's /stats.
+func (a *Aggregator) fetchStats(ctx context.Context, n Node) (*edge.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s/stats returned %s", n.ID, resp.Status)
+	}
+	var st edge.Stats
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ServeHTTP implements http.Handler: GET → the ClusterStats JSON
+// (mounted at /cluster/stats by cmd/cdnserver).
+func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(a.Snapshot(r.Context())); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -10,6 +10,17 @@
 //
 // alpha > 1 models an ingress-constrained server, alpha = 1 a server
 // indifferent between fill and redirect, alpha < 1 cheap ingress.
+//
+// The cluster tier adds a third way to source a byte: a *peer* edge in
+// the same cluster (cheap intra-cluster transfer) instead of the
+// origin (expensive ingress). Peer-filled bytes cost C_P per byte,
+// expressed relative to the redirect cost as alpha_P2R = C_P/C_R, so
+// Eq. 2 extends to
+//
+//	1 - filled/req·C_F - peerFilled/req·C_P - redirected/req·C_R
+//
+// With zero peer-filled bytes every quantity reduces bit-exactly to
+// the original two-term model, so standalone servers are unaffected.
 package cost
 
 import (
@@ -22,6 +33,14 @@ type Model struct {
 	Alpha float64 // alpha_F2R = CF / CR
 	CF    float64 // cost per cache-filled byte
 	CR    float64 // cost per redirected byte
+	// AlphaP is alpha_P2R = CP / CR, the peer-fill cost relative to a
+	// redirect; CP is the resulting per-byte cost for bytes filled from
+	// a cluster peer instead of the origin. Both are zero in a
+	// standalone (clusterless) model, which leaves every computation
+	// bit-identical to the two-term original whenever no peer bytes
+	// were counted.
+	AlphaP float64
+	CP     float64
 }
 
 // NewModel builds the normalized cost model for the given alpha_F2R
@@ -46,6 +65,20 @@ func MustModel(alpha float64) Model {
 	return m
 }
 
+// WithPeer returns a copy of the model extended with the peer-fill
+// cost C_P = alphaP·C_R (the cluster tier's cheap intra-cluster
+// transfer). alphaP must be non-negative and finite; a sensible
+// cluster sits at alphaP < 1 < alpha — peer bytes cheaper than a
+// redirect, origin bytes dearer.
+func (m Model) WithPeer(alphaP float64) (Model, error) {
+	if alphaP < 0 || math.IsInf(alphaP, 0) || math.IsNaN(alphaP) {
+		return Model{}, fmt.Errorf("cost: alpha_P2R must be non-negative and finite, got %v", alphaP)
+	}
+	m.AlphaP = alphaP
+	m.CP = alphaP * m.CR
+	return m, nil
+}
+
 // MinFR returns min(C_F, C_R), the cost assumed for an uncertain future
 // fill-or-redirect event in Eqs. 6-7 and 13-14.
 func (m Model) MinFR() float64 { return math.Min(m.CF, m.CR) }
@@ -54,14 +87,18 @@ func (m Model) MinFR() float64 { return math.Min(m.CF, m.CR) }
 // server's total cost (Eq. 1) and cache efficiency (Eq. 2).
 //
 // Requested counts the byte length of every incoming request
-// (b1-b0+1), regardless of the decision. Filled counts ingress bytes:
-// whole chunks brought in on serves. Redirected counts the byte length
-// of redirected requests. Bytes served straight from cache appear in
-// Requested but in neither of the other two.
+// (b1-b0+1), regardless of the decision. Filled counts origin ingress
+// bytes: whole chunks brought in from upstream on serves. PeerFilled
+// counts chunks brought in from a cluster peer instead (the cluster
+// tier's cheap second line of defense); a chunk is charged to exactly
+// one of the two. Redirected counts the byte length of redirected
+// requests. Bytes served straight from cache appear in Requested but
+// in none of the other three.
 type Counters struct {
 	Requested  int64
 	Filled     int64
 	Redirected int64
+	PeerFilled int64
 }
 
 // Add accumulates other into c.
@@ -69,6 +106,7 @@ func (c *Counters) Add(other Counters) {
 	c.Requested += other.Requested
 	c.Filled += other.Filled
 	c.Redirected += other.Redirected
+	c.PeerFilled += other.PeerFilled
 }
 
 // Sub returns c minus other (useful for windowed deltas).
@@ -77,25 +115,29 @@ func (c Counters) Sub(other Counters) Counters {
 		Requested:  c.Requested - other.Requested,
 		Filled:     c.Filled - other.Filled,
 		Redirected: c.Redirected - other.Redirected,
+		PeerFilled: c.PeerFilled - other.PeerFilled,
 	}
 }
 
-// TotalCost is Eq. 1: filled·C_F + redirected·C_R.
+// TotalCost is Eq. 1 with the cluster extension:
+// filled·C_F + peerFilled·C_P + redirected·C_R.
 func (c Counters) TotalCost(m Model) float64 {
-	return float64(c.Filled)*m.CF + float64(c.Redirected)*m.CR
+	return float64(c.Filled)*m.CF + float64(c.PeerFilled)*m.CP + float64(c.Redirected)*m.CR
 }
 
-// Efficiency is Eq. 2:
+// Efficiency is Eq. 2, extended with the peer term:
 //
-//	1 - filled/requested·C_F - redirected/requested·C_R  ∈ [-1, 1]
+//	1 - filled/req·C_F - peerFilled/req·C_P - redirected/req·C_R
 //
-// It returns 0 for an empty window (no requested bytes).
+// It returns 0 for an empty window (no requested bytes). With zero
+// peer-filled bytes the peer term is exactly 0 and the result is
+// bit-identical to the paper's two-term Eq. 2.
 func (c Counters) Efficiency(m Model) float64 {
 	if c.Requested == 0 {
 		return 0
 	}
 	r := float64(c.Requested)
-	return 1 - float64(c.Filled)/r*m.CF - float64(c.Redirected)/r*m.CR
+	return 1 - float64(c.Filled)/r*m.CF - float64(c.PeerFilled)/r*m.CP - float64(c.Redirected)/r*m.CR
 }
 
 // IngressRatio is the paper's "Ingress %": filled bytes as a fraction
@@ -116,15 +158,25 @@ func (c Counters) RedirectRatio() float64 {
 	return float64(c.Redirected) / float64(c.Requested)
 }
 
+// PeerIngressRatio is peer-filled bytes as a fraction of requested
+// bytes — the cluster analogue of IngressRatio for the intra-cluster
+// line of defense.
+func (c Counters) PeerIngressRatio() float64 {
+	if c.Requested == 0 {
+		return 0
+	}
+	return float64(c.PeerFilled) / float64(c.Requested)
+}
+
 // HitRatio is the fraction of requested bytes served straight from
 // cache (neither redirected nor, in the byte-accounting sense,
-// attributable to fresh ingress). Clamped at 0 for the pathological
-// case Filled > Requested within a window.
+// attributable to fresh ingress from origin or a peer). Clamped at 0
+// for the pathological case Filled > Requested within a window.
 func (c Counters) HitRatio() float64 {
 	if c.Requested == 0 {
 		return 0
 	}
-	h := 1 - c.IngressRatio() - c.RedirectRatio()
+	h := 1 - c.IngressRatio() - c.PeerIngressRatio() - c.RedirectRatio()
 	if h < 0 {
 		return 0
 	}

@@ -197,10 +197,96 @@ func TestAddSub(t *testing.T) {
 	a := Counters{Requested: 10, Filled: 2, Redirected: 3}
 	b := Counters{Requested: 5, Filled: 1, Redirected: 1}
 	a.Add(b)
-	if a != (Counters{15, 3, 4}) {
+	if a != (Counters{Requested: 15, Filled: 3, Redirected: 4}) {
 		t.Errorf("Add: got %+v", a)
 	}
-	if d := a.Sub(b); d != (Counters{10, 2, 3}) {
+	if d := a.Sub(b); d != (Counters{Requested: 10, Filled: 2, Redirected: 3}) {
 		t.Errorf("Sub: got %+v", d)
+	}
+}
+
+func TestWithPeerKnownValues(t *testing.T) {
+	m := MustModel(2) // CF=4/3, CR=2/3
+	pm, err := m.WithPeer(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pm.CP, 1.0/3.0) || pm.AlphaP != 0.5 {
+		t.Errorf("CP=%v AlphaP=%v, want 1/3 and 0.5", pm.CP, pm.AlphaP)
+	}
+	// CF and CR are untouched: the peer term extends the model, it
+	// does not renormalize it.
+	if pm.CF != m.CF || pm.CR != m.CR || pm.Alpha != m.Alpha {
+		t.Errorf("WithPeer perturbed the base model: %+v vs %+v", pm, m)
+	}
+}
+
+func TestWithPeerRejectsBadAlphaP(t *testing.T) {
+	m := MustModel(1)
+	for _, alphaP := range []float64{-0.1, math.Inf(1), math.NaN()} {
+		if _, err := m.WithPeer(alphaP); err == nil {
+			t.Errorf("WithPeer(%v) should fail", alphaP)
+		}
+	}
+	if pm, err := m.WithPeer(0); err != nil || pm.CP != 0 {
+		t.Errorf("WithPeer(0) = %+v, %v; want CP=0, nil", pm, err)
+	}
+}
+
+// The cluster extension must be invisible to clusterless accounting:
+// with PeerFilled == 0 every derived quantity is bit-identical whether
+// or not the model carries a peer term.
+func TestPeerTermBitExactNoOpWithoutPeerBytes(t *testing.T) {
+	base := MustModel(2)
+	pm, err := base.WithPeer(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Counters{Requested: 7_654_321, Filled: 1_234_567, Redirected: 89_012}
+	if a, b := c.Efficiency(base), c.Efficiency(pm); a != b {
+		t.Errorf("Efficiency drifted: %v vs %v", a, b)
+	}
+	if a, b := c.TotalCost(base), c.TotalCost(pm); a != b {
+		t.Errorf("TotalCost drifted: %v vs %v", a, b)
+	}
+	if got := c.PeerIngressRatio(); got != 0 {
+		t.Errorf("PeerIngressRatio = %v, want 0", got)
+	}
+}
+
+func TestEfficiencyWithPeerTerm(t *testing.T) {
+	m, err := MustModel(2).WithPeer(0.5) // CF=4/3, CP=1/3, CR=2/3
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Counters{Requested: 100, Filled: 30, PeerFilled: 30, Redirected: 10}
+	want := 1 - 0.3*(4.0/3.0) - 0.3*(1.0/3.0) - 0.1*(2.0/3.0)
+	if got := c.Efficiency(m); !almostEqual(got, want) {
+		t.Errorf("Efficiency = %v, want %v", got, want)
+	}
+	// A peer fill must beat an origin fill of the same bytes whenever
+	// alphaP·CR < CF.
+	origin := Counters{Requested: 100, Filled: 60, Redirected: 10}
+	if c.Efficiency(m) <= origin.Efficiency(m) {
+		t.Error("peer-filling should be cheaper than origin-filling at alphaP=0.5, alpha=2")
+	}
+	if got, want := c.TotalCost(m), 30*(4.0/3.0)+30*(1.0/3.0)+10*(2.0/3.0); !almostEqual(got, want) {
+		t.Errorf("TotalCost = %v, want %v", got, want)
+	}
+}
+
+func TestCountersAddSubWithPeer(t *testing.T) {
+	a := Counters{Requested: 10, Filled: 4, Redirected: 2, PeerFilled: 3}
+	b := Counters{Requested: 1, Filled: 1, Redirected: 1, PeerFilled: 1}
+	sum := a
+	sum.Add(b)
+	if sum != (Counters{Requested: 11, Filled: 5, Redirected: 3, PeerFilled: 4}) {
+		t.Errorf("Add: %+v", sum)
+	}
+	if diff := sum.Sub(b); diff != a {
+		t.Errorf("Sub: %+v, want %+v", diff, a)
+	}
+	if got := a.HitRatio(); !almostEqual(got, 1-0.4-0.3-0.2) {
+		t.Errorf("HitRatio = %v, want %v (peer bytes are not hits)", got, 1-0.4-0.3-0.2)
 	}
 }

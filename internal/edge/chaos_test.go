@@ -672,3 +672,106 @@ func TestSelfHealCountsIngress(t *testing.T) {
 		t.Errorf("FilledBytes = %d, want %d (self-heal is real ingress)", st.FilledBytes, 3*testK)
 	}
 }
+
+// TestChaosStoreFaultsNever5xxAndLedgerExact extends fault injection
+// past the origin to the cache disk itself (store.Fault): Puts fail
+// with ENOSPC, Gets with EIO, Deletes with EIO — mid-run, under
+// concurrency — and still clients only ever see 200/206/302. A failed
+// fill degrades to 302 before headers; a read fault on an
+// already-committed 200 can only truncate the body (never corrupt it),
+// so the Eq. 2 egress identity is pinned against *intended* response
+// lengths: Requested == Σ Content-Length of 2xx + Redirected, exactly.
+// The ingress side stays exact too: Filled equals the bytes the store
+// actually committed, not what the origin delivered (ENOSPC'd chunks
+// are origin bytes that must not be charged).
+func TestChaosStoreFaultsNever5xxAndLedgerExact(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 4096}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := DeterministicCatalog{MinBytes: 2 * testK, MaxBytes: 6 * testK}
+	faulty := store.NewFault(store.NewMem(), store.FaultConfig{
+		Seed: 11, PutRate: 0.2, GetRate: 0.1, DeleteRate: 0.2,
+	})
+	rig := newChaosRigWith(t, cache, catalog, FaultConfig{}, // origin healthy: the disk is the chaos
+		fastRetry(), neverTrip(), rigOptions{store: faulty})
+
+	// A mid-stream read fault truncates the body below the declared
+	// Content-Length, which Go's client surfaces as unexpected EOF —
+	// that is the truncation signal, not a test failure.
+	getTolerant := func(v chunk.VideoID, size int64) (*http.Response, []byte) {
+		resp, err := rig.client.Get(fmt.Sprintf("%s/video?v=%d&start=0&end=%d", rig.edgeSrv.URL, v, size-1))
+		if err != nil {
+			t.Error(err)
+			return nil, nil
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil && err != io.ErrUnexpectedEOF {
+			t.Error(err)
+			return nil, nil
+		}
+		return resp, body
+	}
+
+	const goroutines, perG = 8, 30
+	var intended2xx atomic.Int64 // Σ Content-Length of 2xx responses
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := chunk.VideoID(1 + (g*perG+i)%16)
+				size, _ := catalog.SizeOf(v)
+				resp, body := getTolerant(v, size)
+				if resp == nil {
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusPartialContent:
+					// A disk read fault mid-stream truncates; what did
+					// arrive must be a byte-exact prefix.
+					want := expected(v, 0, size-1)
+					if len(body) > len(want) || !bytes.Equal(body, want[:len(body)]) {
+						t.Errorf("video %d: body is not a prefix of the truth (%d bytes)", v, len(body))
+					}
+					intended2xx.Add(resp.ContentLength)
+				case http.StatusFound:
+					// ENOSPC on fill → degrade: the second line holds.
+				default:
+					t.Errorf("video %d: status %d — disk faults must never surface as 5xx", v, resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := rig.edge.SnapshotStats()
+	if st.Served+st.Redirected != goroutines*perG {
+		t.Errorf("handled %d requests, want %d", st.Served+st.Redirected, goroutines*perG)
+	}
+	if st.RequestedBytes != intended2xx.Load()+st.RedirectedBytes {
+		t.Errorf("Requested (%d) != Σ 2xx Content-Length (%d) + Redirected (%d)",
+			st.RequestedBytes, intended2xx.Load(), st.RedirectedBytes)
+	}
+	if got := rig.store.putBytes.Load(); st.FilledBytes != got {
+		t.Errorf("FilledBytes = %d, store committed %d — ENOSPC'd bytes must not be charged",
+			st.FilledBytes, got)
+	}
+	fc := faulty.Counts()
+	if fc.PutFaults == 0 || fc.GetFaults == 0 {
+		t.Errorf("fault injection inactive: %+v", fc)
+	}
+	if st.DegradedRedirects == 0 {
+		t.Error("ENOSPC'd fills must degrade to redirects")
+	}
+
+	// Disk heals: the same stack serves byte-exactly again.
+	faulty.SetConfig(store.FaultConfig{})
+	size, _ := catalog.SizeOf(1)
+	resp, body := rig.get(t, 1, 0, size-1)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, expected(1, 0, size-1)) {
+		t.Errorf("after disk heal: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+}

@@ -1,0 +1,143 @@
+package edge
+
+// Peer fill: the cluster's second line of defense between the local
+// cache and the origin. On a miss the server first asks a PeerSource —
+// typically the cluster's rendezvous-routed peer client — for the
+// chunk's bytes (cheap intra-cluster transfer, charged at C_P) and
+// only falls back to the origin (expensive ingress, charged at C_F)
+// when the peer tier cannot supply them. The serving side,
+// /peer/chunk, reads the local store only: it never fills and never
+// forwards, so peer traffic is structurally loop-free; the hop header
+// is belt and braces against a misconfigured client.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/resilience"
+)
+
+// PeerSource supplies chunk bytes from somewhere cheaper than the
+// origin. Fetch returns the chunk's full contents, or an error wrapping
+// ErrPeerMiss when the tier authoritatively cannot supply the chunk
+// (no peer owns it, the owner does not cache it, this node is the
+// owner) — a miss, not a failure. Any other error is a peer-tier
+// failure; either way the caller falls through to the origin, so a
+// lost peer line degrades exactly like no peer line at all.
+type PeerSource interface {
+	Fetch(ctx context.Context, id chunk.ID) ([]byte, error)
+}
+
+// ErrPeerMiss marks a PeerSource result as an authoritative "the peer
+// tier does not have this chunk" rather than a failure of the tier.
+var ErrPeerMiss = errors.New("edge: peer tier cannot supply the chunk")
+
+// ErrPeerSelf marks this node as the chunk's own effective owner: the
+// peer tier was not applicable, so the fill is neither a peer miss nor
+// a peer failure and moves no peer counter. A single-node cluster is
+// therefore counter-for-counter identical to a standalone edge.
+var ErrPeerSelf = errors.New("edge: this node owns the chunk")
+
+// PeerHopHeader counts forwarding hops on intra-cluster chunk fetches.
+// The peer client sends "1"; /peer/chunk rejects anything higher with
+// 508, so even a misconfigured mesh cannot relay a fetch in a loop.
+const PeerHopHeader = "X-Videocdn-Peer-Hop"
+
+// handlePeerChunk serves GET /peer/chunk?v=<id>&c=<index>: one whole
+// chunk from the local store, or 404 if this node does not hold it.
+// It consults the store only — never the cache's decision engine,
+// never the origin — so serving a peer can neither trigger a recursive
+// fetch nor perturb this node's own admission state.
+func (s *Server) handlePeerChunk(w http.ResponseWriter, r *http.Request) {
+	if hop := r.Header.Get(PeerHopHeader); hop != "" {
+		if n, err := strconv.Atoi(hop); err != nil || n > 1 {
+			http.Error(w, "peer fetch loop detected", http.StatusLoopDetected)
+			return
+		}
+	}
+	v, err := parseVideo(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cs := queryParam(r, "c")
+	idx, err := strconv.ParseUint(cs, 10, 32)
+	if err != nil {
+		http.Error(w, "bad chunk index", http.StatusBadRequest)
+		return
+	}
+	id := chunk.ID{Video: v, Index: uint32(idx)}
+	sh := s.shardOf(v)
+
+	serve := func(data []byte) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		n, werr := w.Write(data)
+		if werr == nil && n == len(data) {
+			// Charged only on a full successful write: the fetching
+			// node charges PeerFilled only on a committed Put, so a
+			// truncated transfer must not inflate the serving side.
+			sh.peerServes.Add(1)
+			sh.peerServedBytes.Add(int64(n))
+		}
+	}
+
+	if s.borrow != nil {
+		if br, err := s.borrow.GetBorrow(id); err == nil {
+			serve(br.Data)
+			br.Release()
+			return
+		}
+	}
+	bp, _ := s.bufs.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	defer s.bufs.Put(bp)
+	data, err := s.cfg.Store.Get(id, (*bp)[:0])
+	if err != nil {
+		// Absent or unreadable: either way this node cannot help, and
+		// the requester's origin path can. 404 is the authoritative miss
+		// the peer client stops on.
+		http.Error(w, "chunk not cached here", http.StatusNotFound)
+		return
+	}
+	*bp = data[:0]
+	serve(data)
+}
+
+// peerFill tries the peer tier for one chunk and commits the bytes on
+// success. Returns done=true when the chunk was filled (or when the
+// store rejected the bytes — a Permanent, degradable failure exactly
+// like the origin path's); done=false falls through to the origin.
+func (s *Server) peerFill(ctx context.Context, sh *edgeShard, id chunk.ID) (bool, error) {
+	data, err := s.cfg.PeerFill.Fetch(ctx, id)
+	switch {
+	case err == nil && int64(len(data)) <= s.cfg.ChunkSize:
+		if perr := s.cfg.Store.Put(id, data); perr != nil {
+			return true, resilience.Permanent(fmt.Errorf("store: %w", perr))
+		}
+		sh.peerFills.Add(1)
+		sh.counters.peerFilled.Add(int64(len(data)))
+		return true, nil
+	case err == nil:
+		// Oversized payload: a confused peer. The origin is the truth.
+		sh.peerFillErrs.Add(1)
+	case errors.Is(err, ErrPeerSelf):
+		// Owners origin-fill by design; not peer-tier activity at all.
+	case errors.Is(err, ErrPeerMiss):
+		sh.peerFillMisses.Add(1)
+	default:
+		if ctx.Err() != nil {
+			// The fill deadline died during the peer attempt; starting
+			// an origin round trip now would fail the same way.
+			return true, ctx.Err()
+		}
+		sh.peerFillErrs.Add(1)
+	}
+	return false, nil
+}

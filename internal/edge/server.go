@@ -85,6 +85,19 @@ type Config struct {
 	// store default). When a stripe's queue is full, fills degrade to
 	// synchronous writes — backpressure, not unbounded buffering.
 	FillQueueDepth int
+	// PeerFill, when set, is consulted on every miss before the origin
+	// — the cluster tier's cheap intra-cluster fill (typically the
+	// rendezvous-routed peer client). Peer-filled bytes are charged at
+	// C_P = PeerAlpha·C_R instead of C_F; a peer-tier miss or failure
+	// falls through to the origin path unchanged, so losing the peer
+	// line degrades to exactly the standalone behavior.
+	PeerFill PeerSource
+	// PeerAlpha is alpha_P2R = C_P/C_R for the efficiency report.
+	// Only meaningful with PeerFill set; defaults to 0.25 (a peer byte
+	// costs a quarter of a redirect).
+	PeerAlpha float64
+	// NodeID names this node in a cluster (shown in /stats). Optional.
+	NodeID string
 	// HotBytes, when positive, layers a bounded RAM hot tier
 	// (store.Tiered) over the configured store — the paper's
 	// line-of-defense idea applied recursively inside the server: the
@@ -173,6 +186,13 @@ type edgeShard struct {
 	selfHeals atomic.Int64 // chunks re-fetched because the store lost them
 	fillErrs  atomic.Int64
 	storeDels atomic.Int64 // store Delete failures (leaked bytes)
+
+	// Peer tier counters (all zero on a standalone server).
+	peerFills       atomic.Int64 // chunks filled from a cluster peer
+	peerFillErrs    atomic.Int64 // peer-tier failures that fell through to origin
+	peerFillMisses  atomic.Int64 // authoritative peer misses (origin was the right call)
+	peerServes      atomic.Int64 // /peer/chunk responses fully delivered to peers
+	peerServedBytes atomic.Int64 // bytes of those responses
 }
 
 // atomicCounters is cost.Counters with atomic fields — one per shard,
@@ -181,6 +201,7 @@ type atomicCounters struct {
 	requested  atomic.Int64
 	filled     atomic.Int64
 	redirected atomic.Int64
+	peerFilled atomic.Int64
 }
 
 func (a *atomicCounters) add(c cost.Counters) {
@@ -193,6 +214,9 @@ func (a *atomicCounters) add(c cost.Counters) {
 	if c.Redirected != 0 {
 		a.redirected.Add(c.Redirected)
 	}
+	if c.PeerFilled != 0 {
+		a.peerFilled.Add(c.PeerFilled)
+	}
 }
 
 func (a *atomicCounters) snapshot() cost.Counters {
@@ -200,6 +224,7 @@ func (a *atomicCounters) snapshot() cost.Counters {
 		Requested:  a.requested.Load(),
 		Filled:     a.filled.Load(),
 		Redirected: a.redirected.Load(),
+		PeerFilled: a.peerFilled.Load(),
 	}
 }
 
@@ -271,6 +296,14 @@ func NewServer(cfg Config) (*Server, error) {
 	model, err := cost.NewModel(cfg.Alpha)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.PeerFill != nil {
+		if cfg.PeerAlpha == 0 {
+			cfg.PeerAlpha = 0.25
+		}
+		if model, err = model.WithPeer(cfg.PeerAlpha); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Clock == nil {
 		start := time.Now()
@@ -363,6 +396,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.borrow, _ = s.cfg.Store.(store.BorrowGetter)
 	s.mux.HandleFunc("/video", s.handleVideo)
+	s.mux.HandleFunc("/peer/chunk", s.handlePeerChunk)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/prefetch", s.handlePrefetch)
@@ -883,6 +917,14 @@ func (s *Server) originGet(ctx context.Context, url string, limit int64) ([]byte
 // charged here with the chunk's actual byte count — the one place
 // bytes really arrive from origin.
 func (s *Server) fetchChunk(ctx context.Context, sh *edgeShard, id chunk.ID) error {
+	// Second line of defense first: a cluster peer that already paid
+	// the origin for these bytes can hand them over at C_P instead of
+	// C_F. Any peer-tier miss or failure falls through to the origin.
+	if s.cfg.PeerFill != nil {
+		if done, err := s.peerFill(ctx, sh, id); done {
+			return err
+		}
+	}
 	url := fmt.Sprintf("%s/chunk?v=%d&c=%d", s.cfg.OriginURL, id.Video, id.Index)
 	return s.retrier.Do(ctx, func(ctx context.Context) error {
 		data, err := s.guardedGet(ctx, url, s.cfg.ChunkSize+1)
@@ -986,6 +1028,17 @@ type Stats struct {
 	HotTierEvictions    int64 `json:"hot_tier_evictions,omitempty"`
 	HotTierBytes        int64 `json:"hot_tier_bytes,omitempty"`
 	HotTierChunks       int   `json:"hot_tier_chunks,omitempty"`
+	// Cluster peer tier (all omitted on a standalone server, and on a
+	// cluster node that never exchanged a peer byte — a 1-node cluster
+	// reports byte-identically to a standalone server).
+	NodeID           string  `json:"node_id,omitempty"`
+	PeerFills        int64   `json:"peer_fills,omitempty"`
+	PeerFillErrors   int64   `json:"peer_fill_errors,omitempty"`
+	PeerFillMisses   int64   `json:"peer_fill_misses,omitempty"`
+	PeerFilledBytes  int64   `json:"peer_filled_bytes,omitempty"`
+	PeerServes       int64   `json:"peer_serves,omitempty"`
+	PeerServedBytes  int64   `json:"peer_served_bytes,omitempty"`
+	PeerIngressRatio float64 `json:"peer_ingress_ratio,omitempty"`
 }
 
 // SnapshotStats aggregates the per-shard counters into one report.
@@ -999,6 +1052,7 @@ func (s *Server) SnapshotStats() Stats {
 		Alpha:       s.model.Alpha,
 		Shards:      len(s.shards),
 		ShardChunks: make([]int, len(s.shards)),
+		NodeID:      s.cfg.NodeID,
 	}
 	var agg cost.Counters
 	for i, sh := range s.shards {
@@ -1009,6 +1063,11 @@ func (s *Server) SnapshotStats() Stats {
 		st.FillErrors += sh.fillErrs.Load()
 		st.SelfHeals += sh.selfHeals.Load()
 		st.StoreDeleteErrors += sh.storeDels.Load()
+		st.PeerFills += sh.peerFills.Load()
+		st.PeerFillErrors += sh.peerFillErrs.Load()
+		st.PeerFillMisses += sh.peerFillMisses.Load()
+		st.PeerServes += sh.peerServes.Load()
+		st.PeerServedBytes += sh.peerServedBytes.Load()
 		sh.mu.Lock()
 		st.ShardChunks[i] = sh.cache.Len()
 		sh.mu.Unlock()
@@ -1017,9 +1076,11 @@ func (s *Server) SnapshotStats() Stats {
 	st.RequestedBytes = agg.Requested
 	st.FilledBytes = agg.Filled
 	st.RedirectedBytes = agg.Redirected
+	st.PeerFilledBytes = agg.PeerFilled
 	st.Efficiency = agg.Efficiency(s.model)
 	st.IngressRatio = agg.IngressRatio()
 	st.RedirectRatio = agg.RedirectRatio()
+	st.PeerIngressRatio = agg.PeerIngressRatio()
 	st.OriginRetries = s.retrier.Retries()
 	st.BreakerState = s.breaker.State().String()
 	st.BreakerOpens = s.breaker.Opens()
@@ -1092,6 +1153,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		write("videocdn_hot_tier_evictions_total", "Chunks evicted from the RAM hot tier (demoted to cold-only).", "counter", float64(st.HotTierEvictions))
 		write("videocdn_hot_tier_bytes", "Bytes currently resident in the RAM hot tier.", "gauge", float64(st.HotTierBytes))
 		write("videocdn_hot_tier_chunks", "Chunks currently resident in the RAM hot tier.", "gauge", float64(st.HotTierChunks))
+	}
+	// Gated on activity, not configuration: a cluster node that never
+	// exchanged a peer byte (a 1-node cluster in particular) reports
+	// byte-identically to a standalone server, on /metrics as on
+	// /stats.
+	if st.PeerFills+st.PeerFillErrors+st.PeerFillMisses+st.PeerServes != 0 {
+		write("videocdn_peer_fills_total", "Chunks filled from a cluster peer instead of origin.", "counter", float64(st.PeerFills))
+		write("videocdn_peer_fill_errors_total", "Peer-tier failures that fell through to the origin path.", "counter", float64(st.PeerFillErrors))
+		write("videocdn_peer_fill_misses_total", "Authoritative peer misses (origin fill was the right call).", "counter", float64(st.PeerFillMisses))
+		write("videocdn_peer_filled_bytes_total", "Bytes filled from cluster peers (charged at C_P).", "counter", float64(st.PeerFilledBytes))
+		write("videocdn_peer_serves_total", "Fully delivered /peer/chunk responses to cluster peers.", "counter", float64(st.PeerServes))
+		write("videocdn_peer_served_bytes_total", "Bytes served to cluster peers.", "counter", float64(st.PeerServedBytes))
+		write("videocdn_peer_ingress_ratio", "Peer-filled bytes over requested bytes.", "gauge", st.PeerIngressRatio)
 	}
 	write("videocdn_breaker_state", "Origin circuit breaker state (0 closed, 1 open, 2 half-open).", "gauge", float64(s.breaker.State()))
 	write("videocdn_edge_shards", "Independent lock shards in this edge server.", "gauge", float64(st.Shards))

@@ -346,3 +346,59 @@ func (b *Breaker) Opens() int64 {
 	defer b.mu.Unlock()
 	return b.opens
 }
+
+// ---------- Breaker group ----------
+
+// Group is a keyed registry of Breakers sharing one configuration —
+// one breaker per upstream in a set of equivalent upstreams (the
+// cluster tier keeps one per peer edge, so a single sick peer trips
+// its own circuit without poisoning fetches from the healthy ones).
+// Breakers are created lazily on first Get and live for the life of
+// the group; the key space is expected to be small (a cluster's node
+// set). Safe for concurrent use.
+type Group struct {
+	cfg BreakerConfig
+	mu  sync.Mutex
+	m   map[string]*Breaker
+}
+
+// NewGroup builds an empty registry whose breakers all use cfg (zero
+// value → defaults).
+func NewGroup(cfg BreakerConfig) *Group {
+	return &Group{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// Get returns the key's breaker, creating it (closed) on first use.
+func (g *Group) Get(key string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.m[key]
+	if !ok {
+		b = NewBreaker(g.cfg)
+		g.m[key] = b
+	}
+	return b
+}
+
+// States snapshots every registered breaker's state, keyed as in Get —
+// the per-peer breaker column of the cluster's stats report.
+func (g *Group) States() map[string]State {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]State, len(g.m))
+	for k, b := range g.m {
+		out[k] = b.State()
+	}
+	return out
+}
+
+// Opens sums trip counts across every registered breaker.
+func (g *Group) Opens() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var n int64
+	for _, b := range g.m {
+		n += b.Opens()
+	}
+	return n
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -314,6 +315,105 @@ func TestStateString(t *testing.T) {
 	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open", State(9): "unknown"} {
 		if s.String() != want {
 			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+// TestBreakerHalfOpenConcurrentProbeRace hammers a half-open breaker
+// from many goroutines under -race and pins the probe-quota invariant:
+// the number of Allow() admissions can never exceed MaxProbes plus the
+// probe slots released by Records, however the goroutines interleave.
+func TestBreakerHalfOpenConcurrentProbeRace(t *testing.T) {
+	const maxProbes = 3
+	b, clk := newTestBreaker(BreakerConfig{
+		MinSamples: 2, FailureRate: 0.5, OpenFor: time.Second,
+		MaxProbes: maxProbes, ProbesToClose: 1 << 30, // stay half-open for the whole test
+	})
+	b.Record(false)
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatal("breaker should have tripped")
+	}
+	clk.advance(2 * time.Second) // next Allow transitions Open→HalfOpen
+
+	const goroutines = 16
+	const iters = 200
+	var admitted, released atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if b.Allow() {
+					admitted.Add(1)
+					if i%2 == 0 {
+						// Half the probes report back (success keeps it
+						// half-open because ProbesToClose is unreachable);
+						// the rest leak their slot for the duration.
+						b.Record(true)
+						released.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	// Every admission beyond the first MaxProbes must have been paid
+	// for by a released probe slot.
+	if a, r := admitted.Load(), released.Load(); a > r+maxProbes {
+		t.Errorf("admitted %d probes with only %d releases + %d slots", a, r, maxProbes)
+	}
+	if admitted.Load() == 0 {
+		t.Error("no probe was ever admitted")
+	}
+}
+
+func TestGroupSharesConfigAndIsolatesKeys(t *testing.T) {
+	g := NewGroup(BreakerConfig{MinSamples: 2, FailureRate: 0.5})
+	if a, b := g.Get("peer-a"), g.Get("peer-a"); a != b {
+		t.Error("same key must return the same breaker")
+	}
+	a, b := g.Get("peer-a"), g.Get("peer-b")
+	if a == b {
+		t.Error("distinct keys must get distinct breakers")
+	}
+	a.Record(false)
+	a.Record(false)
+	if a.State() != Open {
+		t.Error("peer-a's breaker should have tripped")
+	}
+	if b.State() != Closed {
+		t.Error("peer-b's breaker must be unaffected by peer-a's failures")
+	}
+	states := g.States()
+	if states["peer-a"] != Open || states["peer-b"] != Closed {
+		t.Errorf("States() = %v", states)
+	}
+	if g.Opens() != 1 {
+		t.Errorf("Opens() = %d, want 1", g.Opens())
+	}
+}
+
+func TestGroupConcurrentGet(t *testing.T) {
+	g := NewGroup(BreakerConfig{})
+	var wg sync.WaitGroup
+	breakers := make([]*Breaker, 64)
+	for i := range breakers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			breakers[i] = g.Get("same-key")
+			breakers[i].Record(true)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(breakers); i++ {
+		if breakers[i] != breakers[0] {
+			t.Fatal("concurrent Gets of one key returned distinct breakers")
 		}
 	}
 }

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Launch a 3-node edge cluster in front of one origin, send traffic
+# through every node, and show the cluster-wide ledger — then kill a
+# peer and show that clients still get clean responses while its
+# videos rebalance onto the survivors. Everything runs on localhost
+# and is torn down on exit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ORIGIN=18080
+E1=18081
+E2=18082
+E3=18083
+REDIRECT=18089
+PEERS="e1=http://localhost:$E1,e2=http://localhost:$E2,e3=http://localhost:$E3"
+
+BIN="$(mktemp -d)/cdnserver"
+go build -o "$BIN" ./cmd/cdnserver
+
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+wait_healthy() { # url path
+    for _ in $(seq 1 100); do
+        curl -fsS "$1$2" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "node at $1 never became healthy" >&2
+    exit 1
+}
+
+echo "== starting origin on :$ORIGIN"
+"$BIN" -mode origin -listen "localhost:$ORIGIN" \
+    -origin-min-mb 1 -origin-max-mb 4 -chunk-mb 1 &
+pids+=($!)
+wait_healthy "http://localhost:$ORIGIN" "/size?v=1"
+
+for i in 1 2 3; do
+    port=$((ORIGIN + i))
+    echo "== starting edge e$i on :$port"
+    "$BIN" -mode edge -listen "localhost:$port" \
+        -node-id "e$i" -peers "$PEERS" \
+        -origin "http://localhost:$ORIGIN" \
+        -redirect "http://localhost:$REDIRECT" \
+        -algo cafe -alpha 0.5 -peer-alpha 0.5 -chunk-mb 1 \
+        -probe-interval 500ms -drain 1s &
+    pids+=($!)
+done
+for i in 1 2 3; do wait_healthy "http://localhost:$((ORIGIN + i))" /healthz; done
+
+echo
+echo "== traffic: all videos through e1, then e2, then e3 — later rounds"
+echo "   miss locally, find the owner warm, and fill over the peer line"
+for i in 1 2 3; do
+    port=$((ORIGIN + i))
+    for v in $(seq 1 30); do
+        curl -fsS -o /dev/null "http://localhost:$port/video?v=$v"
+    done
+done
+
+echo
+echo "== cluster-wide ledger (any node answers /cluster/stats)"
+curl -fsS "http://localhost:$E1/cluster/stats"
+echo
+
+echo
+echo "== killing e3: its videos rebalance, clients never see an error"
+kill "${pids[3]}"
+sleep 1.5 # let the prober mark it dead
+fail=0
+for v in $(seq 1 30); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://localhost:$E1/video?v=$v")
+    case "$code" in
+    200 | 206 | 302) ;;
+    *)
+        echo "  video $v: got $code" >&2
+        fail=1
+        ;;
+    esac
+done
+[ "$fail" -eq 0 ] && echo "   all 30 videos served cleanly by the survivors"
+
+echo
+echo "== degraded cluster view (e3 reported unreachable, nodes_alive=2)"
+curl -fsS "http://localhost:$E1/cluster/stats"
+echo
+echo
+echo "done."
