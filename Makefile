@@ -49,6 +49,7 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzBinaryReader -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzTextReader -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzColumnarTrace -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzParseRange -fuzztime=30s ./internal/edge/
 	$(GO) test -fuzz=FuzzSlabRecovery -fuzztime=30s ./internal/store/
 
@@ -82,7 +83,8 @@ bench-store:
 perf-gate:
 	$(GO) run ./cmd/benchstore -o /tmp/bench_store_smoke.json
 	$(GO) run ./cmd/benchedge -shards 1 -concurrency 8 -requests 2000 -warmup 500 -videos 64 -o /tmp/bench_edge_smoke.json
-	$(GO) run ./cmd/perfgate BENCH_store.json /tmp/bench_store_smoke.json BENCH_edge.json /tmp/bench_edge_smoke.json
+	$(GO) run ./cmd/benchreplay -requests-per-day 4000 -days 2 -disk-chunks 512 -o /tmp/bench_replay_smoke.json
+	$(GO) run ./cmd/perfgate BENCH_store.json /tmp/bench_store_smoke.json BENCH_edge.json /tmp/bench_edge_smoke.json BENCH_replay.json /tmp/bench_replay_smoke.json
 
 # Regenerate every figure and table of the paper (plus extensions).
 experiments:

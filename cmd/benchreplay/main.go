@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"videocdn/internal/cost"
 	"videocdn/internal/shard"
 	"videocdn/internal/sim"
+	"videocdn/internal/trace"
 	"videocdn/internal/workload"
 	"videocdn/internal/xlru"
 )
@@ -50,6 +52,44 @@ type handleRow struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
+// streamRow is one streaming (columnar-directory) replay measurement.
+type streamRow struct {
+	Shards       int     `json:"shards"`
+	Workers      int     `json:"workers,omitempty"` // 0 for sequential
+	NsPerRequest float64 `json:"ns_per_request"`
+	AllocsPerReq float64 `json:"allocs_per_request"`
+	// Identical asserts the streaming result matched the in-memory
+	// replay of the same trace bit for bit.
+	Identical bool `json:"identical"`
+}
+
+// headline is the report's summary figure: sustained replay throughput
+// of the streaming engine at full parallelism.
+type headline struct {
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	Shards            int     `json:"shards"`
+	Workers           int     `json:"workers"`
+	CPUs              int     `json:"cpus"`
+	// ContentionReliefOnly is set when the box has a single CPU: the
+	// parallel numbers then measure lock/contention relief, not
+	// speedup, and must not be read as scaling results.
+	ContentionReliefOnly bool `json:"contention_relief_only"`
+}
+
+// streamingSection groups the columnar-trace measurements.
+type streamingSection struct {
+	// CursorNext is the per-request cost of the raw columnar cursor
+	// (decode-only, no cache). Its allocs_per_request must stay zero —
+	// the cursor hot path is allocation-free by design and perfgate
+	// enforces it.
+	CursorNext struct {
+		NsPerRequest float64 `json:"ns_per_request"`
+		AllocsPerReq float64 `json:"allocs_per_request"`
+	} `json:"cursor_next"`
+	Replay   []streamRow `json:"replay"`
+	Headline headline    `json:"headline"`
+}
+
 type report struct {
 	GeneratedAt string               `json:"generated_at"`
 	GOOS        string               `json:"goos"`
@@ -59,6 +99,7 @@ type report struct {
 	Requests    int                  `json:"requests"`
 	Sequential  []replayRow          `json:"sequential"`
 	Parallel    []replayRow          `json:"parallel"`
+	Streaming   streamingSection     `json:"streaming"`
 	Handle      map[string]handleRow `json:"handle_request"`
 }
 
@@ -118,7 +159,7 @@ func main() {
 				b.StopTimer()
 				grp := mkGroup(n)
 				b.StartTimer()
-				if _, err := sim.Replay(grp, reqs, model, sim.Options{}); err != nil {
+				if _, err := sim.Replay(grp, trace.Slice(reqs), model, sim.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -129,17 +170,17 @@ func main() {
 				b.StopTimer()
 				grp := mkGroup(n)
 				b.StartTimer()
-				if _, err := sim.ReplayParallel(grp, reqs, model, sim.Options{Workers: n}); err != nil {
+				if _, err := sim.ReplayParallel(grp, trace.Slice(reqs), model, sim.Options{Workers: n}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		// Exactness check once, outside the timed runs.
-		seqRes, err := sim.Replay(mkGroup(n), reqs, model, sim.Options{})
+		seqRes, err := sim.Replay(mkGroup(n), trace.Slice(reqs), model, sim.Options{})
 		if err != nil {
 			fatal(err)
 		}
-		parRes, err := sim.ReplayParallel(mkGroup(n), reqs, model, sim.Options{Workers: n})
+		parRes, err := sim.ReplayParallel(mkGroup(n), trace.Slice(reqs), model, sim.Options{Workers: n})
 		if err != nil {
 			fatal(err)
 		}
@@ -161,6 +202,111 @@ func main() {
 			Speedup:      float64(seqBench.NsPerOp()) / float64(parBench.NsPerOp()),
 			Identical:    identical,
 		})
+	}
+
+	// Streaming engine: the same trace written into columnar
+	// directories and replayed through per-shard cursors.
+	tmpDir, err := os.MkdirTemp("", "benchreplay-trace-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmpDir)
+	writeDir := func(shards int) *trace.Dir {
+		dir := filepath.Join(tmpDir, fmt.Sprintf("shards-%d", shards))
+		dw, err := trace.CreateDir(dir, trace.DirConfig{Shards: shards})
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range reqs {
+			if err := dw.Write(r); err != nil {
+				fatal(err)
+			}
+		}
+		if err := dw.Close(); err != nil {
+			fatal(err)
+		}
+		d, err := trace.OpenDir(dir, nil)
+		if err != nil {
+			fatal(err)
+		}
+		return d
+	}
+
+	// Raw cursor decode cost, no cache attached. The cursor hot path
+	// must stay allocation-free (cursor opens amortize to zero over the
+	// trace).
+	fmt.Fprintln(os.Stderr, "streaming: cursor_next...")
+	d1 := writeDir(1)
+	cnBench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var req trace.Request
+		n := 0
+		for n < b.N {
+			cur, err := d1.Cursor(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for n < b.N {
+				ok, err := cur.Next(&req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				n++
+			}
+			if err := cur.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Streaming.CursorNext.NsPerRequest = float64(cnBench.NsPerOp())
+	rep.Streaming.CursorNext.AllocsPerReq = float64(cnBench.AllocsPerOp())
+
+	nr := float64(len(reqs))
+	var saturated replayThroughput
+	for _, n := range []int{1, 8} {
+		fmt.Fprintf(os.Stderr, "streaming: replay %d shard(s)...\n", n)
+		d := writeDir(n)
+		bench := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				grp := mkGroup(n)
+				b.StartTimer()
+				if _, err := sim.ReplayParallel(grp, d, model, sim.Options{Workers: n}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Exactness: the streaming replay must match the in-memory one.
+		memRes, err := sim.ReplayParallel(mkGroup(n), trace.Slice(reqs), model, sim.Options{Workers: n})
+		if err != nil {
+			fatal(err)
+		}
+		dirRes, err := sim.ReplayParallel(mkGroup(n), d, model, sim.Options{Workers: n})
+		if err != nil {
+			fatal(err)
+		}
+		identical := memRes.Total == dirRes.Total && memRes.Steady == dirRes.Steady
+		rep.Streaming.Replay = append(rep.Streaming.Replay, streamRow{
+			Shards:       n,
+			Workers:      n,
+			NsPerRequest: float64(bench.NsPerOp()) / nr,
+			AllocsPerReq: float64(bench.AllocsPerOp()) / nr,
+			Identical:    identical,
+		})
+		saturated = replayThroughput{shards: n, nsPerReplay: bench.NsPerOp()}
+	}
+	rep.Streaming.Headline = headline{
+		RequestsPerSecond: nr * 1e9 / float64(saturated.nsPerReplay),
+		Shards:            saturated.shards,
+		Workers:           saturated.shards,
+		CPUs:              rep.CPUs,
+		// On a 1-CPU box the parallel numbers measure contention
+		// relief, not scaling.
+		ContentionReliefOnly: rep.GOMAXPROCS == 1,
 	}
 
 	// Per-request allocation profile: cafe and xlru, buffer reuse off/on.
@@ -209,6 +355,20 @@ func main() {
 		fmt.Printf("  shards=%d workers=%d: %.2fx vs sequential (identical=%v)\n",
 			row.Shards, row.Workers, row.Speedup, row.Identical)
 	}
+	h := rep.Streaming.Headline
+	fmt.Printf("  streaming headline: %.0f req/s (%d shards, %d cpus", h.RequestsPerSecond, h.Shards, h.CPUs)
+	if h.ContentionReliefOnly {
+		fmt.Printf("; 1-CPU box — contention relief only, not scaling")
+	}
+	fmt.Printf("), cursor Next %.0f ns / %.2g allocs per request\n",
+		rep.Streaming.CursorNext.NsPerRequest, rep.Streaming.CursorNext.AllocsPerReq)
+}
+
+// replayThroughput carries the last (most parallel) streaming replay
+// measurement into the headline figure.
+type replayThroughput struct {
+	shards      int
+	nsPerReplay int64
 }
 
 // plain copies cfg with the reuse flag set as given.

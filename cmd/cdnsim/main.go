@@ -9,6 +9,11 @@
 //	cdnsim -trace eu.trace -algo xlru,cafe,psychic -alpha 2 -series series.csv
 //	cdnsim -trace eu.trace -algo cafe -shards 8 -workers 8   # parallel sharded replay
 //	cdnsim -trace eu.trace -algo cafe -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+//	# columnar trace directories (tracegen -dir) are detected
+//	# automatically and replayed by streaming per-shard cursors —
+//	# a 100M-request replay runs at flat memory:
+//	cdnsim -trace eu.tracedir -algo cafe -shards 8 -progress
 package main
 
 import (
@@ -35,8 +40,8 @@ import (
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "trace file (binary or text)")
-	format := flag.String("format", "binary", "trace format: binary or text")
+	tracePath := flag.String("trace", "", "trace file (binary or text) or columnar trace directory")
+	format := flag.String("format", "binary", "trace format for flat files: binary or text")
 	algos := flag.String("algo", "cafe", "comma-separated algorithms: xlru,cafe,psychic,lru,gdsp,lruk,belady")
 	alpha := flag.Float64("alpha", 2, "fill-to-redirect preference alpha_F2R")
 	diskGB := flag.Float64("disk-gb", 16, "disk size in GB")
@@ -45,6 +50,8 @@ func main() {
 	gamma := flag.Float64("gamma", cafe.DefaultGamma, "Cafe EWMA factor")
 	shards := flag.Int("shards", 1, "shard the cache n ways (power of two) and replay shards in parallel")
 	workers := flag.Int("workers", 0, "worker goroutines for -shards > 1 (default min(shards, GOMAXPROCS))")
+	useMmap := flag.Bool("mmap", false, "read columnar trace directories via mmap instead of buffered pread")
+	progress := flag.Bool("progress", false, "print replay progress to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the replay to this file")
 	flag.Parse()
@@ -52,26 +59,65 @@ func main() {
 	if *tracePath == "" {
 		fatal(fmt.Errorf("-trace is required"))
 	}
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		fatal(err)
+
+	// The replay source: a columnar directory streams per-shard
+	// cursors; flat files are materialized into memory as before.
+	var src trace.Source
+	fromDir := trace.IsDir(*tracePath)
+	if fromDir {
+		if *useMmap && !trace.MmapSupported() {
+			fatal(fmt.Errorf("-mmap is not supported on this platform"))
+		}
+		d, err := trace.OpenDir(*tracePath, &trace.ReadOptions{Mmap: *useMmap})
+		if err != nil {
+			fatal(err)
+		}
+		src = d
+	} else {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		var r trace.Reader
+		switch *format {
+		case "binary":
+			r = trace.NewBinaryReader(f)
+		case "text":
+			r = trace.NewTextReader(f)
+		default:
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+		reqs, err := trace.ReadAll(r)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		src = trace.Slice(reqs)
 	}
-	defer f.Close()
-	var r trace.Reader
-	switch *format {
-	case "binary":
-		r = trace.NewBinaryReader(f)
-	case "text":
-		r = trace.NewTextReader(f)
-	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
-	}
-	reqs, err := trace.ReadAll(r)
-	if err != nil {
-		fatal(err)
-	}
-	if len(reqs) == 0 {
+	if src.Len() == 0 {
 		fatal(fmt.Errorf("trace %s is empty", *tracePath))
+	}
+
+	// fullTrace materializes the whole trace for the oracle algorithms
+	// (psychic, belady) that precompute against every future request.
+	// Streaming directories lose their flat-memory property here, so
+	// warn loudly.
+	var fullReqs []trace.Request
+	fullTrace := func() []trace.Request {
+		if fullReqs != nil {
+			return fullReqs
+		}
+		if fromDir {
+			fmt.Fprintf(os.Stderr,
+				"cdnsim: warning: oracle algorithm needs the full future trace; materializing %d requests from %s into memory\n",
+				src.Len(), *tracePath)
+		}
+		reqs, err := trace.Materialize(src)
+		if err != nil {
+			fatal(err)
+		}
+		fullReqs = reqs
+		return fullReqs
 	}
 
 	chunkSize := int64(*chunkMB * (1 << 20))
@@ -109,6 +155,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	simOpts := sim.Options{Workers: *workers}
+	if *progress {
+		simOpts.ProgressEvery = 1 << 20
+		start := time.Now()
+		simOpts.Progress = progressPrinter(start)
+	}
+
 	// mkCache builds one single-threaded cache over the given (whole or
 	// per-shard) configuration.
 	mkCache := func(name string, cfg core.Config) (core.Cache, error) {
@@ -118,13 +171,13 @@ func main() {
 		case "cafe":
 			return cafe.New(cfg, *alpha, cafe.Options{Gamma: *gamma})
 		case "psychic":
-			return psychic.New(cfg, *alpha, reqs, psychic.Options{})
+			return psychic.New(cfg, *alpha, fullTrace(), psychic.Options{})
 		case "lru":
 			return purelru.New(cfg)
 		case "gdsp":
 			return gdsp.New(cfg)
 		case "belady":
-			return belady.New(cfg, reqs)
+			return belady.New(cfg, fullTrace())
 		case "lruk":
 			return lruk.New(cfg, lruk.DefaultK)
 		default:
@@ -132,7 +185,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%d requests, disk %d chunks (%.1f GB), alpha=%.2g", len(reqs), cfg.DiskChunks, *diskGB, *alpha)
+	fmt.Printf("%d requests, disk %d chunks (%.1f GB), alpha=%.2g", src.Len(), cfg.DiskChunks, *diskGB, *alpha)
 	if *shards > 1 {
 		fmt.Printf(", %d shards", *shards)
 	}
@@ -159,9 +212,9 @@ func main() {
 		t0 := time.Now()
 		var res *sim.Result
 		if g, ok := c.(*shard.Group); ok {
-			res, err = sim.ReplayParallel(g, reqs, model, sim.Options{Workers: *workers})
+			res, err = sim.ReplayParallel(g, src, model, simOpts)
 		} else {
-			res, err = sim.Replay(c, reqs, model, sim.Options{})
+			res, err = sim.Replay(c, src, model, simOpts)
 		}
 		if err != nil {
 			fatal(err)
@@ -191,6 +244,26 @@ func main() {
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(mf); err != nil {
 			fatal(err)
+		}
+	}
+}
+
+// progressPrinter returns a sim.Options.Progress callback writing to
+// stderr. When total is known it prints a percentage; a total of -1
+// means the source is streaming with unknown length, so it reports
+// count and rate only — never a bogus percentage.
+func progressPrinter(start time.Time) func(done, total int) {
+	return func(done, total int) {
+		elapsed := time.Since(start).Seconds()
+		rate := float64(done) / elapsed
+		if total >= 0 {
+			fmt.Fprintf(os.Stderr, "\rreplay: %3.0f%% (%d/%d requests, %.0f req/s)   ",
+				100*float64(done)/float64(total), done, total, rate)
+			if done >= total {
+				fmt.Fprintln(os.Stderr)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "\rreplay: %d requests (%.0f req/s)   ", done, rate)
 		}
 	}
 }

@@ -27,6 +27,7 @@ func main() {
 	alpha := flag.Float64("alpha", 0, "override alpha_F2R where applicable (fig 6/7)")
 	csvDir := flag.String("csv", "", "also write each figure's raw data as CSV into this directory")
 	parallelMode := flag.Bool("parallel", false, "run the parallel sharded replay comparison (same as -fig parallel)")
+	traceDir := flag.String("trace-dir", "", "columnar trace directory for the parallel comparison (streams instead of generating; tracegen -dir)")
 	flag.Parse()
 
 	writeCSV := func(name string, dump func(io.Writer) error) {
@@ -223,7 +224,15 @@ func main() {
 	}
 	if *parallelMode || want("parallel") {
 		run("Parallel sharded replay (engine)", func() error {
-			r, err := experiments.Parallel(sc)
+			var r *experiments.ParallelResult
+			var err error
+			if *traceDir != "" {
+				// Stream a pre-generated columnar directory instead of
+				// synthesizing the trace in memory.
+				r, err = experiments.ParallelDir(*traceDir, sc)
+			} else {
+				r, err = experiments.Parallel(sc)
+			}
 			if err != nil {
 				return err
 			}

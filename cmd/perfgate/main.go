@@ -10,17 +10,22 @@
 // O(n) scan on a hot path, a lost fast path, a copy where a borrow
 // should be. Two rules:
 //
-//  1. every ns_per_op metric present in both reports may grow at most
-//     -tolerance-fold (default 10x);
-//  2. every allocs_per_op metric that is zero in the baseline must
-//     stay zero — the zero-alloc serve and Get paths are structural
-//     invariants, not timings, so they hold on any machine.
+//  1. every ns_per_op / ns_per_request metric present in both reports
+//     may grow at most -tolerance-fold (default 10x);
+//  2. every allocs_per_op / allocs_per_request metric that is zero in
+//     the baseline must stay zero — the zero-alloc serve, Get and
+//     trace-cursor paths are structural invariants, not timings, so
+//     they hold on any machine.
 //
 // Metrics are discovered by walking the JSON trees, so the gate needs
 // no schema knowledge and keeps working as reports grow new sections.
 // A metric present in the baseline but missing from the current report
 // fails the gate: silently dropping a measured path is itself a
-// regression.
+// regression. The exception is a metric whose entire containing row is
+// absent — smoke runs sweep fewer configurations (fewer shard counts,
+// shorter matrices) than the full committed baseline, so a shorter
+// runs[] array is expected; only a leaf vanishing from a row that
+// exists counts as dropped.
 //
 // Usage:
 //
@@ -59,12 +64,12 @@ func main() {
 // comparePair diffs one (baseline, current) report pair and reports
 // whether it passes.
 func comparePair(basePath, curPath string, tolerance float64) bool {
-	base, err := loadMetrics(basePath)
+	base, _, err := loadMetrics(basePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
 		return false
 	}
-	cur, err := loadMetrics(curPath)
+	cur, curNodes, err := loadMetrics(curPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
 		return false
@@ -77,23 +82,31 @@ func comparePair(basePath, curPath string, tolerance float64) bool {
 	sort.Strings(paths)
 	ok := true
 	checked := 0
+	skippedRows := 0
 	for _, p := range paths {
 		b := base[p]
 		c, present := cur[p]
 		if !present {
+			if !curNodes[parentPath(p)] {
+				// The whole row is absent from the current report: the
+				// smoke run swept fewer configurations, not a dropped
+				// metric.
+				skippedRows++
+				continue
+			}
 			fmt.Printf("  MISSING %s (baseline %g; metric disappeared from the current report)\n", p, b)
 			ok = false
 			continue
 		}
 		switch metricKind(p) {
-		case "ns_per_op":
+		case "ns":
 			checked++
 			if b > 0 && c > b*tolerance {
 				fmt.Printf("  REGRESSION %s: %.0f ns/op vs baseline %.0f (%.1fx > %.0fx tolerance)\n",
 					p, c, b, c/b, tolerance)
 				ok = false
 			}
-		case "allocs_per_op":
+		case "allocs":
 			checked++
 			if b == 0 && c > 0 {
 				fmt.Printf("  REGRESSION %s: %g allocs/op on a path that was allocation-free\n", p, c)
@@ -104,41 +117,68 @@ func comparePair(basePath, curPath string, tolerance float64) bool {
 	if ok {
 		fmt.Printf("  %d metrics within tolerance\n", checked)
 	}
+	if skippedRows > 0 {
+		fmt.Printf("  %d baseline metrics skipped (their rows are absent from the current sweep)\n", skippedRows)
+	}
 	return ok
 }
 
-// metricKind classifies a metric path by its leaf field name.
+// parentPath strips the leaf field from a metric path:
+// "runs[1].allocs_per_request" -> "runs[1]". A bare leaf has the root
+// ("") as its parent.
+func parentPath(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '.' {
+			return p[:i]
+		}
+	}
+	return ""
+}
+
+// metricKind classifies a metric path by its leaf field name: "ns" for
+// timing leaves gated by the growth tolerance, "allocs" for allocation
+// leaves gated by the zero-stays-zero rule.
 func metricKind(path string) string {
-	for _, leaf := range []string{"ns_per_op", "allocs_per_op"} {
-		if n := len(path) - len(leaf); n >= 0 && path[n:] == leaf {
-			return leaf
+	kinds := []struct{ leaf, kind string }{
+		{"ns_per_op", "ns"},
+		{"ns_per_request", "ns"},
+		{"allocs_per_op", "allocs"},
+		{"allocs_per_request", "allocs"},
+	}
+	for _, k := range kinds {
+		if n := len(path) - len(k.leaf); n >= 0 && path[n:] == k.leaf {
+			return k.kind
 		}
 	}
 	return ""
 }
 
 // loadMetrics flattens every ns_per_op / allocs_per_op leaf of a
-// report into path → value.
-func loadMetrics(path string) (map[string]float64, error) {
+// report into path → value, plus the set of container-node paths used
+// to tell "row absent" apart from "leaf dropped".
+func loadMetrics(path string) (map[string]float64, map[string]bool, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var tree any
 	if err := json.Unmarshal(raw, &tree); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, nil, fmt.Errorf("%s: %v", path, err)
 	}
 	out := map[string]float64{}
-	collect("", tree, out)
-	return out, nil
+	nodes := map[string]bool{}
+	collect("", tree, out, nodes)
+	return out, nodes, nil
 }
 
-// collect walks the JSON tree recording the gated leaves. Array
-// elements are addressed by index — stable as long as the same binary
-// generated both reports, which the Makefile target guarantees.
-func collect(prefix string, v any, out map[string]float64) {
+// collect walks the JSON tree recording the gated leaves and every
+// object/array node path. Array elements are addressed by index —
+// stable as long as the same binary generated both reports, which the
+// Makefile target guarantees.
+func collect(prefix string, v any, out map[string]float64, nodes map[string]bool) {
 	switch node := v.(type) {
 	case map[string]any:
+		nodes[prefix] = true
 		for k, child := range node {
 			p := k
 			if prefix != "" {
@@ -148,11 +188,12 @@ func collect(prefix string, v any, out map[string]float64) {
 				out[p] = f
 				continue
 			}
-			collect(p, child, out)
+			collect(p, child, out, nodes)
 		}
 	case []any:
+		nodes[prefix] = true
 		for i, child := range node {
-			collect(fmt.Sprintf("%s[%d]", prefix, i), child, out)
+			collect(fmt.Sprintf("%s[%d]", prefix, i), child, out, nodes)
 		}
 	}
 }

@@ -1,82 +1,166 @@
 // Command traceconv converts between trace formats: CSV access logs
-// (header-driven column mapping), the line-oriented text format, and
-// the compact binary format.
+// (header-driven column mapping), the line-oriented text format, the
+// compact binary format, and columnar trace directories.
 //
 // Usage:
 //
 //	traceconv -in logs.csv -in-format csv -out eu.trace -out-format binary
 //	traceconv -in eu.trace -in-format binary -out eu.txt -out-format text
+//
+//	# migrate a flat trace into a sharded columnar directory
+//	traceconv -in eu.trace -in-format binary \
+//	          -out eu.tracedir -out-format columnar -trace-shards 8
+//
+//	# export a columnar directory back to text
+//	traceconv -in eu.tracedir -in-format columnar -out eu.txt -out-format text
+//
+// Text, binary and columnar conversions stream request by request —
+// converting a 100M-request trace holds only codec buffers in memory.
+// CSV input is the exception: it is materialized, because import
+// rebases timestamps to t=0 and needs the whole log to find the base.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"videocdn/internal/trace"
 )
 
 func main() {
-	in := flag.String("in", "", "input file (default stdin)")
-	out := flag.String("out", "", "output file (default stdout)")
-	inFormat := flag.String("in-format", "csv", "input format: csv, text or binary")
-	outFormat := flag.String("out-format", "binary", "output format: text or binary")
+	in := flag.String("in", "", "input file, or directory for columnar (default stdin)")
+	out := flag.String("out", "", "output file, or directory for columnar (default stdout)")
+	inFormat := flag.String("in-format", "csv", "input format: csv, text, binary or columnar")
+	outFormat := flag.String("out-format", "binary", "output format: text, binary or columnar")
 	sep := flag.String("csv-sep", ",", "CSV field separator")
 	noRebase := flag.Bool("no-rebase", false, "keep absolute CSV timestamps instead of rebasing to t=0")
+	traceShards := flag.Int("trace-shards", 1, "shard fan-out for -out-format columnar (power of two)")
 	flag.Parse()
 
-	inF := os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		inF = f
+	r, cleanupIn, err := openReader(*in, *inFormat, *sep, *noRebase)
+	if err != nil {
+		fatal(err)
 	}
-	var reqs []trace.Request
-	var err error
-	switch *inFormat {
-	case "csv":
-		var comma rune
-		for _, c := range *sep {
-			comma = c
-			break
-		}
-		reqs, err = trace.ImportCSV(inF, trace.ImportOptions{Comma: comma, DisableRebase: *noRebase})
-	case "text":
-		reqs, err = trace.ReadAll(trace.NewTextReader(inF))
-	case "binary":
-		reqs, err = trace.ReadAll(trace.NewBinaryReader(inF))
-	default:
-		err = fmt.Errorf("unknown input format %q", *inFormat)
-	}
+	defer cleanupIn()
+
+	w, finishOut, err := openWriter(*out, *outFormat, *traceShards)
 	if err != nil {
 		fatal(err)
 	}
 
-	outF := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	count := 0
+	for {
+		req, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		outF = f
+		if err := w.Write(req); err != nil {
+			fatal(err)
+		}
+		count++
 	}
-	var w trace.Writer
-	switch *outFormat {
-	case "text":
-		w = trace.NewTextWriter(outF)
-	case "binary":
-		w = trace.NewBinaryWriter(outF)
-	default:
-		fatal(fmt.Errorf("unknown output format %q", *outFormat))
-	}
-	if err := trace.WriteAll(w, reqs); err != nil {
+	if err := w.Flush(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "converted %d requests\n", len(reqs))
+	if err := finishOut(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "converted %d requests\n", count)
+}
+
+// openReader returns a streaming Reader over the input. cleanup
+// releases the underlying file or cursor.
+func openReader(in, format, sep string, noRebase bool) (trace.Reader, func(), error) {
+	if format == "columnar" {
+		if in == "" {
+			return nil, nil, errors.New("columnar input needs -in <directory>")
+		}
+		d, err := trace.OpenDir(in, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur, err := trace.Sequential(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		return trace.NewCursorReader(cur), func() { cur.Close() }, nil
+	}
+	inF := os.Stdin
+	cleanup := func() {}
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		inF = f
+		cleanup = func() { f.Close() }
+	}
+	switch format {
+	case "csv":
+		var comma rune
+		for _, c := range sep {
+			comma = c
+			break
+		}
+		reqs, err := trace.ImportCSV(inF, trace.ImportOptions{Comma: comma, DisableRebase: noRebase})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		cur, err := trace.Slice(reqs).Cursor(0)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return trace.NewCursorReader(cur), cleanup, nil
+	case "text":
+		return trace.NewTextReader(inF), cleanup, nil
+	case "binary":
+		return trace.NewBinaryReader(inF), cleanup, nil
+	default:
+		cleanup()
+		return nil, nil, fmt.Errorf("unknown input format %q", format)
+	}
+}
+
+// openWriter returns a streaming Writer for the output plus a finish
+// function that finalizes it (columnar directories write their
+// manifest on Close).
+func openWriter(out, format string, shards int) (trace.Writer, func() error, error) {
+	if format == "columnar" {
+		if out == "" {
+			return nil, nil, errors.New("columnar output needs -out <directory>")
+		}
+		dw, err := trace.CreateDir(out, trace.DirConfig{Shards: shards})
+		if err != nil {
+			return nil, nil, err
+		}
+		return dw, dw.Close, nil
+	}
+	outF := os.Stdout
+	finish := func() error { return nil }
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return nil, nil, err
+		}
+		outF = f
+		finish = f.Close
+	}
+	switch format {
+	case "text":
+		return trace.NewTextWriter(outF), finish, nil
+	case "binary":
+		return trace.NewBinaryWriter(outF), finish, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown output format %q", format)
+	}
 }
 
 func fatal(err error) {

@@ -8,6 +8,10 @@
 //	tracegen -profile europe -days 14 -o eu.trace
 //	traceinfo -trace eu.trace
 //	traceinfo -trace logs.txt -format text -chunk-mb 2
+//
+//	# columnar trace directories are detected automatically and
+//	# analyzed by streaming (two cursor passes, flat memory):
+//	traceinfo -trace eu.tracedir
 package main
 
 import (
@@ -20,14 +24,31 @@ import (
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "trace file (binary or text)")
-	format := flag.String("format", "binary", "trace format: binary or text")
+	tracePath := flag.String("trace", "", "trace file (binary or text) or columnar trace directory")
+	format := flag.String("format", "binary", "trace format for flat files: binary or text")
 	chunkMB := flag.Float64("chunk-mb", 2, "chunk size in MB (for chunk-level stats)")
 	flag.Parse()
 
 	if *tracePath == "" {
 		fatal(fmt.Errorf("-trace is required"))
 	}
+	chunkSize := int64(*chunkMB * (1 << 20))
+
+	if trace.IsDir(*tracePath) {
+		// Columnar directory: analyze by streaming cursors — memory is
+		// bounded by per-video state, never by trace length.
+		d, err := trace.OpenDir(*tracePath, nil)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := analyze.AnalyzeSource(d, chunkSize)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Print(os.Stdout)
+		return
+	}
+
 	f, err := os.Open(*tracePath)
 	if err != nil {
 		fatal(err)
@@ -46,7 +67,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := analyze.Analyze(reqs, int64(*chunkMB*(1<<20)))
+	rep, err := analyze.Analyze(reqs, chunkSize)
 	if err != nil {
 		fatal(err)
 	}

@@ -85,6 +85,265 @@ type ChurnReport struct {
 	FreshRequestShare float64
 }
 
+// AnalyzeSource characterizes a streaming trace source at the given
+// chunk size without materializing it. It makes two cursor passes over
+// the source (the intra-file report needs each video's observed extent
+// before requests can be bucketed by decile), so memory is bounded by
+// per-video state — O(unique videos), not O(requests). Size
+// percentiles are computed from a logarithmic histogram and are
+// approximate to within ~2% relative error; Analyze on a materialized
+// slice gives exact percentiles.
+func AnalyzeSource(src trace.Source, chunkSize int64) (*Report, error) {
+	if src == nil {
+		return nil, fmt.Errorf("analyze: nil source")
+	}
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("analyze: chunk size must be positive")
+	}
+	a := newStreamAnalyzer(chunkSize)
+
+	cur, err := trace.Sequential(src)
+	if err != nil {
+		return nil, err
+	}
+	var req trace.Request
+	for {
+		ok, err := cur.Next(&req)
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		a.observe(req)
+	}
+	if err := cur.Close(); err != nil {
+		return nil, err
+	}
+	if a.requests == 0 {
+		return nil, fmt.Errorf("analyze: empty trace")
+	}
+
+	// Second pass: intra-file positions against the now-known extents.
+	cur, err = trace.Sequential(src)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := cur.Next(&req)
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		a.observeIntraFile(req)
+	}
+	if err := cur.Close(); err != nil {
+		return nil, err
+	}
+	return a.report(), nil
+}
+
+// streamAnalyzer accumulates the report over one time-ordered pass
+// (observe) plus a second pass for intra-file positions
+// (observeIntraFile).
+type streamAnalyzer struct {
+	chunkSize int64
+	requests  int
+	total     int64 // bytes
+	start     int64
+	end       int64
+
+	hits      map[chunk.VideoID]int
+	maxEnd    map[chunk.VideoID]int64
+	firstSeen map[chunk.VideoID]int64
+
+	byHour [24]int
+	sizes  sizeHist
+
+	// churn accumulators — valid because observe sees requests in time
+	// order, so firstSeen[v] is always set before a later request to v.
+	fresh, later int
+
+	// intra-file accumulators (second pass).
+	prefix        [10]float64
+	intraTotal    int
+	first, median float64
+}
+
+func newStreamAnalyzer(chunkSize int64) *streamAnalyzer {
+	return &streamAnalyzer{
+		chunkSize: chunkSize,
+		hits:      make(map[chunk.VideoID]int),
+		maxEnd:    make(map[chunk.VideoID]int64),
+		firstSeen: make(map[chunk.VideoID]int64),
+	}
+}
+
+func (a *streamAnalyzer) observe(r trace.Request) {
+	if a.requests == 0 {
+		a.start = r.Time
+	}
+	a.end = r.Time
+	a.requests++
+	a.hits[r.Video]++
+	b := r.Bytes()
+	a.total += b
+	a.sizes.add(b)
+	a.byHour[(r.Time%86400)/3600]++
+	if r.End > a.maxEnd[r.Video] {
+		a.maxEnd[r.Video] = r.End
+	}
+	if _, ok := a.firstSeen[r.Video]; !ok {
+		a.firstSeen[r.Video] = r.Time
+	}
+	if day := (r.Time - a.start) / 86400; day >= 1 {
+		a.later++
+		if (a.firstSeen[r.Video]-a.start)/86400 == day {
+			a.fresh++
+		}
+	}
+}
+
+func (a *streamAnalyzer) observeIntraFile(r trace.Request) {
+	extent := a.maxEnd[r.Video] + 1
+	if extent <= 0 {
+		return
+	}
+	d0 := int(10 * r.Start / extent)
+	d1 := int(10 * r.End / extent)
+	if d0 > 9 {
+		d0 = 9
+	}
+	if d1 > 9 {
+		d1 = 9
+	}
+	for d := d0; d <= d1; d++ {
+		a.prefix[d]++
+	}
+	a.intraTotal++
+	c0, c1 := r.ChunkRange(a.chunkSize)
+	if c0 == 0 {
+		a.first++
+	}
+	midChunk := uint32(extent / 2 / a.chunkSize)
+	if c0 <= midChunk && midChunk <= c1 {
+		a.median++
+	}
+}
+
+func (a *streamAnalyzer) report() *Report {
+	r := &Report{
+		Requests:     a.requests,
+		UniqueVideos: len(a.hits),
+		TotalBytes:   a.total,
+		Days:         float64(a.end-a.start) / 86400,
+	}
+	r.Popularity = popularity(a.hits, a.requests)
+
+	r.Diurnal.ByHour = a.byHour
+	minC, maxC := a.byHour[0], a.byHour[0]
+	for h, c := range a.byHour {
+		if c > maxC {
+			maxC = c
+			r.Diurnal.PeakHour = h
+		}
+		if c < minC {
+			minC = c
+		}
+	}
+	if minC > 0 {
+		r.Diurnal.PeakTroughRatio = float64(maxC) / float64(minC)
+	} else {
+		r.Diurnal.PeakTroughRatio = math.Inf(1)
+	}
+
+	if a.intraTotal > 0 {
+		sum := 0.0
+		for _, v := range a.prefix {
+			sum += v
+		}
+		for i := range a.prefix {
+			r.IntraFile.PrefixShare[i] = a.prefix[i] / sum
+		}
+	}
+	if a.median > 0 {
+		r.IntraFile.FirstChunkRatio = a.first / a.median
+	} else if a.first > 0 {
+		r.IntraFile.FirstChunkRatio = math.Inf(1)
+	}
+
+	r.Sizes.MeanBytes = float64(a.total) / float64(a.requests)
+	r.Sizes.P50 = a.sizes.quantile(0.5)
+	r.Sizes.P90 = a.sizes.quantile(0.9)
+	r.Sizes.P99 = a.sizes.quantile(0.99)
+
+	lastDay := (a.end - a.start) / 86400
+	if lastDay >= 1 {
+		totalNew := 0
+		for _, t := range a.firstSeen {
+			if (t-a.start)/86400 >= 1 {
+				totalNew++
+			}
+		}
+		r.Churn.NewVideosPerDay = float64(totalNew) / float64(lastDay)
+	}
+	if a.later > 0 {
+		r.Churn.FreshRequestShare = float64(a.fresh) / float64(a.later)
+	}
+	return r
+}
+
+// sizeHist is a fixed-size logarithmic histogram for request byte
+// lengths: 32 sub-buckets per power of two give quantiles with at most
+// ~2% relative error at O(1) memory, regardless of trace length.
+type sizeHist struct {
+	buckets [64 * sizeHistSub]int64
+	zero    int64 // zero-length requests (shouldn't occur, but be safe)
+	count   int64
+}
+
+const sizeHistSub = 32
+
+func (h *sizeHist) add(b int64) {
+	h.count++
+	if b <= 0 {
+		h.zero++
+		return
+	}
+	i := int(math.Log2(float64(b)) * sizeHistSub)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+}
+
+// quantile returns the approximate p-quantile as the geometric midpoint
+// of the bucket containing it.
+func (h *sizeHist) quantile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(p * float64(h.count-1))
+	seen := h.zero
+	if target < seen {
+		return 0
+	}
+	for i, c := range h.buckets {
+		seen += c
+		if target < seen {
+			return int64(math.Exp2((float64(i) + 0.5) / sizeHistSub))
+		}
+	}
+	return int64(math.Exp2(float64(len(h.buckets)) / sizeHistSub))
+}
+
 // Analyze characterizes the trace at the given chunk size.
 func Analyze(reqs []trace.Request, chunkSize int64) (*Report, error) {
 	if len(reqs) == 0 {

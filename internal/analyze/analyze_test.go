@@ -227,3 +227,97 @@ func TestPrint(t *testing.T) {
 		}
 	}
 }
+
+// AnalyzeSource over a columnar directory must match Analyze on the
+// materialized slice, exactly for every count-based field and within
+// histogram tolerance for size percentiles.
+func TestAnalyzeSourceMatchesAnalyze(t *testing.T) {
+	p := workload.Profiles()[0]
+	p.RequestsPerDay = 4000
+	p.CatalogSize = 500
+	p.NewVideosPerDay = 20
+	g, err := workload.NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := g.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(append([]trace.Request(nil), reqs...), chunk.DefaultSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	dw, err := trace.CreateDir(dir, trace.DirConfig{Shards: 4, BlockRequests: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if err := dw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := trace.OpenDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnalyzeSource(d, chunk.DefaultSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Requests != want.Requests || got.UniqueVideos != want.UniqueVideos ||
+		got.TotalBytes != want.TotalBytes || got.Days != want.Days {
+		t.Fatalf("headline fields differ:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.Popularity != want.Popularity {
+		t.Fatalf("popularity differs:\ngot  %+v\nwant %+v", got.Popularity, want.Popularity)
+	}
+	if got.Diurnal != want.Diurnal {
+		t.Fatalf("diurnal differs:\ngot  %+v\nwant %+v", got.Diurnal, want.Diurnal)
+	}
+	if got.IntraFile != want.IntraFile {
+		t.Fatalf("intra-file differs:\ngot  %+v\nwant %+v", got.IntraFile, want.IntraFile)
+	}
+	if got.Churn != want.Churn {
+		t.Fatalf("churn differs:\ngot  %+v\nwant %+v", got.Churn, want.Churn)
+	}
+	if got.Sizes.MeanBytes != want.Sizes.MeanBytes {
+		t.Fatalf("mean bytes: got %v want %v", got.Sizes.MeanBytes, want.Sizes.MeanBytes)
+	}
+	// Percentiles come from a log histogram with 32 sub-buckets per
+	// octave: allow ~2.5% relative error.
+	checkQ := func(name string, got, want int64) {
+		t.Helper()
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("%s: got %d want 0", name, got)
+			}
+			return
+		}
+		rel := math.Abs(float64(got)-float64(want)) / float64(want)
+		if rel > 0.025 {
+			t.Fatalf("%s: got %d want %d (rel err %.3f)", name, got, want, rel)
+		}
+	}
+	checkQ("p50", got.Sizes.P50, want.Sizes.P50)
+	checkQ("p90", got.Sizes.P90, want.Sizes.P90)
+	checkQ("p99", got.Sizes.P99, want.Sizes.P99)
+}
+
+func TestAnalyzeSourceValidation(t *testing.T) {
+	if _, err := AnalyzeSource(nil, testK); err == nil {
+		t.Error("nil source should fail")
+	}
+	if _, err := AnalyzeSource(trace.Slice(nil), testK); err == nil {
+		t.Error("empty source should fail")
+	}
+	if _, err := AnalyzeSource(trace.Slice([]trace.Request{req(0, 1, 0, 1)}), 0); err == nil {
+		t.Error("zero chunk size should fail")
+	}
+}

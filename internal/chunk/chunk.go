@@ -45,6 +45,21 @@ func FromKey(k uint64) ID {
 	return ID{Video: VideoID(k >> 32), Index: uint32(k & 0xFFFFFFFF)}
 }
 
+// ShardOf returns the index of the hash bucket owning video v when the
+// video-ID space is divided n ways (n must be a positive power of two).
+// It is the single placement function for the whole repository: the
+// sharded cache group, the parallel replay engine and the columnar
+// trace writer all route through it, so they can never disagree about
+// which bucket owns a video. The hash is the splitmix64 finalizer, so
+// adjacent IDs scatter.
+func ShardOf(v VideoID, n int) int {
+	x := uint64(v) + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x & uint64(n-1))
+}
+
 // ByteRange is an inclusive byte interval [Start, End], as carried by a
 // request (the paper's [R.b0, R.b1]).
 type ByteRange struct {

@@ -9,6 +9,7 @@ import (
 	"videocdn/internal/cost"
 	"videocdn/internal/psychic"
 	"videocdn/internal/sim"
+	"videocdn/internal/trace"
 )
 
 // AblationRow is one design-choice variant's steady-state metrics.
@@ -44,7 +45,7 @@ func Ablations(sc Scale) (*AblationResult, error) {
 	}
 	res := &AblationResult{Server: server, Alpha: alpha}
 	add := func(name string, c core.Cache) error {
-		r, err := sim.Replay(c, reqs, model, sim.Options{})
+		r, err := sim.Replay(c, trace.Slice(reqs), model, sim.Options{})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

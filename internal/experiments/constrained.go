@@ -8,6 +8,7 @@ import (
 	"videocdn/internal/cafe"
 	"videocdn/internal/cost"
 	"videocdn/internal/sim"
+	"videocdn/internal/trace"
 	"videocdn/internal/writelimit"
 )
 
@@ -107,7 +108,7 @@ func Constrained(sc Scale) (*ConstrainedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	bres, err := sim.Replay(bcache, reqs, model1, simOptions())
+	bres, err := sim.Replay(bcache, trace.Slice(reqs), model1, simOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +126,7 @@ func Constrained(sc Scale) (*ConstrainedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cres, err := sim.Replay(ctl, reqs, model1, simOptions())
+	cres, err := sim.Replay(ctl, trace.Slice(reqs), model1, simOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -96,7 +96,7 @@ func fig2One(server string, sample []trace.Request, sc Scale, disk int, alpha fl
 	if err != nil {
 		return nil, err
 	}
-	pres, err := sim.Replay(pc, sample, model, sim.Options{SteadyFraction: 0.001})
+	pres, err := sim.Replay(pc, trace.Slice(sample), model, sim.Options{SteadyFraction: 0.001})
 	if err != nil {
 		return nil, err
 	}

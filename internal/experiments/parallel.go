@@ -11,6 +11,7 @@ import (
 	"videocdn/internal/cost"
 	"videocdn/internal/shard"
 	"videocdn/internal/sim"
+	"videocdn/internal/trace"
 )
 
 // ParallelRow is one shard-count operating point of the replay-engine
@@ -48,12 +49,28 @@ type ParallelResult struct {
 // Parallel measures sequential vs parallel sharded replay on the
 // (scaled) European trace at alpha = 2.
 func Parallel(sc Scale) (*ParallelResult, error) {
-	const server = "europe"
-	const alpha = 2.0
-	reqs, err := TraceFor(server, sc)
+	reqs, err := TraceFor("europe", sc)
 	if err != nil {
 		return nil, err
 	}
+	return parallelOver(trace.Slice(reqs), "europe", sc)
+}
+
+// ParallelDir runs the same comparison over a columnar trace directory
+// (tracegen -dir): the parallel replay streams per-shard cursors
+// straight from the segment files — no partition pass, no sub-trace
+// copies and no materialized trace — so it demonstrates the streaming
+// engine at whatever scale the directory holds.
+func ParallelDir(dir string, sc Scale) (*ParallelResult, error) {
+	d, err := trace.OpenDir(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	return parallelOver(d, dir, sc)
+}
+
+func parallelOver(src trace.Source, server string, sc Scale) (*ParallelResult, error) {
+	const alpha = 2.0
 	model, err := cost.NewModel(alpha)
 	if err != nil {
 		return nil, err
@@ -67,7 +84,7 @@ func Parallel(sc Scale) (*ParallelResult, error) {
 	res := &ParallelResult{
 		Server:   server,
 		Alpha:    alpha,
-		Requests: len(reqs),
+		Requests: int(src.Len()),
 		Procs:    runtime.GOMAXPROCS(0),
 	}
 	mkGroup := func(n int) (*shard.Group, error) {
@@ -84,7 +101,7 @@ func Parallel(sc Scale) (*ParallelResult, error) {
 			return nil, err
 		}
 		t0 := time.Now()
-		seq, err := sim.Replay(gSeq, reqs, model, sim.Options{})
+		seq, err := sim.Replay(gSeq, src, model, sim.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +112,7 @@ func Parallel(sc Scale) (*ParallelResult, error) {
 			return nil, err
 		}
 		t0 = time.Now()
-		par, err := sim.ReplayParallel(gPar, reqs, model, sim.Options{Workers: n})
+		par, err := sim.ReplayParallel(gPar, src, model, sim.Options{Workers: n})
 		if err != nil {
 			return nil, err
 		}

@@ -64,7 +64,7 @@ func runOne(name string, cfg core.Config, alpha float64, reqs []trace.Request, o
 	if err != nil {
 		return nil, err
 	}
-	return sim.Replay(c, reqs, m, opt)
+	return sim.Replay(c, trace.Slice(reqs), m, opt)
 }
 
 // runMany replays reqs through several algorithms concurrently (they
@@ -82,7 +82,7 @@ func runMany(algos []string, cfg core.Config, alpha float64, reqs []trace.Reques
 		}
 		jobs = append(jobs, sim.Job{Name: name, Cache: c, Model: m})
 	}
-	return sim.ReplayAll(jobs, reqs, opt)
+	return sim.ReplayAll(jobs, trace.Slice(reqs), opt)
 }
 
 // pct formats a ratio as a percentage.

@@ -75,18 +75,11 @@ func New(n int, cfg core.Config, factory Factory) (*Group, error) {
 }
 
 // ShardOf returns the shard index owning video v in an n-shard group
-// (n must be a power of two). It is the single placement function for
-// the whole repository: Group dispatch and the parallel replay engine's
-// trace partitioning both call it, so they can never disagree about
-// which shard owns a video. The hash is the splitmix64 finalizer, so
-// adjacent IDs scatter.
-func ShardOf(v chunk.VideoID, n int) int {
-	x := uint64(v) + 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	x ^= x >> 31
-	return int(x & uint64(n-1))
-}
+// (n must be a power of two). It delegates to chunk.ShardOf, the single
+// placement function for the whole repository: Group dispatch, the
+// parallel replay engine and the columnar trace writer all call it, so
+// they can never disagree about which shard owns a video.
+func ShardOf(v chunk.VideoID, n int) int { return chunk.ShardOf(v, n) }
 
 // pick hashes a video to its shard slot via ShardOf.
 func (g *Group) pick(v chunk.VideoID) *shardSlot {

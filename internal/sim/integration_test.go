@@ -59,7 +59,7 @@ func runAll(t *testing.T, reqs []trace.Request, alpha float64, disk int) map[str
 		t.Fatal(err)
 	}
 	for _, c := range []core.Cache{cl, cx, cc, cp} {
-		res, err := Replay(c, reqs, m, Options{})
+		res, err := Replay(c, trace.Slice(reqs), m, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name(), err)
 		}

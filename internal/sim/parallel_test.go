@@ -60,7 +60,7 @@ func TestReplayParallelMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			seq, err := Replay(g1, reqs, m, Options{})
+			seq, err := Replay(g1, trace.Slice(reqs), m, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,7 +68,7 @@ func TestReplayParallelMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := ReplayParallel(g2, reqs, m, Options{})
+			par, err := ReplayParallel(g2, trace.Slice(reqs), m, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -116,7 +116,7 @@ func TestReplayParallelWorkerCounts(t *testing.T) {
 	}
 	var ref *Result
 	for _, workers := range []int{1, 3, 8, 64} {
-		res, err := ReplayParallel(mk(), reqs, m, Options{Workers: workers})
+		res, err := ReplayParallel(mk(), trace.Slice(reqs), m, Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,16 +138,16 @@ func TestReplayParallelValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReplayParallel(nil, []trace.Request{req(0, 1, 0, 0)}, m, Options{}); err == nil {
+	if _, err := ReplayParallel(nil, trace.Slice([]trace.Request{req(0, 1, 0, 0)}), m, Options{}); err == nil {
 		t.Error("nil group should fail")
 	}
 	if _, err := ReplayParallel(g, nil, m, Options{}); err == nil {
 		t.Error("empty trace should fail")
 	}
-	if _, err := ReplayParallel(g, []trace.Request{req(0, 1, 0, 0)}, m, Options{SteadyFraction: -1}); err == nil {
+	if _, err := ReplayParallel(g, trace.Slice([]trace.Request{req(0, 1, 0, 0)}), m, Options{SteadyFraction: -1}); err == nil {
 		t.Error("bad steady fraction should fail")
 	}
-	if _, err := ReplayParallel(g, []trace.Request{req(10, 1, 0, 0), req(5, 2, 0, 0)}, m, Options{}); err == nil {
+	if _, err := ReplayParallel(g, trace.Slice([]trace.Request{req(10, 1, 0, 0), req(5, 2, 0, 0)}), m, Options{}); err == nil {
 		t.Error("out-of-order trace should fail")
 	}
 }
@@ -165,7 +165,7 @@ func TestReplayParallelProgress(t *testing.T) {
 	}
 	var calls atomic.Int64
 	var lastDone, lastTotal int
-	_, err = ReplayParallel(g, reqs, m, Options{
+	_, err = ReplayParallel(g, trace.Slice(reqs), m, Options{
 		ProgressEvery: 100,
 		Progress: func(done, total int) {
 			calls.Add(1)

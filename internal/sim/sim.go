@@ -4,12 +4,17 @@
 // efficiency, both as hourly time series and as steady-state averages
 // over the tail of the trace (excluding cache warmup).
 //
-// Two engines are provided. Replay drives the trace through one cache
-// on the calling goroutine. ReplayParallel exploits a sharded cache
-// (internal/shard): it partitions the trace by video hash into
-// per-shard sub-traces, replays each shard on its own worker with no
-// lock contention, and merges the per-shard accounting into a result
-// bit-identical to a sequential replay of the same group.
+// Both engines consume a trace.Source, so the same code replays an
+// in-memory []Request (trace.Slice) or a columnar trace directory
+// (trace.OpenDir) streamed block by block — the unit of experiment
+// scale is the trace medium, not RAM. Replay drives the source's
+// sequential order through one cache on the calling goroutine.
+// ReplayParallel exploits a sharded cache (internal/shard): each
+// shard's worker streams its own cursor — for a sharded trace
+// directory that is the shard's segment files read directly, with no
+// partition pass and no sub-trace copies — and the per-shard
+// accounting merges into a result bit-identical to a sequential replay
+// of the same group.
 package sim
 
 import (
@@ -19,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"videocdn/internal/chunk"
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
 	"videocdn/internal/metrics"
@@ -35,6 +41,9 @@ type Options struct {
 	// "average over the second half of the month").
 	SteadyFraction float64
 	// Progress, if non-nil, is called every ProgressEvery requests.
+	// total is the source's request count, or -1 when the source is
+	// streaming and its length is unknown — progress printers must
+	// handle -1 by reporting rate/count only, not a percentage.
 	Progress      func(done, total int)
 	ProgressEvery int
 	// Workers bounds the goroutines ReplayParallel uses (ignored by
@@ -100,6 +109,27 @@ func (r *Result) merge(other *Result) error {
 	return r.Series.Merge(other.Series)
 }
 
+// span extracts and validates the replay window shared by both
+// engines: the source must know its time span (the steady-state cutoff
+// is computed from it) and must not be empty.
+func span(src trace.Source, opt Options) (start, end, steadyFrom int64, err error) {
+	if src == nil {
+		return 0, 0, 0, errors.New("sim: nil trace source")
+	}
+	if src.Len() == 0 {
+		return 0, 0, 0, errors.New("sim: empty trace")
+	}
+	start, end, known := src.TimeSpan()
+	if !known {
+		return 0, 0, 0, errors.New("sim: source does not know its time span; steady-state accounting needs it (materialize the trace, or use a columnar trace directory whose manifest records the span)")
+	}
+	if end < start {
+		return 0, 0, 0, fmt.Errorf("sim: source time span [%d,%d] is inverted", start, end)
+	}
+	steadyFrom = start + int64(opt.SteadyFraction*float64(end-start))
+	return start, end, steadyFrom, nil
+}
+
 // Job is one independent replay task for ReplayAll.
 type Job struct {
 	// Name keys the result map (defaults to the cache's Name()).
@@ -108,12 +138,13 @@ type Job struct {
 	Model cost.Model
 }
 
-// ReplayAll replays the same trace through several independent caches
-// concurrently (one goroutine per job; the trace is shared read-only).
-// Errors from all failing jobs are collected and joined; on success,
-// opt.Progress (if set) is invoked one final time with done == total so
-// progress bars reach 100%.
-func ReplayAll(jobs []Job, reqs []trace.Request, opt Options) (map[string]*Result, error) {
+// ReplayAll replays the same source through several independent caches
+// concurrently (one goroutine per job; each job streams its own
+// cursor, so the source is never materialized). Errors from all
+// failing jobs are collected and joined; on success, opt.Progress (if
+// set) is invoked one final time with done == total so progress bars
+// reach 100% (skipped when the source length is unknown).
+func ReplayAll(jobs []Job, src trace.Source, opt Options) (map[string]*Result, error) {
 	results := make([]*Result, len(jobs))
 	jobErrs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -121,7 +152,7 @@ func ReplayAll(jobs []Job, reqs []trace.Request, opt Options) (map[string]*Resul
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], jobErrs[i] = Replay(jobs[i].Cache, reqs, jobs[i].Model, opt)
+			results[i], jobErrs[i] = Replay(jobs[i].Cache, src, jobs[i].Model, opt)
 		}(i)
 	}
 	wg.Wait()
@@ -138,7 +169,9 @@ func ReplayAll(jobs []Job, reqs []trace.Request, opt Options) (map[string]*Resul
 		return nil, errors.Join(errs...)
 	}
 	if opt.Progress != nil {
-		opt.Progress(len(reqs), len(reqs))
+		if total := src.Len(); total >= 0 {
+			opt.Progress(int(total), int(total))
+		}
 	}
 	return out, nil
 }
@@ -153,53 +186,71 @@ func jobName(j Job) string {
 	return "?"
 }
 
-// Replay drives the full trace through the cache under the given cost
-// model. The trace must be time-ordered. Accounting follows Section
-// 4.2: requested bytes are the byte range of every request; fills
-// count whole chunks; redirects count the request's byte range.
-func Replay(c core.Cache, reqs []trace.Request, model cost.Model, opt Options) (*Result, error) {
+// Replay drives the source's sequential order through the cache under
+// the given cost model. The stream must be time-ordered. Accounting
+// follows Section 4.2: requested bytes are the byte range of every
+// request; fills count whole chunks; redirects count the request's
+// byte range.
+func Replay(c core.Cache, src trace.Source, model cost.Model, opt Options) (*Result, error) {
 	if c == nil {
 		return nil, errors.New("sim: nil cache")
 	}
-	if len(reqs) == 0 {
-		return nil, errors.New("sim: empty trace")
-	}
 	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	_, _, steadyFrom, err := span(src, opt)
+	if err != nil {
 		return nil, err
 	}
 	series, err := metrics.NewSeries(opt.BucketSeconds)
 	if err != nil {
 		return nil, err
 	}
-	start := reqs[0].Time
-	end := reqs[len(reqs)-1].Time
-	steadyFrom := start + int64(opt.SteadyFraction*float64(end-start))
-
 	res := &Result{Algorithm: c.Name(), Model: model, Series: series}
 	var tick func()
 	if opt.Progress != nil && opt.ProgressEvery > 0 {
+		total := int(src.Len())
+		if src.Len() < 0 {
+			total = -1
+		}
 		done := 0
 		tick = func() {
 			done++
 			if done%opt.ProgressEvery == 0 {
-				opt.Progress(done, len(reqs))
+				opt.Progress(done, total)
 			}
 		}
 	}
-	if err := replayLoop(c, reqs, steadyFrom, series, res, tick); err != nil {
+	cur, err := trace.Sequential(src)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	if err := replayLoop(c, cur, steadyFrom, series, res, tick); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// replayLoop is the accounting core shared by both engines: it drives
-// reqs (a whole trace, or one shard's sub-trace) through c, validating
-// outcome invariants and accumulating into res and series. tick, if
-// non-nil, is called once per request after accounting.
-func replayLoop(c core.Cache, reqs []trace.Request, steadyFrom int64, series *metrics.Series, res *Result, tick func()) error {
-	last := reqs[0].Time
-	for i, r := range reqs {
-		if r.Time < last {
+// replayLoop is the accounting core shared by both engines: it streams
+// cur (a whole trace, or one shard's subsequence) through c, validating
+// time order and outcome invariants and accumulating into res and
+// series. tick, if non-nil, is called once per request after
+// accounting. The loop holds no per-request state beyond the reused
+// Request — with a streaming cursor its memory is the cursor's block
+// buffers, independent of trace length.
+func replayLoop(c core.Cache, cur trace.Cursor, steadyFrom int64, series *metrics.Series, res *Result, tick func()) error {
+	var r trace.Request
+	var last int64
+	for i := 0; ; i++ {
+		ok, err := cur.Next(&r)
+		if err != nil {
+			return fmt.Errorf("sim: reading request %d: %w", i, err)
+		}
+		if !ok {
+			return nil
+		}
+		if i > 0 && r.Time < last {
 			return fmt.Errorf("sim: request %d out of order (t=%d after %d)", i, r.Time, last)
 		}
 		last = r.Time
@@ -243,57 +294,118 @@ func replayLoop(c core.Cache, reqs []trace.Request, steadyFrom int64, series *me
 			tick()
 		}
 	}
-	return nil
 }
 
-// ReplayParallel replays a time-ordered trace through a sharded cache
-// group, one worker per shard (bounded by opt.Workers). The trace is
-// partitioned by video hash with shard.ShardOf — the same placement
-// Group.HandleRequest uses — so each shard's worker sees exactly the
-// request subsequence its sub-cache would have seen under a sequential
-// replay of the group, in the same order. Shards share no mutable
-// state, so no locks are taken on the request path.
+// shardCursor opens the stream of requests that group shard gs (of
+// groupShards) must replay, adapting the source's shard fan-out to the
+// group's:
 //
-// The merged Result is bit-identical to Replay(g, reqs, model, opt):
+//   - equal counts: the shard's cursor, handed to the worker directly;
+//   - source coarser (fewer shards): the owning source shard filtered
+//     by chunk.ShardOf(v, groupShards) — valid because both fan-outs
+//     mask low bits of the same hash, so a group shard's videos all
+//     live in source shard gs & (srcShards-1);
+//   - source finer (more shards): the source shards congruent to gs
+//     mod groupShards, merged deterministically (via the source's own
+//     ShardMerger when available, which reconstructs the exact
+//     original relative order).
+func shardCursor(src trace.Source, gs, groupShards int) (trace.Cursor, error) {
+	t := src.Shards()
+	if t <= 0 || t&(t-1) != 0 {
+		return nil, fmt.Errorf("sim: source shard count %d is not a positive power of two", t)
+	}
+	switch {
+	case t == groupShards:
+		return src.Cursor(gs)
+	case t < groupShards:
+		base, err := src.Cursor(gs & (t - 1))
+		if err != nil {
+			return nil, err
+		}
+		return &filterCursor{c: base, groupShards: groupShards, want: gs}, nil
+	default: // t > groupShards
+		shards := make([]int, 0, t/groupShards)
+		for s := gs; s < t; s += groupShards {
+			shards = append(shards, s)
+		}
+		if m, ok := src.(trace.ShardMerger); ok {
+			return m.MergeShards(shards)
+		}
+		cs := make([]trace.Cursor, len(shards))
+		for i, s := range shards {
+			c, err := src.Cursor(s)
+			if err != nil {
+				for _, open := range cs[:i] {
+					open.Close()
+				}
+				return nil, err
+			}
+			cs[i] = c
+		}
+		return trace.MergeCursors(cs...), nil
+	}
+}
+
+// filterCursor keeps only the requests owned by one group shard.
+type filterCursor struct {
+	c           trace.Cursor
+	groupShards int
+	want        int
+}
+
+func (f *filterCursor) Next(req *trace.Request) (bool, error) {
+	for {
+		ok, err := f.c.Next(req)
+		if !ok || err != nil {
+			return ok, err
+		}
+		if chunk.ShardOf(req.Video, f.groupShards) == f.want {
+			return true, nil
+		}
+	}
+}
+
+func (f *filterCursor) Close() error { return f.c.Close() }
+
+// ReplayParallel replays a time-ordered source through a sharded cache
+// group, one worker per shard (bounded by opt.Workers). Each worker
+// streams the cursor of its own shard — the same video placement
+// (chunk.ShardOf) the group's dispatch uses — so it sees exactly the
+// request subsequence its sub-cache would have seen under a sequential
+// replay of the group, in the same order, with no partition pass and
+// no sub-trace copies. Shards share no mutable state, so no locks are
+// taken on the request path.
+//
+// The merged Result is bit-identical to Replay(g, src, model, opt):
 // decisions match per request, and every accounting field is an
 // integer sum over disjoint per-shard sets, which commutes. Progress
 // reporting is approximate during the run (workers race to the shared
-// counter) but always ends with a final (total, total) call.
-func ReplayParallel(g *shard.Group, reqs []trace.Request, model cost.Model, opt Options) (*Result, error) {
+// counter) but always ends with a final (total, total) call when the
+// source length is known.
+func ReplayParallel(g *shard.Group, src trace.Source, model cost.Model, opt Options) (*Result, error) {
 	if g == nil {
 		return nil, errors.New("sim: nil shard group")
-	}
-	if len(reqs) == 0 {
-		return nil, errors.New("sim: empty trace")
 	}
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
+	start, _, steadyFrom, err := span(src, opt)
+	if err != nil {
+		return nil, err
+	}
 	n := g.NumShards()
 
-	// Validate global time order once, then partition by video hash
-	// (two passes: count, then fill exactly-sized sub-traces).
-	counts := make([]int, n)
-	last := reqs[0].Time
-	for i, r := range reqs {
-		if r.Time < last {
-			return nil, fmt.Errorf("sim: request %d out of order (t=%d after %d)", i, r.Time, last)
+	// An in-memory slice claims to be one globally time-ordered trace;
+	// per-shard streams only expose order violations within a shard, so
+	// validate the global order up front (one O(N) scan, no copies).
+	if ss, ok := src.(*trace.SliceSource); ok {
+		reqs := ss.Requests()
+		for i := 1; i < len(reqs); i++ {
+			if reqs[i].Time < reqs[i-1].Time {
+				return nil, fmt.Errorf("sim: request %d out of order (t=%d after %d)", i, reqs[i].Time, reqs[i-1].Time)
+			}
 		}
-		last = r.Time
-		counts[shard.ShardOf(r.Video, n)]++
 	}
-	subs := make([][]trace.Request, n)
-	for s := range subs {
-		subs[s] = make([]trace.Request, 0, counts[s])
-	}
-	for _, r := range reqs {
-		s := shard.ShardOf(r.Video, n)
-		subs[s] = append(subs[s], r)
-	}
-
-	start := reqs[0].Time
-	end := reqs[len(reqs)-1].Time
-	steadyFrom := start + int64(opt.SteadyFraction*float64(end-start))
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -305,7 +417,10 @@ func ReplayParallel(g *shard.Group, reqs []trace.Request, model cost.Model, opt 
 
 	// Progress: workers bump a shared counter; the callback itself is
 	// serialized so user code need not be thread-safe.
-	total := len(reqs)
+	total := int(src.Len())
+	if src.Len() < 0 {
+		total = -1
+	}
 	var done atomic.Int64
 	var progressMu sync.Mutex
 	tickFor := func() func() {
@@ -331,19 +446,25 @@ func ReplayParallel(g *shard.Group, reqs []trace.Request, model cost.Model, opt 
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				sub := subs[s]
-				if len(sub) == 0 {
+				cur, err := shardCursor(src, s, n)
+				if err != nil {
+					shardErr[s] = fmt.Errorf("sim: shard %d: %w", s, err)
 					continue
 				}
 				// Anchor every shard's series at the global trace start
 				// so merged buckets align with the sequential series.
 				series, err := metrics.NewSeriesAt(opt.BucketSeconds, start)
 				if err != nil {
+					cur.Close()
 					shardErr[s] = err
 					continue
 				}
 				r := &Result{Series: series}
-				if err := replayLoop(g.Shard(s), sub, steadyFrom, series, r, tickFor()); err != nil {
+				err = replayLoop(g.Shard(s), cur, steadyFrom, series, r, tickFor())
+				if cerr := cur.Close(); err == nil && cerr != nil {
+					err = cerr
+				}
+				if err != nil {
 					shardErr[s] = fmt.Errorf("sim: shard %d: %w", s, err)
 					continue
 				}
@@ -375,7 +496,7 @@ func ReplayParallel(g *shard.Group, reqs []trace.Request, model cost.Model, opt 
 			return nil, err
 		}
 	}
-	if opt.Progress != nil {
+	if opt.Progress != nil && total >= 0 {
 		opt.Progress(total, total)
 	}
 	return merged, nil

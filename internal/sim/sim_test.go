@@ -35,17 +35,17 @@ func (s *scripted) Name() string           { return "scripted" }
 
 func TestReplayValidation(t *testing.T) {
 	m := cost.MustModel(1)
-	if _, err := Replay(nil, []trace.Request{req(0, 1, 0, 0)}, m, Options{}); err == nil {
+	if _, err := Replay(nil, trace.Slice([]trace.Request{req(0, 1, 0, 0)}), m, Options{}); err == nil {
 		t.Error("nil cache should fail")
 	}
 	c, _ := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 4}, 1)
 	if _, err := Replay(c, nil, m, Options{}); err == nil {
 		t.Error("empty trace should fail")
 	}
-	if _, err := Replay(c, []trace.Request{req(0, 1, 0, 0)}, m, Options{SteadyFraction: 1.5}); err == nil {
+	if _, err := Replay(c, trace.Slice([]trace.Request{req(0, 1, 0, 0)}), m, Options{SteadyFraction: 1.5}); err == nil {
 		t.Error("bad steady fraction should fail")
 	}
-	if _, err := Replay(c, []trace.Request{req(10, 1, 0, 0), req(5, 1, 0, 0)}, m, Options{}); err == nil {
+	if _, err := Replay(c, trace.Slice([]trace.Request{req(10, 1, 0, 0), req(5, 1, 0, 0)}), m, Options{}); err == nil {
 		t.Error("out-of-order trace should fail")
 	}
 }
@@ -63,7 +63,7 @@ func TestAccountingConservation(t *testing.T) {
 		req(20, 1, 0, 1), // 2048 bytes hit
 	}
 	m := cost.MustModel(1)
-	res, err := Replay(s, reqs, m, Options{SteadyFraction: 0.001})
+	res, err := Replay(s, trace.Slice(reqs), m, Options{SteadyFraction: 0.001})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestRedirectWithFillRejected(t *testing.T) {
 		{Decision: core.Redirect, FilledChunks: 1, FilledBytes: testK},
 	}}
 	m := cost.MustModel(1)
-	if _, err := Replay(s, []trace.Request{req(0, 1, 0, 0)}, m, Options{}); err == nil {
+	if _, err := Replay(s, trace.Slice([]trace.Request{req(0, 1, 0, 0)}), m, Options{}); err == nil {
 		t.Error("redirect with fills must be rejected as an accounting violation")
 	}
 }
@@ -113,7 +113,7 @@ func TestSteadyExcludesWarmup(t *testing.T) {
 		req(0, 1, 0, 0), req(40, 2, 0, 0), req(60, 1, 0, 0), req(100, 2, 0, 0),
 	}
 	m := cost.MustModel(1)
-	res, err := Replay(s, reqs, m, Options{})
+	res, err := Replay(s, trace.Slice(reqs), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestSeriesBuckets(t *testing.T) {
 	}}
 	reqs := []trace.Request{req(0, 1, 0, 0), req(3600, 1, 0, 0), req(7300, 1, 0, 0)}
 	m := cost.MustModel(1)
-	res, err := Replay(s, reqs, m, Options{BucketSeconds: 3600})
+	res, err := Replay(s, trace.Slice(reqs), m, Options{BucketSeconds: 3600})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestProgressCallback(t *testing.T) {
 	}
 	calls := 0
 	m := cost.MustModel(1)
-	_, err := Replay(s, reqs, m, Options{
+	_, err := Replay(s, trace.Slice(reqs), m, Options{
 		Progress:      func(done, total int) { calls++ },
 		ProgressEvery: 3,
 	})
@@ -186,7 +186,7 @@ func TestReplayAll(t *testing.T) {
 		{Name: "b", Cache: mk(), Model: m},
 		{Cache: mk(), Model: m}, // defaults to cache name
 	}
-	got, err := ReplayAll(jobs, reqs, Options{})
+	got, err := ReplayAll(jobs, trace.Slice(reqs), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestReplayAll(t *testing.T) {
 			got["a"].Total, got["b"].Total)
 	}
 	// Serial replay must match the parallel one.
-	serial, err := Replay(mk(), reqs, m, Options{})
+	serial, err := Replay(mk(), trace.Slice(reqs), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestReplayAll(t *testing.T) {
 	}
 	// Error propagation.
 	bad := []Job{{Name: "bad", Cache: nil, Model: m}}
-	if _, err := ReplayAll(bad, reqs, Options{}); err == nil {
+	if _, err := ReplayAll(bad, trace.Slice(reqs), Options{}); err == nil {
 		t.Error("nil cache should surface an error")
 	}
 }
@@ -228,7 +228,7 @@ func TestReplayAllJoinsAllErrors(t *testing.T) {
 		{Name: "good", Cache: ok, Model: m},
 		{Name: "bad2", Cache: nil, Model: m},
 	}
-	_, err = ReplayAll(jobs, reqs, Options{})
+	_, err = ReplayAll(jobs, trace.Slice(reqs), Options{})
 	if err == nil {
 		t.Fatal("expected joined errors")
 	}
@@ -256,7 +256,7 @@ func TestReplayAllFinalProgress(t *testing.T) {
 		return c
 	}
 	var lastDone, lastTotal int
-	_, err := ReplayAll([]Job{{Name: "a", Cache: mk(), Model: m}}, reqs, Options{
+	_, err := ReplayAll([]Job{{Name: "a", Cache: mk(), Model: m}}, trace.Slice(reqs), Options{
 		Progress: func(done, total int) { lastDone, lastTotal = done, total },
 	})
 	if err != nil {
@@ -279,7 +279,7 @@ func TestReplayWithRealCache(t *testing.T) {
 		tm += 7
 	}
 	m := cost.MustModel(2)
-	res, err := Replay(c, reqs, m, Options{})
+	res, err := Replay(c, trace.Slice(reqs), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

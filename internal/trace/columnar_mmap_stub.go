@@ -1,0 +1,15 @@
+//go:build !unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapTraceSupported gates ReadOptions.Mmap; see MmapSupported.
+const mmapTraceSupported = false
+
+func openMmapBytes(f *os.File, size int64) (segBytes, error) {
+	return nil, errors.New("trace: mmap reads are not supported on this platform")
+}

@@ -1,0 +1,51 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapTraceSupported gates ReadOptions.Mmap; see MmapSupported.
+const mmapTraceSupported = true
+
+// mmapBytes serves segment views as zero-copy slices of a read-only
+// mapping: block decodes borrow the page cache directly instead of
+// pread-ing into a buffer.
+type mmapBytes struct {
+	m []byte
+}
+
+func openMmapBytes(f *os.File, size int64) (segBytes, error) {
+	if size == 0 {
+		return &mmapBytes{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("trace: segment too large to map (%d bytes)", size)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapBytes{m: m}, nil
+}
+
+func (mb *mmapBytes) view(off int64, n int, _ *[]byte) ([]byte, error) {
+	if off < 0 || n < 0 || off+int64(n) > int64(len(mb.m)) {
+		return nil, fmt.Errorf("trace: segment read [%d,+%d) beyond size %d", off, n, len(mb.m))
+	}
+	return mb.m[off : off+int64(n)], nil
+}
+
+func (mb *mmapBytes) size() int64 { return int64(len(mb.m)) }
+
+func (mb *mmapBytes) close() error {
+	if mb.m == nil {
+		return nil
+	}
+	m := mb.m
+	mb.m = nil
+	return syscall.Munmap(m)
+}

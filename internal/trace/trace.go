@@ -97,18 +97,51 @@ func (tw *TextWriter) Write(r Request) error {
 // Flush drains the underlying buffer.
 func (tw *TextWriter) Flush() error { return tw.w.Flush() }
 
-// TextReader parses the text format, skipping blank lines and lines
-// beginning with '#'.
-type TextReader struct {
-	s    *bufio.Scanner
-	line int
+// DefaultMaxLineBytes is the default cap on a single text-format line.
+// One request line is four decimal integers — well under a hundred
+// bytes — so the default only exists to bound memory on corrupt or
+// hostile input.
+const DefaultMaxLineBytes = 1 << 20
+
+// TextReaderConfig tunes NewTextReaderWith.
+type TextReaderConfig struct {
+	// MaxLineBytes caps the length of one input line. A longer line
+	// fails the read with a line-numbered error instead of being split
+	// or silently truncated. Zero (or negative) means
+	// DefaultMaxLineBytes.
+	MaxLineBytes int
 }
 
-// NewTextReader wraps r in a text-format trace reader.
+// TextReader parses the text format, skipping blank lines and lines
+// beginning with '#'. Every parse failure — including scanner-level
+// failures such as an over-long line — is reported with the 1-based
+// line number it occurred on.
+type TextReader struct {
+	s       *bufio.Scanner
+	line    int
+	maxLine int
+}
+
+// NewTextReader wraps r in a text-format trace reader with the default
+// line-length limit.
 func NewTextReader(r io.Reader) *TextReader {
+	return NewTextReaderWith(r, TextReaderConfig{})
+}
+
+// NewTextReaderWith wraps r in a text-format trace reader with explicit
+// configuration.
+func NewTextReaderWith(r io.Reader, cfg TextReaderConfig) *TextReader {
+	maxLine := cfg.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLineBytes
+	}
+	initial := 1 << 16
+	if initial > maxLine {
+		initial = maxLine
+	}
 	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 1<<16), 1<<20)
-	return &TextReader{s: s}
+	s.Buffer(make([]byte, initial), maxLine)
+	return &TextReader{s: s, maxLine: maxLine}
 }
 
 // Read returns the next request or io.EOF.
@@ -136,12 +169,17 @@ func (tr *TextReader) Read() (Request, error) {
 		}
 		req := Request{Time: vals[0], Video: chunk.VideoID(vals[1]), Start: vals[2], End: vals[3]}
 		if err := req.Validate(); err != nil {
-			return Request{}, fmt.Errorf("line %d: %w", tr.line, err)
+			return Request{}, fmt.Errorf("trace: line %d: %w", tr.line, err)
 		}
 		return req, nil
 	}
 	if err := tr.s.Err(); err != nil {
-		return Request{}, err
+		// The scanner fails on the line after the last one delivered.
+		if errors.Is(err, bufio.ErrTooLong) {
+			return Request{}, fmt.Errorf("trace: line %d: line exceeds the %d-byte limit (raise TextReaderConfig.MaxLineBytes): %w",
+				tr.line+1, tr.maxLine, err)
+		}
+		return Request{}, fmt.Errorf("trace: line %d: %w", tr.line+1, err)
 	}
 	return Request{}, io.EOF
 }

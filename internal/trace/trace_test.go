@@ -370,3 +370,94 @@ func TestReadAllPropagatesError(t *testing.T) {
 type iotest struct{}
 
 func (iotest) Read([]byte) (int, error) { return 0, errors.New("boom") }
+
+// TestTextReaderLineNumbers drives every TextReader failure mode —
+// field-count, parse, validation and scanner-level errors — and checks
+// each is reported with the exact 1-based line number, and that the
+// configurable line cap is honored in both directions.
+func TestTextReaderLineNumbers(t *testing.T) {
+	long := strings.Repeat("9", 2048) // one over-long token
+	cases := []struct {
+		name    string
+		input   string
+		cfg     TextReaderConfig
+		wantOK  int    // requests read before the error
+		wantErr string // substring of the error; "" means clean EOF
+	}{
+		{
+			name:   "clean",
+			input:  "1 1 0 9\n2 2 0 9\n",
+			wantOK: 2,
+		},
+		{
+			name:    "wrong field count",
+			input:   "1 1 0 9\n\n# note\n2 2 0\n",
+			wantOK:  1,
+			wantErr: "line 4: want 4 fields, got 3",
+		},
+		{
+			name:    "unparsable field",
+			input:   "1 1 0 9\n2 two 0 9\n",
+			wantOK:  1,
+			wantErr: "line 2 field 2",
+		},
+		{
+			name:    "negative video",
+			input:   "1 -7 0 9\n",
+			wantErr: "line 1: negative video ID",
+		},
+		{
+			name:    "invalid range",
+			input:   "1 1 9 0\n",
+			wantErr: "line 1: trace: invalid byte range",
+		},
+		{
+			name:    "line over default-capped limit",
+			input:   "1 1 0 9\n1 " + long + " 0 9\n",
+			cfg:     TextReaderConfig{MaxLineBytes: 1024},
+			wantOK:  1,
+			wantErr: "line 2: line exceeds the 1024-byte limit",
+		},
+		{
+			name:   "raised limit accepts long line",
+			input:  "1 " + strings.Repeat("0", 2000) + "1 0 9\n",
+			cfg:    TextReaderConfig{MaxLineBytes: 4096},
+			wantOK: 1,
+		},
+		{
+			name:    "over-long comment still fails at the cap",
+			input:   "# " + long + "\n1 1 0 9\n",
+			cfg:     TextReaderConfig{MaxLineBytes: 256},
+			wantErr: "line 1: line exceeds the 256-byte limit",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewTextReaderWith(strings.NewReader(tc.input), tc.cfg)
+			got := 0
+			var err error
+			for {
+				_, err = r.Read()
+				if err != nil {
+					break
+				}
+				got++
+			}
+			if got != tc.wantOK {
+				t.Fatalf("read %d requests before stopping, want %d (err %v)", got, tc.wantOK, err)
+			}
+			if tc.wantErr == "" {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("want clean EOF, got %v", err)
+				}
+				return
+			}
+			if errors.Is(err, io.EOF) {
+				t.Fatalf("want error containing %q, got clean EOF", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -67,6 +67,10 @@ type Profile struct {
 	// MeanWatchFrac is the mean fraction of the remaining video a
 	// session watches (exponentially distributed, capped at 1).
 	MeanWatchFrac float64
+	// IDOffset shifts every video ID the profile mints, namespacing
+	// the catalogs of profiles generated in parallel so they can never
+	// alias (SplitProfile gives each part a disjoint 24-bit ID space).
+	IDOffset chunk.VideoID
 }
 
 // Validate reports profile errors.
@@ -166,7 +170,7 @@ func NewGenerator(p Profile) (*Generator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	g := &Generator{p: p, rng: rand.New(rand.NewSource(p.Seed)), nextID: 1}
+	g := &Generator{p: p, rng: rand.New(rand.NewSource(p.Seed)), nextID: p.IDOffset + 1}
 	for i := 0; i < p.CatalogSize; i++ {
 		g.addVideo(-g.rng.Float64() * 60)
 	}

@@ -166,7 +166,7 @@ func Replay(c Cache, reqs []Request, alpha float64, opt ReplayOptions) (*ReplayR
 	if err != nil {
 		return nil, err
 	}
-	return sim.Replay(c, reqs, m, opt)
+	return sim.Replay(c, trace.Slice(reqs), m, opt)
 }
 
 // WorkloadProfiles returns the six world-region profiles mirroring the
@@ -185,6 +185,19 @@ func GenerateWorkload(p WorkloadProfile, days int) ([]Request, error) {
 		return nil, err
 	}
 	return g.Generate(days)
+}
+
+// WorkloadDirOptions tune GenerateWorkloadDir.
+type WorkloadDirOptions = workload.DirGenOptions
+
+// WorkloadStats summarizes a generated trace.
+type WorkloadStats = workload.Stats
+
+// GenerateWorkloadDir synthesizes a trace for the profile straight
+// into a columnar trace directory: generation streams to disk (never
+// holding the trace in memory) and runs Workers parts in parallel.
+func GenerateWorkloadDir(p WorkloadProfile, days int, dir string, opt WorkloadDirOptions) (WorkloadStats, error) {
+	return workload.GenerateDir(p, days, dir, opt)
 }
 
 // SolveOptimalLP computes the LP-relaxed Optimal Cache bound (Section
@@ -328,7 +341,69 @@ func ReplayParallel(c Cache, reqs []Request, alpha float64, opt ReplayOptions) (
 	if err != nil {
 		return nil, err
 	}
-	return sim.ReplayParallel(g, reqs, m, opt)
+	return sim.ReplayParallel(g, trace.Slice(reqs), m, opt)
+}
+
+// Streaming trace types: a columnar trace directory streams 100M+
+// request replays at flat memory (bounded by per-cursor block buffers,
+// independent of trace length).
+type (
+	// TraceSource is a replayable trace: per-shard streaming cursors
+	// over an in-memory slice (SliceTrace) or an on-disk columnar
+	// directory (OpenTraceDir).
+	TraceSource = trace.Source
+	// TraceCursor streams requests allocation-free via Next(*Request).
+	TraceCursor = trace.Cursor
+	// TraceDir is an opened columnar trace directory.
+	TraceDir = trace.Dir
+	// TraceDirConfig parameterizes CreateTraceDir (shard fan-out,
+	// writer parts, block size).
+	TraceDirConfig = trace.DirConfig
+	// TraceDirReadOptions selects mmap vs chunked pread.
+	TraceDirReadOptions = trace.ReadOptions
+)
+
+// SliceTrace wraps an in-memory trace as a TraceSource.
+func SliceTrace(reqs []Request) TraceSource { return trace.Slice(reqs) }
+
+// OpenTraceDir opens a columnar trace directory for streaming replay.
+// opts may be nil (chunked pread).
+func OpenTraceDir(dir string, opts *TraceDirReadOptions) (*TraceDir, error) {
+	return trace.OpenDir(dir, opts)
+}
+
+// CreateTraceDir creates a columnar trace directory writer; stream
+// requests in with Write (non-decreasing time) and finalize with
+// Close.
+func CreateTraceDir(dir string, cfg TraceDirConfig) (*trace.DirWriter, error) {
+	return trace.CreateDir(dir, cfg)
+}
+
+// ReplaySource is Replay over any TraceSource: an opened trace
+// directory replays block by block without ever materializing the
+// trace in memory.
+func ReplaySource(c Cache, src TraceSource, alpha float64, opt ReplayOptions) (*ReplayResult, error) {
+	m, err := cost.NewModel(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Replay(c, src, m, opt)
+}
+
+// ReplayParallelSource is ReplayParallel over any TraceSource. When
+// the source is a trace directory sharded like the cache, each worker
+// streams its shard's segment files directly — no partition pass, no
+// sub-trace copies.
+func ReplayParallelSource(c Cache, src TraceSource, alpha float64, opt ReplayOptions) (*ReplayResult, error) {
+	g, ok := c.(*shard.Group)
+	if !ok {
+		return nil, fmt.Errorf("videocdn: ReplayParallelSource needs a sharded cache (got %s); build one with NewShardedCafe or NewShardedXLRU", c.Name())
+	}
+	m, err := cost.NewModel(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return sim.ReplayParallel(g, src, m, opt)
 }
 
 // SaveCafeState serializes a Cafe cache's decision state (IAT table,
