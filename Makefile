@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos chaos-cluster check-oracle cover fuzz bench bench-replay bench-edge bench-store perf-gate experiments experiments-small fmt vet clean
+.PHONY: all build test test-short race chaos chaos-cluster check-oracle cover fuzz bench bench-replay bench-edge bench-store bench-all bench-smoke perf-gate experiments experiments-small fmt vet clean
 
 all: build test
 
@@ -76,13 +76,26 @@ bench-edge:
 bench-store:
 	$(GO) run ./cmd/benchstore -o BENCH_store.json
 
-# Perf-regression smoke gate (also run in CI): regenerate both
+# Regenerate all three committed benchmark baselines in one shot. Run
+# this on the machine whose numbers the baselines should record (each
+# report stamps cpus/gomaxprocs; perfgate widens its tolerances when a
+# rerun lands on a machine with a different CPU count).
+bench-all: bench-store bench-edge bench-replay
+
+# One-iteration pass over every go-test benchmark in the tree — the
+# same compile-and-run smoke CI uses to keep benchmarks from bit-rotting
+# without paying for real measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Perf-regression smoke gate (also run in CI): regenerate all three
 # benchmark reports at smoke size and compare against the committed
-# baselines. Fails only on order-of-magnitude ns/op regressions or a
-# zero-alloc path starting to allocate — safe on small noisy CI boxes.
+# baselines. Fails only on order-of-magnitude regressions — ns/op or
+# cpu-sec/GB growth, throughput collapse, fill-memory blowup — or a
+# zero-alloc path starting to allocate; safe on small noisy CI boxes.
 perf-gate:
 	$(GO) run ./cmd/benchstore -o /tmp/bench_store_smoke.json
-	$(GO) run ./cmd/benchedge -shards 1 -concurrency 8 -requests 2000 -warmup 500 -videos 64 -o /tmp/bench_edge_smoke.json
+	$(GO) run ./cmd/benchedge -shards 1 -concurrency 8 -requests 2000 -warmup 500 -videos 64 -servepath-mb 64 -o /tmp/bench_edge_smoke.json
 	$(GO) run ./cmd/benchreplay -requests-per-day 4000 -days 2 -disk-chunks 512 -o /tmp/bench_replay_smoke.json
 	$(GO) run ./cmd/perfgate BENCH_store.json /tmp/bench_store_smoke.json BENCH_edge.json /tmp/bench_edge_smoke.json BENCH_replay.json /tmp/bench_replay_smoke.json
 

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package main
+
+// processCPUSeconds is unavailable without getrusage; the
+// cpu_sec_per_gb columns read 0 and perfgate skips them (a zero
+// baseline gates nothing).
+func processCPUSeconds() float64 { return 0 }

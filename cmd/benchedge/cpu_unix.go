@@ -1,0 +1,21 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// processCPUSeconds returns this process's consumed CPU time (user +
+// system, all threads) — the numerator of the cpu_sec_per_gb columns.
+// Wall time under load measures queueing; CPU per byte measures what
+// the zero-copy serve path actually removes: per-byte kernel/user
+// copying and the user-space loop driving it.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

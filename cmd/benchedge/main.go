@@ -64,6 +64,16 @@ type runRow struct {
 	// server's from above. The serve_path section isolates the server's
 	// hot path.
 	AllocsPerRequest float64 `json:"allocs_per_request"`
+	// BytesPerSec is 2xx body bytes delivered to clients per wall
+	// second; CPUSecPerGB is process CPU time (client and server share
+	// the process) per GB of those bytes — the copy work the kernel
+	// serve path removes. PeakFillBytes is the high-water mark of fill
+	// scratch memory checked out at once across all nodes: the
+	// O(FillStreamBuf × in-flight fills) bound, not O(chunk).
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	CPUSecPerGB   float64 `json:"cpu_sec_per_gb"`
+	PeakFillBytes int64   `json:"peak_fill_bytes"`
+	StreamFills   int64   `json:"stream_fills"`
 	// SpeedupVs1 is ThroughputRPS over the 1-shard row's (when present).
 	SpeedupVs1 float64 `json:"speedup_vs_1shard,omitempty"`
 	// Eq2Exact asserts the /stats efficiency equals Eq. 2 recomputed
@@ -96,36 +106,57 @@ type servePathRow struct {
 	BytesStreamed int64   `json:"bytes_streamed_per_op"`
 }
 
+// httpServeRow is one arm of the sendfile A/B: warm cache hits pulled
+// whole-video over real loopback TCP from a non-mmap file-backed store,
+// with the kernel serve path on vs off. The chunk counters prove which
+// byte path actually ran.
+type httpServeRow struct {
+	BytesPerSec    float64 `json:"bytes_per_sec"`
+	CPUSecPerGB    float64 `json:"cpu_sec_per_gb"`
+	BytesServed    int64   `json:"bytes_served"`
+	SendfileChunks int64   `json:"sendfile_chunks"`
+	CopyChunks     int64   `json:"copy_chunks"`
+}
+
 type report struct {
-	GeneratedAt string       `json:"generated_at"`
-	GOOS        string       `json:"goos"`
-	GOARCH      string       `json:"goarch"`
-	CPUs        int          `json:"cpus"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	Note        string       `json:"note,omitempty"`
-	Algo        string       `json:"algo"`
-	Alpha       float64      `json:"alpha"`
-	ChunkBytes  int64        `json:"chunk_bytes"`
-	DiskChunks  int          `json:"disk_chunks"`
-	Videos      int          `json:"videos"`
-	Zipf        float64      `json:"zipf_s"`
-	Store       string       `json:"store"`
-	AsyncFills  bool         `json:"async_fills"`
-	HotMB       int64        `json:"hot_mb"`
-	Runs        []runRow     `json:"runs"`
-	ServePath   servePathRow `json:"serve_path"`
+	GeneratedAt   string       `json:"generated_at"`
+	GOOS          string       `json:"goos"`
+	GOARCH        string       `json:"goarch"`
+	CPUs          int          `json:"cpus"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Note          string       `json:"note,omitempty"`
+	Algo          string       `json:"algo"`
+	Alpha         float64      `json:"alpha"`
+	ChunkBytes    int64        `json:"chunk_bytes"`
+	DiskChunks    int          `json:"disk_chunks"`
+	Videos        int          `json:"videos"`
+	Zipf          float64      `json:"zipf_s"`
+	Store         string       `json:"store"`
+	AsyncFills    bool         `json:"async_fills"`
+	HotMB         int64        `json:"hot_mb"`
+	FillStreamBuf int64        `json:"fill_stream_buf"`
+	Runs          []runRow     `json:"runs"`
+	ServePath     servePathRow `json:"serve_path"`
 	// ServePathCold is the same isolated cache-hit benchmark with the
 	// hot tier disabled — the pooled-copy baseline the zero-copy path
 	// is measured against.
 	ServePathCold servePathRow `json:"serve_path_cold"`
+	// ServePathSendfile vs ServePathCopy: the same warm-hit HTTP
+	// workload over a non-mmap slab store with the kernel serve path on
+	// vs off — the PR's CPU-seconds-per-GB acceptance comparison, from
+	// one run on one machine.
+	ServePathSendfile httpServeRow `json:"serve_path_sendfile"`
+	ServePathCopy     httpServeRow `json:"serve_path_copy"`
 }
 
 // storeOpts selects the chunk store backend, fill mode, and hot tier
 // budget under test.
 type storeOpts struct {
-	kind     string // mem, fs or slab
-	async    bool
-	hotBytes int64 // RAM hot tier budget; 0 disables the tier
+	kind          string // mem, fs or slab
+	async         bool
+	hotBytes      int64 // RAM hot tier budget; 0 disables the tier
+	fillStreamBuf int64 // streaming fill buffer (0 default, <0 buffered)
+	noSendfile    bool  // disable the kernel serve path
 }
 
 // open builds a fresh store of the selected kind in a temp dir (for
@@ -216,6 +247,9 @@ func main() {
 	hotMB := flag.Int64("hot-mb", 64, "RAM hot tier budget in MB (0 disables the tier)")
 	peers := flag.Int("peers", 0, "cluster size: N in-process edge nodes with rendezvous-routed peer fill, workers spread across all of them (0 or 1 = standalone)")
 	peerAlpha := flag.Float64("peer-alpha", 0.25, "alpha_P2R: peer-fill cost relative to a redirect (cluster runs)")
+	fillStreamBuf := flag.Int64("fill-stream-buf", 0, "streaming fill buffer in bytes (0 = 256 KiB default, negative = legacy whole-chunk buffering)")
+	noSendfile := flag.Bool("no-sendfile", false, "disable the kernel (sendfile) serve path in the load-test runs")
+	servepathMB := flag.Int64("servepath-mb", 256, "MB pulled per arm of the sendfile on/off HTTP A/B (serve_path_sendfile / serve_path_copy)")
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *requests / 4
@@ -224,22 +258,26 @@ func main() {
 	chunkSize := *chunkKB << 10
 	catalog := edge.DeterministicCatalog{MinBytes: 4 * chunkSize, MaxBytes: 16 * chunkSize}
 	rep := &report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		CPUs:        runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Algo:        *algo,
-		Alpha:       *alpha,
-		ChunkBytes:  chunkSize,
-		DiskChunks:  *diskChunks,
-		Videos:      *videos,
-		Zipf:        *zipfS,
-		Store:       *storeKind,
-		AsyncFills:  *fillAsync,
-		HotMB:       *hotMB,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Algo:          *algo,
+		Alpha:         *alpha,
+		ChunkBytes:    chunkSize,
+		DiskChunks:    *diskChunks,
+		Videos:        *videos,
+		Zipf:          *zipfS,
+		Store:         *storeKind,
+		AsyncFills:    *fillAsync,
+		HotMB:         *hotMB,
+		FillStreamBuf: *fillStreamBuf,
 	}
-	so := storeOpts{kind: *storeKind, async: *fillAsync, hotBytes: *hotMB << 20}
+	so := storeOpts{
+		kind: *storeKind, async: *fillAsync, hotBytes: *hotMB << 20,
+		fillStreamBuf: *fillStreamBuf, noSendfile: *noSendfile,
+	}
 	if rep.CPUs < 4 {
 		rep.Note = fmt.Sprintf("generated on a %d-CPU machine: shard scaling is lock-contention relief only; regenerate on multi-core for real parallel speedup", rep.CPUs)
 	}
@@ -280,6 +318,18 @@ func main() {
 	}
 	rep.ServePathCold = spCold
 
+	fmt.Fprintf(os.Stderr, "edge: sendfile A/B (%d MB per arm)...\n", *servepathMB)
+	sfOn, err := measureHTTPServePath(chunkSize, *algo, *alpha, catalog, *servepathMB, false)
+	if err != nil {
+		fatal(err)
+	}
+	rep.ServePathSendfile = sfOn
+	sfOff, err := measureHTTPServePath(chunkSize, *algo, *alpha, catalog, *servepathMB, true)
+	if err != nil {
+		fatal(err)
+	}
+	rep.ServePathCopy = sfOff
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -309,6 +359,11 @@ func main() {
 	fmt.Printf("  serve_path: %.0f ns/op, %g allocs/op (hot tier on); %.0f ns/op, %g allocs/op (off)\n",
 		rep.ServePath.NsPerOp, rep.ServePath.AllocsPerOp,
 		rep.ServePathCold.NsPerOp, rep.ServePathCold.AllocsPerOp)
+	fmt.Printf("  sendfile A/B: on %.0f MB/s %.3f cpu-s/GB (%d sendfile / %d copy chunks); off %.0f MB/s %.3f cpu-s/GB (%d copy chunks)\n",
+		rep.ServePathSendfile.BytesPerSec/1e6, rep.ServePathSendfile.CPUSecPerGB,
+		rep.ServePathSendfile.SendfileChunks, rep.ServePathSendfile.CopyChunks,
+		rep.ServePathCopy.BytesPerSec/1e6, rep.ServePathCopy.CPUSecPerGB,
+		rep.ServePathCopy.CopyChunks)
 }
 
 // newEdge builds origin + n-shard edge server over loopback TCP. The
@@ -325,16 +380,18 @@ func newEdge(n int, chunkSize int64, diskChunks int, algo string, alpha float64,
 		return nil, nil, nil, nil, err
 	}
 	s, err := edge.NewServer(edge.Config{
-		Shards:       n,
-		CacheFactory: cacheFactory(algo, alpha),
-		CacheConfig:  core.Config{ChunkSize: chunkSize, DiskChunks: diskChunks},
-		Store:        st,
-		OriginURL:    origin.URL,
-		RedirectURL:  "http://secondary.example",
-		ChunkSize:    chunkSize,
-		Alpha:        alpha,
-		AsyncFills:   so.async,
-		HotBytes:     so.hotBytes,
+		Shards:          n,
+		CacheFactory:    cacheFactory(algo, alpha),
+		CacheConfig:     core.Config{ChunkSize: chunkSize, DiskChunks: diskChunks},
+		Store:           st,
+		OriginURL:       origin.URL,
+		RedirectURL:     "http://secondary.example",
+		ChunkSize:       chunkSize,
+		Alpha:           alpha,
+		AsyncFills:      so.async,
+		HotBytes:        so.hotBytes,
+		FillStreamBuf:   so.fillStreamBuf,
+		DisableSendfile: so.noSendfile,
 	})
 	if err != nil {
 		storeCleanup()
@@ -436,19 +493,21 @@ func newEdgeCluster(peers, n int, chunkSize int64, diskChunks int, algo string, 
 		}
 		cleanups = append(cleanups, storeCleanup)
 		s, err := edge.NewServer(edge.Config{
-			Shards:       n,
-			CacheFactory: cacheFactory(algo, alpha),
-			CacheConfig:  core.Config{ChunkSize: chunkSize, DiskChunks: diskChunks},
-			Store:        st,
-			OriginURL:    origin.URL,
-			RedirectURL:  "http://secondary.example",
-			ChunkSize:    chunkSize,
-			Alpha:        alpha,
-			AsyncFills:   so.async,
-			HotBytes:     so.hotBytes,
-			PeerFill:     client,
-			PeerAlpha:    peerAlpha,
-			NodeID:       members[i].ID,
+			Shards:          n,
+			CacheFactory:    cacheFactory(algo, alpha),
+			CacheConfig:     core.Config{ChunkSize: chunkSize, DiskChunks: diskChunks},
+			Store:           st,
+			OriginURL:       origin.URL,
+			RedirectURL:     "http://secondary.example",
+			ChunkSize:       chunkSize,
+			Alpha:           alpha,
+			AsyncFills:      so.async,
+			HotBytes:        so.hotBytes,
+			FillStreamBuf:   so.fillStreamBuf,
+			DisableSendfile: so.noSendfile,
+			PeerFill:        client,
+			PeerAlpha:       peerAlpha,
+			NodeID:          members[i].ID,
 		})
 		if err != nil {
 			return fail(err)
@@ -495,9 +554,9 @@ func measure(n, peers, concurrency, warmup, requests, videos int, zipfS float64,
 	}
 	defer transport.CloseIdleConnections()
 
-	run := func(total int, record bool) ([][]int64, int64, error) {
+	run := func(total int, record bool) ([][]int64, int64, int64, error) {
 		lats := make([][]int64, concurrency)
-		var issued, redirects atomic.Int64
+		var issued, redirects, bodyBytes atomic.Int64
 		var wg sync.WaitGroup
 		var firstErr atomic.Value
 		for w := 0; w < concurrency; w++ {
@@ -539,15 +598,18 @@ func measure(n, peers, concurrency, warmup, requests, videos int, zipfS float64,
 						firstErr.CompareAndSwap(nil, err)
 						return
 					}
-					_, cerr := io.Copy(io.Discard, resp.Body)
+					nbody, cerr := io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					if cerr != nil {
 						firstErr.CompareAndSwap(nil, cerr)
 						return
 					}
-					if resp.StatusCode == http.StatusFound {
+					switch resp.StatusCode {
+					case http.StatusFound:
 						redirects.Add(1)
-					} else if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+					case http.StatusOK, http.StatusPartialContent:
+						bodyBytes.Add(nbody)
+					default:
 						firstErr.CompareAndSwap(nil, fmt.Errorf("status %d for v=%d [%d,%d]", resp.StatusCode, v, start, end))
 						return
 					}
@@ -559,9 +621,9 @@ func measure(n, peers, concurrency, warmup, requests, videos int, zipfS float64,
 		}
 		wg.Wait()
 		if err, ok := firstErr.Load().(error); ok {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
-		return lats, redirects.Load(), nil
+		return lats, redirects.Load(), bodyBytes.Load(), nil
 	}
 
 	// sumStats fetches every node's /stats; the aggregate is the sum of
@@ -580,7 +642,7 @@ func measure(n, peers, concurrency, warmup, requests, videos int, zipfS float64,
 		return agg, nodes, nil
 	}
 
-	if _, _, err := run(warmup, false); err != nil {
+	if _, _, _, err := run(warmup, false); err != nil {
 		return runRow{}, err
 	}
 	before, _, err := sumStats()
@@ -591,12 +653,14 @@ func measure(n, peers, concurrency, warmup, requests, videos int, zipfS float64,
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	cpu0 := processCPUSeconds()
 	t0 := time.Now()
-	lats, redirects, err := run(requests, true)
+	lats, redirects, bodyBytes, err := run(requests, true)
 	if err != nil {
 		return runRow{}, err
 	}
 	wall := time.Since(t0)
+	cpu := processCPUSeconds() - cpu0
 	runtime.ReadMemStats(&m1)
 
 	after, perNode, err := sumStats()
@@ -684,6 +748,21 @@ func measure(n, peers, concurrency, warmup, requests, videos int, zipfS float64,
 	if lookups := row.HotTierHits + row.ColdTierHits + row.TierMisses; lookups > 0 {
 		row.HotHitRatio = float64(row.HotTierHits) / float64(lookups)
 	}
+	if wall > 0 {
+		row.BytesPerSec = float64(bodyBytes) / wall.Seconds()
+	}
+	if bodyBytes > 0 {
+		row.CPUSecPerGB = cpu / (float64(bodyBytes) / 1e9)
+	}
+	// Peak fill scratch is a per-node high-water mark; the bound the row
+	// reports is the worst node. Stream fills sum cluster-wide.
+	for _, s := range servers {
+		ps := s.ServePathStats()
+		if ps.FillBufPeakBytes > row.PeakFillBytes {
+			row.PeakFillBytes = ps.FillBufPeakBytes
+		}
+		row.StreamFills += ps.StreamFills
+	}
 	if peers > 1 {
 		row.Peers = peers
 		row.PeerFilledBytes = dPeer
@@ -748,6 +827,105 @@ func measureServePath(chunkSize int64, algo string, alpha float64, catalog edge.
 		BytesPerOp:    float64(res.AllocedBytesPerOp()),
 		BytesStreamed: size,
 	}, nil
+}
+
+// measureHTTPServePath runs one arm of the sendfile A/B: a warm
+// whole-video hit loop over real loopback TCP against a single-shard
+// edge on a non-mmap slab store (no borrowable bytes, no hot tier —
+// every hit must go through either the kernel section path or the
+// pooled copy loop, so the two arms isolate exactly the syscall that
+// moves the bytes). Returns throughput and process CPU per GB served.
+func measureHTTPServePath(chunkSize int64, algo string, alpha float64, catalog edge.Catalog, targetMB int64, disableSendfile bool) (httpServeRow, error) {
+	dir, err := os.MkdirTemp("", "benchedge-ab-")
+	if err != nil {
+		return httpServeRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.NewSlab(dir, store.SlabConfig{SlotBytes: chunkSize})
+	if err != nil {
+		return httpServeRow{}, err
+	}
+	defer st.Close()
+	o, err := edge.NewOrigin(catalog, chunkSize)
+	if err != nil {
+		return httpServeRow{}, err
+	}
+	origin := httptest.NewServer(o)
+	defer origin.Close()
+	s, err := edge.NewServer(edge.Config{
+		Shards:          1,
+		CacheFactory:    cacheFactory(algo, alpha),
+		CacheConfig:     core.Config{ChunkSize: chunkSize, DiskChunks: 256},
+		Store:           st,
+		OriginURL:       origin.URL,
+		RedirectURL:     "http://secondary.example",
+		ChunkSize:       chunkSize,
+		Alpha:           alpha,
+		DisableSendfile: disableSendfile,
+	})
+	if err != nil {
+		return httpServeRow{}, err
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	const v = chunk.VideoID(1)
+	size, _ := catalog.SizeOf(v)
+	url := fmt.Sprintf("%s/video?v=%d", srv.URL, v)
+	client := &http.Client{}
+	for i := 0; i < 2; i++ { // admit + fill the whole video
+		resp, err := client.Get(url)
+		if err != nil {
+			return httpServeRow{}, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return httpServeRow{}, fmt.Errorf("sendfile A/B warmup status %d", resp.StatusCode)
+		}
+	}
+	s.Flush() // timing must not overlap deferred fill writes
+	warm := s.ServePathStats()
+
+	passes := (targetMB << 20) / size
+	if passes < 1 {
+		passes = 1
+	}
+	var served int64
+	cpu0 := processCPUSeconds()
+	t0 := time.Now()
+	for i := int64(0); i < passes; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			return httpServeRow{}, err
+		}
+		n, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if cerr != nil {
+			return httpServeRow{}, cerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return httpServeRow{}, fmt.Errorf("sendfile A/B status %d", resp.StatusCode)
+		}
+		served += n
+	}
+	wall := time.Since(t0)
+	cpu := processCPUSeconds() - cpu0
+	ps := s.ServePathStats()
+
+	row := httpServeRow{
+		BytesServed:    served,
+		SendfileChunks: ps.SendfileChunks - warm.SendfileChunks,
+		CopyChunks:     ps.CopyChunks - warm.CopyChunks,
+	}
+	if wall > 0 {
+		row.BytesPerSec = float64(served) / wall.Seconds()
+	}
+	if served > 0 {
+		row.CPUSecPerGB = cpu / (float64(served) / 1e9)
+	}
+	return row, nil
 }
 
 func fatal(err error) {

@@ -59,6 +59,7 @@ type report struct {
 	GOOS        string    `json:"goos"`
 	GOARCH      string    `json:"goarch"`
 	CPUs        int       `json:"cpus"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
 	ChunkBytes  int64     `json:"chunk_bytes"`
 	WorkingSet  int       `json:"working_set_chunks"`
 	HotMB       int64     `json:"hot_mb"`
@@ -106,6 +107,7 @@ func main() {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		ChunkBytes:  slot,
 		WorkingSet:  *working,
 		HotMB:       *hotMB,

@@ -8,14 +8,26 @@
 // What a 10x tolerance still catches is the class of bug this
 // repository's perf work actually regresses by: an accidental
 // O(n) scan on a hot path, a lost fast path, a copy where a borrow
-// should be. Two rules:
+// should be. Four rules:
 //
 //  1. every ns_per_op / ns_per_request metric present in both reports
 //     may grow at most -tolerance-fold (default 10x);
 //  2. every allocs_per_op / allocs_per_request metric that is zero in
 //     the baseline must stay zero — the zero-alloc serve, Get and
 //     trace-cursor paths are structural invariants, not timings, so
-//     they hold on any machine.
+//     they hold on any machine;
+//  3. every bytes_per_sec throughput may shrink at most
+//     -tolerance-fold (rates regress by getting smaller);
+//  4. every cpu_sec_per_gb / peak_fill_bytes cost may grow at most
+//     -tolerance-fold — peak_fill_bytes in particular is the
+//     O(stream-buffer × in-flight) fill-memory bound, and reverting
+//     to whole-chunk fill buffering blows it by more than any
+//     machine-to-machine noise.
+//
+// When the two reports record different "cpus" counts they came from
+// different machines (committed baseline vs CI container), so the
+// timing/rate/cost tolerances are widened 4x; the allocation
+// invariants are machine-independent and stay strict.
 //
 // Metrics are discovered by walking the JSON trees, so the gate needs
 // no schema knowledge and keeps working as reports grow new sections.
@@ -64,17 +76,22 @@ func main() {
 // comparePair diffs one (baseline, current) report pair and reports
 // whether it passes.
 func comparePair(basePath, curPath string, tolerance float64) bool {
-	base, _, err := loadMetrics(basePath)
+	base, _, baseCPUs, err := loadMetrics(basePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
 		return false
 	}
-	cur, curNodes, err := loadMetrics(curPath)
+	cur, curNodes, curCPUs, err := loadMetrics(curPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
 		return false
 	}
 	fmt.Printf("%s vs %s:\n", basePath, curPath)
+	if baseCPUs > 0 && curCPUs > 0 && baseCPUs != curCPUs {
+		tolerance *= 4
+		fmt.Printf("  baseline machine has %d CPUs, this one %d: widening timing/rate/cost tolerance to %.0fx (alloc invariants stay strict)\n",
+			baseCPUs, curCPUs, tolerance)
+	}
 	paths := make([]string, 0, len(base))
 	for p := range base {
 		paths = append(paths, p)
@@ -112,6 +129,20 @@ func comparePair(basePath, curPath string, tolerance float64) bool {
 				fmt.Printf("  REGRESSION %s: %g allocs/op on a path that was allocation-free\n", p, c)
 				ok = false
 			}
+		case "rate":
+			checked++
+			if b > 0 && c > 0 && c < b/tolerance {
+				fmt.Printf("  REGRESSION %s: %.3g/s vs baseline %.3g (%.1fx slower > %.0fx tolerance)\n",
+					p, c, b, b/c, tolerance)
+				ok = false
+			}
+		case "cost":
+			checked++
+			if b > 0 && c > b*tolerance {
+				fmt.Printf("  REGRESSION %s: %.3g vs baseline %.3g (%.1fx > %.0fx tolerance)\n",
+					p, c, b, c/b, tolerance)
+				ok = false
+			}
 		}
 	}
 	if ok {
@@ -137,13 +168,18 @@ func parentPath(p string) string {
 
 // metricKind classifies a metric path by its leaf field name: "ns" for
 // timing leaves gated by the growth tolerance, "allocs" for allocation
-// leaves gated by the zero-stays-zero rule.
+// leaves gated by the zero-stays-zero rule, "rate" for throughputs
+// gated against shrinking, "cost" for per-unit costs (CPU per GB, peak
+// fill memory) gated against growing.
 func metricKind(path string) string {
 	kinds := []struct{ leaf, kind string }{
 		{"ns_per_op", "ns"},
 		{"ns_per_request", "ns"},
 		{"allocs_per_op", "allocs"},
 		{"allocs_per_request", "allocs"},
+		{"bytes_per_sec", "rate"},
+		{"cpu_sec_per_gb", "cost"},
+		{"peak_fill_bytes", "cost"},
 	}
 	for _, k := range kinds {
 		if n := len(path) - len(k.leaf); n >= 0 && path[n:] == k.leaf {
@@ -153,22 +189,29 @@ func metricKind(path string) string {
 	return ""
 }
 
-// loadMetrics flattens every ns_per_op / allocs_per_op leaf of a
-// report into path → value, plus the set of container-node paths used
-// to tell "row absent" apart from "leaf dropped".
-func loadMetrics(path string) (map[string]float64, map[string]bool, error) {
+// loadMetrics flattens every gated leaf of a report into path → value,
+// plus the set of container-node paths used to tell "row absent" apart
+// from "leaf dropped", plus the report's top-level "cpus" count (0 if
+// absent) for the cross-machine tolerance widening.
+func loadMetrics(path string) (map[string]float64, map[string]bool, int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	var tree any
 	if err := json.Unmarshal(raw, &tree); err != nil {
-		return nil, nil, fmt.Errorf("%s: %v", path, err)
+		return nil, nil, 0, fmt.Errorf("%s: %v", path, err)
 	}
 	out := map[string]float64{}
 	nodes := map[string]bool{}
 	collect("", tree, out, nodes)
-	return out, nodes, nil
+	cpus := 0
+	if root, isObj := tree.(map[string]any); isObj {
+		if f, isNum := root["cpus"].(float64); isNum {
+			cpus = int(f)
+		}
+	}
+	return out, nodes, cpus, nil
 }
 
 // collect walks the JSON tree recording the gated leaves and every

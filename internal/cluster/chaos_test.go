@@ -342,6 +342,81 @@ func (rig *clusterRig) reconcile(t *testing.T) ClusterStats {
 	return snap
 }
 
+// TestChaosClusterStreamingTruncation aims the chaos straight at the
+// streaming peer-fill pipeline: every peer link truncates half its
+// /peer/chunk bodies mid-stream and aborts the connection, so fills
+// die after bytes have already flowed through the fixed scratch buffer
+// into the local store. The contract: clients still only ever see
+// 200/206/302 with byte-exact bodies, every truncated stream rolls
+// back (no PeerFilled charge, no stored bytes), innocent failovers land
+// on the origin, and the cluster-wide Eq. 2 ledger stays bit-exact.
+func TestChaosClusterStreamingTruncation(t *testing.T) {
+	rig := newClusterRig(t, []string{"n1", "n2", "n3"})
+	statuses := map[int]int{}
+
+	// Warm the owners so phase 2's non-owner requests must use the
+	// peer line.
+	videos := make([]chunk.VideoID, 0, 24)
+	for v := chunk.VideoID(1); v <= 24; v++ {
+		videos = append(videos, v)
+		statuses[rig.get(t, rig.ownerOf(t, v), v)]++
+	}
+
+	// Every peer link now truncates half the chunk bodies it serves.
+	for i, n := range rig.nodes {
+		n.fault.SetConfig(FaultPeerConfig{Seed: int64(100 + i), TruncateRate: 0.5})
+	}
+	for _, v := range videos {
+		statuses[rig.get(t, rig.survivorFor(v, ""), v)]++
+	}
+	var truncations int64
+	for _, n := range rig.nodes {
+		truncations += n.fault.Counts().Truncations
+	}
+	if truncations == 0 {
+		t.Fatal("truncation injection inactive — the chaos tested nothing")
+	}
+	// The fills that did land must have gone through the streaming
+	// path: the cluster client is a PeerStreamer and every node's store
+	// streams, so the buffered fallback must be idle.
+	var streamFills, bufferedFills, peerFilled int64
+	for _, n := range rig.nodes {
+		sp := n.edge.ServePathStats()
+		streamFills += sp.StreamFills
+		bufferedFills += sp.BufferedFills
+		peerFilled += n.edge.SnapshotStats().PeerFilledBytes
+	}
+	if streamFills == 0 {
+		t.Error("no streaming fills — the chaos ran against the wrong pipeline")
+	}
+	if bufferedFills != 0 {
+		t.Errorf("%d fills took the buffered fallback over streaming stores", bufferedFills)
+	}
+	if peerFilled == 0 {
+		t.Error("peer line moved zero bytes despite ~half the transfers surviving")
+	}
+
+	// Links heal; traffic converges, then the ledger must reconcile
+	// bit-exactly: a mid-stream truncation may charge neither PeerFilled
+	// (nothing committed) nor Filled beyond what the origin fully
+	// delivered to the failed-over fills.
+	for _, n := range rig.nodes {
+		n.fault.SetConfig(FaultPeerConfig{})
+	}
+	for i, v := range videos {
+		statuses[rig.get(t, rig.nodes[i%3], v)]++
+	}
+	rig.reconcile(t)
+	for code := range statuses {
+		if code != http.StatusOK && code != http.StatusPartialContent && code != http.StatusFound {
+			t.Errorf("client-visible status %d (%d times)", code, statuses[code])
+		}
+	}
+	if statuses[http.StatusOK]+statuses[http.StatusPartialContent] == 0 {
+		t.Error("no 2xx at all — the chaos drowned the cluster")
+	}
+}
+
 // TestChaosClusterKillAndSlow is the PR's acceptance scenario.
 func TestChaosClusterKillAndSlow(t *testing.T) {
 	rig := newClusterRig(t, []string{"n1", "n2", "n3"})

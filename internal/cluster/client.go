@@ -12,6 +12,7 @@ import (
 	"videocdn/internal/chunk"
 	"videocdn/internal/edge"
 	"videocdn/internal/resilience"
+	"videocdn/internal/store"
 )
 
 // Miss sentinels: ErrNoPeer and ErrNotCached wrap edge.ErrPeerMiss, so
@@ -145,6 +146,127 @@ func (c *Client) Fetch(ctx context.Context, id chunk.ID) ([]byte, error) {
 	return nil, ErrNoPeer
 }
 
+// FetchStream implements edge.PeerStreamer: Fetch's peer walk —
+// failover order, breakers, 404-authoritative-miss, MaxTries — with
+// the winning peer's body handed to sink instead of materialized.
+// sink's own failure (the local store rejecting the stream) is kept
+// apart from peer failures: the peer delivered, so its breaker records
+// success and no other peer is tried — exactly where the buffered path
+// lands when a fetched chunk fails its store Put.
+func (c *Client) FetchStream(ctx context.Context, id chunk.ID, sink func(io.Reader) (int64, error)) (int64, error) {
+	c.fetches.Add(1)
+	tries := 0
+	var lastErr error
+	for _, n := range c.router.AliveOwners(id.Video) {
+		if n.ID == c.cfg.Self {
+			if tries == 0 && lastErr == nil {
+				c.misses.Add(1)
+				return 0, ErrSelfOwner
+			}
+			break
+		}
+		if tries >= c.cfg.MaxTries {
+			break
+		}
+		b := c.breakers.Get(n.ID)
+		if !b.Allow() {
+			c.skips.Add(1)
+			continue
+		}
+		tries++
+		size, sinkFailed, err := c.streamFrom(ctx, n, id, sink)
+		switch {
+		case err == nil:
+			b.Record(true)
+			c.hits.Add(1)
+			return size, nil
+		case errors.Is(err, errPeer404):
+			b.Record(true)
+			c.misses.Add(1)
+			return 0, ErrNotCached
+		case sinkFailed:
+			// The peer held up its end; the bytes had nowhere to go
+			// locally. Counted as a hit (parity with Fetch, whose caller
+			// discovers the store failure after the fetch succeeded) and
+			// returned without trying peers that would fare no better.
+			b.Record(true)
+			c.hits.Add(1)
+			return 0, err
+		default:
+			b.Record(false)
+			lastErr = err
+		}
+	}
+	if lastErr != nil {
+		c.failures.Add(1)
+		return 0, fmt.Errorf("cluster: peer line lost: %w", lastErr)
+	}
+	c.misses.Add(1)
+	return 0, ErrNoPeer
+}
+
+// trackedBody separates body-read errors from sink errors so
+// streamFrom can tell whose fault a failed sink call was.
+type trackedBody struct {
+	r   io.Reader
+	n   int64
+	err error
+}
+
+func (t *trackedBody) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	t.n += int64(n)
+	if err != nil && err != io.EOF {
+		t.err = err
+	}
+	return n, err
+}
+
+// streamFrom performs one peer round trip under the per-attempt
+// deadline, feeding a 200 body to sink. sinkFailed reports that the
+// error is the sink's own (not body truncation, not an oversized
+// payload): the peer is innocent and must not be failed over.
+func (c *Client) streamFrom(ctx context.Context, n Node, id chunk.ID, sink func(io.Reader) (int64, error)) (size int64, sinkFailed bool, err error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/peer/chunk?v=%d&c=%d", n.URL, id.Video, id.Index)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	req.Header.Set(edge.PeerHopHeader, "1")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return 0, false, errPeer404
+	case resp.StatusCode != http.StatusOK:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return 0, false, fmt.Errorf("peer %s returned %s", n.ID, resp.Status)
+	case resp.ContentLength > c.cfg.MaxChunkBytes:
+		return 0, false, fmt.Errorf("peer %s sent an oversized chunk", n.ID)
+	}
+	tb := &trackedBody{r: io.LimitReader(resp.Body, c.cfg.MaxChunkBytes+1)}
+	size, err = sink(tb)
+	switch {
+	case err == nil && tb.n > c.cfg.MaxChunkBytes:
+		return 0, false, fmt.Errorf("peer %s sent an oversized chunk", n.ID)
+	case err == nil:
+		return size, false, nil
+	case tb.err != nil:
+		return 0, false, err // truncated or stalled body: the peer's fault
+	case errors.Is(err, store.ErrTooLarge):
+		// The sink's size cap tripped before ours could; same verdict.
+		return 0, false, fmt.Errorf("peer %s sent an oversized chunk", n.ID)
+	default:
+		return 0, true, err
+	}
+}
+
 // fetchFrom performs one peer round trip under the per-attempt
 // deadline.
 func (c *Client) fetchFrom(ctx context.Context, n Node, id chunk.ID) ([]byte, error) {
@@ -168,15 +290,58 @@ func (c *Client) fetchFrom(ctx context.Context, n Node, id chunk.ID) ([]byte, er
 	case resp.StatusCode != http.StatusOK:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("peer %s returned %s", n.ID, resp.Status)
+	case resp.ContentLength > c.cfg.MaxChunkBytes:
+		// Reject on the declared size alone: no byte is read, no buffer
+		// allocated, for a response we already know we will discard.
+		return nil, fmt.Errorf("peer %s sent an oversized chunk", n.ID)
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxChunkBytes+1))
+	data, err := readCapped(resp.Body, c.cfg.MaxChunkBytes, resp.ContentLength)
+	if errors.Is(err, store.ErrTooLarge) {
+		return nil, fmt.Errorf("peer %s sent an oversized chunk", n.ID)
+	}
 	if err != nil {
 		return nil, err // truncated or stalled body
 	}
-	if int64(len(data)) > c.cfg.MaxChunkBytes {
-		return nil, fmt.Errorf("peer %s sent an oversized chunk", n.ID)
-	}
 	return data, nil
+}
+
+// readCapped reads r to EOF, failing with store.ErrTooLarge once more
+// than max bytes arrive. The buffer starts at the declared size (hint,
+// -1 when unknown) and grows geometrically, never past max+1 — a
+// lying peer cannot make the client allocate max+1 bytes up front for
+// a body it will discard, and an honest declared size is allocated
+// exactly once.
+func readCapped(r io.Reader, max, hint int64) ([]byte, error) {
+	capHint := int64(32 << 10)
+	if hint >= 0 {
+		capHint = hint + 1 // spare byte: EOF lands without a regrow
+	}
+	if capHint > max+1 {
+		capHint = max + 1
+	}
+	buf := make([]byte, 0, capHint)
+	for {
+		if int64(len(buf)) > max {
+			return nil, store.ErrTooLarge
+		}
+		if len(buf) == cap(buf) {
+			grown := int64(cap(buf)) * 2
+			if grown > max+1 {
+				grown = max + 1
+			}
+			next := make([]byte, len(buf), grown)
+			copy(next, buf)
+			buf = next
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 }
 
 // BreakerStates snapshots every peer breaker's state, keyed by node ID.
@@ -201,3 +366,8 @@ func (c *Client) Counts() ClientCounts {
 // Close releases idle peer connections (goroutine hygiene for tests
 // and clean shutdown).
 func (c *Client) Close() { c.cfg.HTTPClient.CloseIdleConnections() }
+
+var (
+	_ edge.PeerSource   = (*Client)(nil)
+	_ edge.PeerStreamer = (*Client)(nil)
+)

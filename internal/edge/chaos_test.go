@@ -44,6 +44,34 @@ func (s *countingStore) Put(id chunk.ID, data []byte) error {
 	return err
 }
 
+// PutStream keeps the wrapper transparent to the streaming fill
+// pipeline: chaos rigs must exercise the same fixed-buffer path
+// production wires up, with every committed byte still tallied. A
+// backing store without the capability (e.g. store.Fault, which
+// deliberately forwards nothing optional) gets a buffered fallback so
+// the ledger truth is identical either way.
+func (s *countingStore) PutStream(id chunk.ID, r io.Reader, max int64, scratch []byte) (int64, error) {
+	sp, ok := s.Store.(store.StreamPutter)
+	if !ok {
+		data, err := io.ReadAll(io.LimitReader(r, max+1))
+		if err != nil {
+			return 0, err
+		}
+		if int64(len(data)) > max {
+			return 0, store.ErrTooLarge
+		}
+		if err := s.Put(id, data); err != nil {
+			return 0, err
+		}
+		return int64(len(data)), nil
+	}
+	n, err := sp.PutStream(id, r, max, scratch)
+	if err == nil {
+		s.putBytes.Add(n)
+	}
+	return n, err
+}
+
 // chaosRig is a full edge↔origin stack with fault injection between
 // the two and fast retry/breaker settings suitable for tests.
 type chaosRig struct {
@@ -287,6 +315,92 @@ func TestChaosSlabStoreAsyncFills(t *testing.T) {
 	defer reopened.Close()
 	if reopened.Len() != want {
 		t.Errorf("recovered %d chunks, slab held %d at close", reopened.Len(), want)
+	}
+}
+
+// TestChaosStreamingFillTruncation is PR 9's chaos acceptance: the
+// acceptance mix cranked to truncation-heavy (the failure mode aimed
+// straight at the streaming pipeline — a fill that dies mid-body after
+// bytes already flowed through the scratch buffer into the store) over
+// the production slab store with synchronous streaming fills. Clients
+// must still only ever see 200/206/302 with byte-exact bodies, every
+// truncated stream must roll back (FilledBytes == committed bytes ==
+// origin's fully-delivered bytes, bit-exact), and the rig must prove
+// the streaming path — not the buffered fallback — took the traffic.
+func TestChaosStreamingFillTruncation(t *testing.T) {
+	cache, err := xlru.New(core.Config{ChunkSize: testK, DiskChunks: 4096}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, err := store.NewSlab(t.TempDir(), store.SlabConfig{SlotBytes: testK, SegmentSlots: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { slab.Close() })
+	catalog := DeterministicCatalog{MinBytes: 2 * testK, MaxBytes: 6 * testK}
+	rig := newChaosRigWith(t, cache, catalog, FaultConfig{
+		Seed: 43, ErrorRate: 0.1, TruncateRate: 0.35,
+	}, fastRetry(), neverTrip(), rigOptions{store: slab})
+
+	const goroutines, perG = 8, 30
+	var servedBytes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := chunk.VideoID(1 + (g*perG+i)%16)
+				size, _ := catalog.SizeOf(v)
+				resp, body := rig.get(t, v, 0, size-1)
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusPartialContent:
+					if !bytes.Equal(body, expected(v, 0, size-1)) {
+						t.Errorf("video %d: served body mismatch (%d bytes)", v, len(body))
+					}
+					servedBytes.Add(int64(len(body)))
+				case http.StatusFound:
+				default:
+					t.Errorf("video %d: status %d — clients must only see 200/206/302", v, resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := rig.edge.SnapshotStats()
+	if st.Served+st.Redirected != goroutines*perG {
+		t.Errorf("handled %d requests, want %d", st.Served+st.Redirected, goroutines*perG)
+	}
+	if st.RequestedBytes != servedBytes.Load()+st.RedirectedBytes {
+		t.Errorf("Requested (%d) != served (%d) + Redirected (%d)",
+			st.RequestedBytes, servedBytes.Load(), st.RedirectedBytes)
+	}
+	// The rollback contract under mid-body truncation: a stream that
+	// died after pumping bytes into the slab must leave no charge and
+	// no bytes — Filled, the store's committed bytes, and the origin's
+	// fully-delivered bytes agree exactly.
+	if got := rig.store.putBytes.Load(); st.FilledBytes != got {
+		t.Errorf("FilledBytes = %d, store committed %d — a truncated stream leaked a charge",
+			st.FilledBytes, got)
+	}
+	if counts := rig.fault.Counts(); st.FilledBytes != counts.ChunkBytesOK {
+		t.Errorf("FilledBytes = %d, origin fully delivered %d", st.FilledBytes, counts.ChunkBytesOK)
+	}
+	if c := rig.fault.Counts(); c.Truncations == 0 {
+		t.Errorf("truncation injection inactive: %+v", c)
+	}
+	// And the paths must be the ones under test: every fill streamed,
+	// none buffered, all scratch buffers back in the pool.
+	sp := rig.edge.ServePathStats()
+	if sp.StreamFills == 0 {
+		t.Error("no streaming fills — the chaos ran against the wrong pipeline")
+	}
+	if sp.BufferedFills != 0 {
+		t.Errorf("%d fills took the buffered fallback over a streaming store", sp.BufferedFills)
+	}
+	if sp.FillBufInFlight != 0 {
+		t.Errorf("%d scratch bytes still checked out after the run", sp.FillBufInFlight)
 	}
 }
 

@@ -14,11 +14,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
 	"videocdn/internal/chunk"
 	"videocdn/internal/resilience"
+	"videocdn/internal/store"
 )
 
 // PeerSource supplies chunk bytes from somewhere cheaper than the
@@ -30,6 +32,17 @@ import (
 // lost peer line degrades exactly like no peer line at all.
 type PeerSource interface {
 	Fetch(ctx context.Context, id chunk.ID) ([]byte, error)
+}
+
+// PeerStreamer is the optional PeerSource capability to deliver a
+// chunk's body as a stream instead of a materialized slice: sink
+// consumes the body of exactly one successful (200) peer response and
+// returns the byte count it committed. FetchStream retains Fetch's
+// whole contract — failover order, breakers, ErrPeerMiss/ErrPeerSelf
+// classification — and must not blame a peer (breaker, counters) for
+// an error the sink itself produced.
+type PeerStreamer interface {
+	FetchStream(ctx context.Context, id chunk.ID, sink func(io.Reader) (int64, error)) (int64, error)
 }
 
 // ErrPeerMiss marks a PeerSource result as an authoritative "the peer
@@ -90,7 +103,28 @@ func (s *Server) handlePeerChunk(w http.ResponseWriter, r *http.Request) {
 		if br, err := s.borrow.GetBorrow(id); err == nil {
 			serve(br.Data)
 			br.Release()
+			s.servePath.borrowChunks.Add(1)
 			return
+		}
+	}
+	if s.section != nil {
+		if rf, ok := w.(io.ReaderFrom); ok {
+			if sec, err := s.section.GetSection(id); err == nil {
+				size := sec.Size()
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+				var sfd sectionFD
+				err = s.sendSection(rf, &sfd, sec, 0, 0, size-1)
+				sfd.close()
+				sec.Release()
+				if err == nil {
+					// Same full-write-only rule as serve() below.
+					sh.peerServes.Add(1)
+					sh.peerServedBytes.Add(size)
+					s.servePath.sendfileChunks.Add(1)
+				}
+				return
+			}
 		}
 	}
 	bp, _ := s.bufs.Get().(*[]byte)
@@ -108,6 +142,7 @@ func (s *Server) handlePeerChunk(w http.ResponseWriter, r *http.Request) {
 	}
 	*bp = data[:0]
 	serve(data)
+	s.servePath.copyChunks.Add(1)
 }
 
 // peerFill tries the peer tier for one chunk and commits the bytes on
@@ -115,6 +150,9 @@ func (s *Server) handlePeerChunk(w http.ResponseWriter, r *http.Request) {
 // store rejected the bytes — a Permanent, degradable failure exactly
 // like the origin path's); done=false falls through to the origin.
 func (s *Server) peerFill(ctx context.Context, sh *edgeShard, id chunk.ID) (bool, error) {
+	if ps, ok := s.cfg.PeerFill.(PeerStreamer); ok && s.streamPut != nil {
+		return s.peerFillStream(ctx, sh, ps, id)
+	}
 	data, err := s.cfg.PeerFill.Fetch(ctx, id)
 	switch {
 	case err == nil && int64(len(data)) <= s.cfg.ChunkSize:
@@ -135,6 +173,46 @@ func (s *Server) peerFill(ctx context.Context, sh *edgeShard, id chunk.ID) (bool
 		if ctx.Err() != nil {
 			// The fill deadline died during the peer attempt; starting
 			// an origin round trip now would fail the same way.
+			return true, ctx.Err()
+		}
+		sh.peerFillErrs.Add(1)
+	}
+	return false, nil
+}
+
+// peerFillStream is peerFill over the streaming interface: the peer's
+// body is pumped through a fixed scratch buffer straight into the
+// store. Counter and fall-through semantics mirror the buffered path
+// case for case; the sink separates a local store failure (done=true,
+// Permanent — same as a failed Put of fetched bytes) from peer-side
+// truncation/oversize, which the client resolves against the peer's
+// breaker and this side counts as a tier failure.
+func (s *Server) peerFillStream(ctx context.Context, sh *edgeShard, ps PeerStreamer, id chunk.ID) (bool, error) {
+	var storeErr error
+	n, err := ps.FetchStream(ctx, id, func(body io.Reader) (int64, error) {
+		tr := &trackReader{r: body}
+		scratch := s.fillScratchGet()
+		defer s.fillScratchPut(scratch)
+		n, perr := s.streamPut.PutStream(id, tr, s.cfg.ChunkSize, *scratch)
+		if perr != nil && tr.err == nil && !errors.Is(perr, store.ErrTooLarge) {
+			storeErr = perr // local store fault, not the peer's
+		}
+		return n, perr
+	})
+	switch {
+	case err == nil:
+		sh.peerFills.Add(1)
+		sh.counters.peerFilled.Add(n)
+		s.servePath.streamFills.Add(1)
+		return true, nil
+	case storeErr != nil:
+		return true, resilience.Permanent(fmt.Errorf("store: %w", storeErr))
+	case errors.Is(err, ErrPeerSelf):
+		// Owners origin-fill by design; not peer-tier activity at all.
+	case errors.Is(err, ErrPeerMiss):
+		sh.peerFillMisses.Add(1)
+	default:
+		if ctx.Err() != nil {
 			return true, ctx.Err()
 		}
 		sh.peerFillErrs.Add(1)

@@ -1,0 +1,418 @@
+package edge
+
+// Differential coverage for the kernel serve path and the streaming
+// fill pipeline: the sendfile/streaming machinery may only change
+// which syscalls move the bytes — never a status, a body byte, or a
+// /stats byte. And fills must hold O(FillStreamBuf) memory, not
+// O(chunk).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"videocdn/internal/chunk"
+	"videocdn/internal/core"
+	"videocdn/internal/resilience"
+	"videocdn/internal/store"
+)
+
+// newSendfileVariantServer builds an edge server over a file-backed
+// store with the sendfile path toggled, fronted by its own fault
+// origin (each variant must see an identical fault stream).
+func newSendfileVariantServer(t *testing.T, algo, kind string, disableSendfile bool, clock func() int64) (*Server, *FaultOrigin, string) {
+	t.Helper()
+	catalog := MapCatalog{999: 5000 * testK}
+	for v := chunk.VideoID(1); v <= 32; v++ {
+		catalog[v] = int64(2+v%5)*testK + int64(v%3)*100
+	}
+	o, err := NewOrigin(catalog, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := NewFaultOrigin(o, FaultConfig{Seed: 7})
+	origin := httptest.NewServer(fo)
+	t.Cleanup(origin.Close)
+
+	var st store.Store
+	switch kind {
+	case "fs":
+		fs, err := store.NewFS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = fs
+	case "slab":
+		sl, err := store.NewSlab(t.TempDir(), store.SlabConfig{SlotBytes: testK, SegmentSlots: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sl.Close() })
+		st = sl
+	default:
+		t.Fatalf("unknown store kind %q", kind)
+	}
+	s, err := NewServer(Config{
+		Shards:          4,
+		CacheFactory:    shardFactory(t, algo, 2),
+		CacheConfig:     core.Config{ChunkSize: testK, DiskChunks: 2048},
+		Store:           st,
+		OriginURL:       origin.URL,
+		RedirectURL:     "http://secondary.example",
+		ChunkSize:       testK,
+		Alpha:           2,
+		Clock:           clock,
+		Retry:           resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: 1e6}, // fast retries; both variants identical
+		DisableSendfile: disableSendfile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return s, fo, srv.URL
+}
+
+// TestSendfileDifferential drives the same deterministic trace —
+// including a mid-body origin-truncation phase — through sendfile-on
+// and sendfile-off servers for {fs,slab} × {cafe,xlru}, asserting
+// every response and the final /stats body are byte-identical, and
+// that the sendfile variant really did take the kernel path.
+func TestSendfileDifferential(t *testing.T) {
+	for _, algo := range []string{"cafe", "xlru"} {
+		for _, kind := range []string{"fs", "slab"} {
+			t.Run(algo+"/"+kind, func(t *testing.T) {
+				var now atomic.Int64
+				clock := now.Load
+				off, offFault, offURL := newSendfileVariantServer(t, algo, kind, true, clock)
+				on, onFault, onURL := newSendfileVariantServer(t, algo, kind, false, clock)
+
+				client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+					return http.ErrUseLastResponse
+				}}
+				get := func(base string, v chunk.VideoID, start, end int64) (int, []byte) {
+					t.Helper()
+					resp, err := client.Get(fmt.Sprintf("%s/video?v=%d&start=%d&end=%d", base, v, start, end))
+					if err != nil {
+						t.Fatal(err)
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return resp.StatusCode, body
+				}
+
+				catalogSize := func(v chunk.VideoID) int64 {
+					if v == 999 {
+						return 5000 * testK
+					}
+					return int64(2+v%5)*testK + int64(v%3)*100
+				}
+				rng := rand.New(rand.NewSource(42))
+				phase := func(n int) {
+					for i := 0; i < n; i++ {
+						v := chunk.VideoID(1 + rng.Intn(32))
+						size := catalogSize(v)
+						start, end := int64(0), size-1
+						if rng.Intn(2) == 0 {
+							c := rng.Int63n((size + testK - 1) / testK)
+							start = c * testK
+							end = min((c+1)*testK, size) - 1
+						}
+						if i%40 == 39 {
+							v, start, end = 999, 0, catalogSize(999)-1
+						}
+						if rng.Intn(4) == 0 {
+							now.Add(int64(1 + rng.Intn(600)))
+						}
+						c0, b0 := get(offURL, v, start, end)
+						c1, b1 := get(onURL, v, start, end)
+						if c0 != c1 {
+							t.Fatalf("v=%d [%d,%d]: status off=%d on=%d", v, start, end, c0, c1)
+						}
+						if string(b0) != string(b1) {
+							t.Fatalf("v=%d [%d,%d]: bodies differ (%d vs %d bytes)", v, start, end, len(b0), len(b1))
+						}
+					}
+				}
+
+				phase(120) // clean
+				trunc := FaultConfig{Seed: 99, TruncateRate: 0.3}
+				offFault.SetConfig(trunc)
+				onFault.SetConfig(trunc)
+				phase(80) // mid-body origin truncation: rollbacks, retries, degrades
+				offFault.SetConfig(FaultConfig{Seed: 7})
+				onFault.SetConfig(FaultConfig{Seed: 7})
+				phase(60) // converge clean again
+
+				// /stats must be byte-identical — the sendfile toggle is
+				// invisible to every exported counter.
+				stats := func(base string) string {
+					resp, err := client.Get(base + "/stats")
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer resp.Body.Close()
+					b, _ := io.ReadAll(resp.Body)
+					return string(b)
+				}
+				if so, sn := stats(offURL), stats(onURL); so != sn {
+					t.Errorf("/stats diverge:\noff: %s\non:  %s", so, sn)
+				}
+
+				// The toggle must actually toggle: the on-server served
+				// file-backed chunks through the kernel path, the
+				// off-server never did.
+				if sendfileSupported {
+					if n := on.ServePathStats().SendfileChunks; n == 0 {
+						t.Errorf("sendfile-on server never took the section path")
+					}
+				}
+				if n := off.ServePathStats().SendfileChunks; n != 0 {
+					t.Errorf("sendfile-off server took the section path %d times", n)
+				}
+				// Both streamed their fills through the fixed buffer.
+				if n := on.ServePathStats().StreamFills; n == 0 {
+					t.Errorf("no streaming fills recorded")
+				}
+			})
+		}
+	}
+}
+
+// leanOrigin is an origin whose /chunk handler serves from a
+// preallocated buffer — no per-request O(chunk) allocation — so the
+// fill-memory test below measures the edge's allocations, not the
+// test origin's.
+type leanOrigin struct {
+	size      int64
+	chunkSize int64
+	buf       []byte
+}
+
+func (o *leanOrigin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/size":
+		fmt.Fprintf(w, "%d", o.size)
+	case "/chunk":
+		c, _ := strconv.ParseUint(queryParam(r, "c"), 10, 32)
+		start := int64(c) * o.chunkSize
+		if start >= o.size {
+			http.Error(w, "chunk beyond end of video", http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		n := min(o.chunkSize, o.size-start)
+		w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+		w.Write(o.buf[:n])
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// TestStreamingFillMemoryBound pins the tentpole's O(buffer) claim: a
+// synchronous fill into a file-backed store must allocate on the order
+// of FillStreamBuf, not ChunkSize. 8 fills of 2 MiB chunks through a
+// 64 KiB buffer must allocate well under one chunk of heap in total;
+// the buffered path (streaming disabled) must allocate at least the
+// full 16 MiB, proving the measurement would catch a regression.
+func TestStreamingFillMemoryBound(t *testing.T) {
+	const (
+		chunkSize = int64(2 << 20)
+		chunks    = 8
+		streamBuf = int64(64 << 10)
+	)
+	origin := httptest.NewServer(&leanOrigin{
+		size: chunkSize * chunks, chunkSize: chunkSize,
+		buf: make([]byte, chunkSize),
+	})
+	defer origin.Close()
+
+	build := func(fillStreamBuf int64) *Server {
+		t.Helper()
+		fs, err := store.NewFS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewServer(Config{
+			Shards:        1,
+			CacheFactory:  shardFactory(t, "cafe", 2),
+			CacheConfig:   core.Config{ChunkSize: chunkSize, DiskChunks: 64},
+			Store:         fs,
+			OriginURL:     origin.URL,
+			RedirectURL:   "http://secondary.example",
+			ChunkSize:     chunkSize,
+			Alpha:         2,
+			Clock:         func() int64 { return 0 },
+			FillStreamBuf: fillStreamBuf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+
+	measure := func(s *Server) int64 {
+		t.Helper()
+		sh := s.shardOf(1)
+		fc := fillCtx{ctx: context.Background()}
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		before := ms.TotalAlloc
+		for c := uint32(0); c < chunks; c++ {
+			if err := s.fill(&fc, sh, chunk.ID{Video: 1, Index: c}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runtime.ReadMemStats(&ms)
+		return int64(ms.TotalAlloc - before)
+	}
+
+	streaming := build(streamBuf)
+	if got := measure(streaming); got >= chunkSize {
+		t.Errorf("streaming fills allocated %d bytes for %d×%d chunks; want < one %d-byte chunk",
+			got, chunks, chunkSize, chunkSize)
+	}
+	sp := streaming.ServePathStats()
+	if sp.StreamFills != chunks || sp.BufferedFills != 0 {
+		t.Errorf("stream/buffered fills = %d/%d, want %d/0", sp.StreamFills, sp.BufferedFills, chunks)
+	}
+	if sp.FillBufPeakBytes > 2*streamBuf {
+		t.Errorf("peak fill scratch %d bytes, want <= %d (serial fills)", sp.FillBufPeakBytes, 2*streamBuf)
+	}
+	if sp.FillBufInFlight != 0 {
+		t.Errorf("%d scratch bytes still checked out after fills returned", sp.FillBufInFlight)
+	}
+
+	buffered := build(-1) // streaming disabled: the old whole-chunk path
+	if got := measure(buffered); got < chunkSize*chunks {
+		t.Errorf("buffered fills allocated %d bytes; expected >= %d — the bound above is not measuring anything",
+			got, chunkSize*chunks)
+	}
+	if sp := buffered.ServePathStats(); sp.BufferedFills != chunks || sp.StreamFills != 0 {
+		t.Errorf("stream/buffered fills = %d/%d, want 0/%d", sp.StreamFills, sp.BufferedFills, chunks)
+	}
+}
+
+// TestSendfileConcurrentSharedSegment hammers warm slab-backed hits
+// with concurrent whole-video GETs through real net/http writers, so
+// every serve takes the kernel section path over the same shared
+// segment file. Each response must read through a private open file
+// description: the Linux sendfile path consumes the description's
+// *current offset*, and descriptors that merely dup(2) the segment fd
+// share one offset — concurrent serves would interleave their seeks
+// and splice another video's bytes into the body.
+func TestSendfileConcurrentSharedSegment(t *testing.T) {
+	if !sendfileSupported {
+		t.Skip("no sendfile on this platform")
+	}
+	catalog := MapCatalog{}
+	for v := chunk.VideoID(1); v <= 8; v++ {
+		catalog[v] = 4 * testK
+	}
+	o, err := NewOrigin(catalog, testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := httptest.NewServer(o)
+	t.Cleanup(origin.Close)
+	// One segment holds every chunk: maximal contention on one fd.
+	sl, err := store.NewSlab(t.TempDir(), store.SlabConfig{SlotBytes: testK, SegmentSlots: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sl.Close() })
+	s, err := NewServer(Config{
+		Shards:       2,
+		CacheFactory: shardFactory(t, "cafe", 2),
+		CacheConfig:  core.Config{ChunkSize: testK, DiskChunks: 256},
+		Store:        sl,
+		OriginURL:    origin.URL,
+		RedirectURL:  "http://secondary.example",
+		ChunkSize:    testK,
+		Alpha:        2,
+		Clock:        func() int64 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	want := make(map[chunk.VideoID][]byte)
+	for v := chunk.VideoID(1); v <= 8; v++ {
+		for try := 0; try < 5; try++ { // admit + fill until a full hit
+			resp, err := noRedirect.Get(fmt.Sprintf("%s/video?v=%d", srv.URL, v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode == http.StatusOK {
+				want[v] = body
+				break
+			}
+		}
+		if want[v] == nil {
+			t.Fatalf("video %d never became a hit", v)
+		}
+	}
+	s.Flush()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			}}
+			for i := 0; i < 40; i++ {
+				v := chunk.VideoID(1 + (w+i)%8)
+				resp, err := client.Get(fmt.Sprintf("%s/video?v=%d", srv.URL, v))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("v=%d: status %d on a warm hit", v, resp.StatusCode)
+					return
+				}
+				if !bytes.Equal(body, want[v]) {
+					t.Errorf("v=%d: concurrent hit served wrong bytes (len %d vs %d)", v, len(body), len(want[v]))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ps := s.ServePathStats(); ps.SendfileChunks == 0 {
+		t.Fatalf("no chunk took the kernel section path: %+v", ps)
+	}
+}

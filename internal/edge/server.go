@@ -3,9 +3,11 @@ package edge
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -106,7 +108,26 @@ type Config struct {
 	// accounting are byte-identical with the tier on or off; only the
 	// tier counters in /stats differ.
 	HotBytes int64
+	// DisableSendfile forces every file-backed hit onto the
+	// borrow/copy serve path even when the store chain can expose
+	// chunks as file sections. A/B switch for benchmarking and the
+	// differential suites; responses and /stats are byte-identical
+	// either way — only which syscall moves the bytes changes.
+	DisableSendfile bool
+	// FillStreamBuf sizes the fixed buffer a streaming fill pumps
+	// origin/peer bytes through on their way into the store, bounding
+	// fill memory at O(buffer) instead of O(chunk) for file-backed
+	// synchronous fills. 0 means 256 KiB; negative disables streaming
+	// fills entirely (whole-chunk buffering, the pre-streaming
+	// behavior, kept for A/B comparison).
+	FillStreamBuf int64
 }
+
+// defaultFillStreamBuf is the streaming-fill scratch size when
+// Config.FillStreamBuf is 0 — large enough to keep syscall count low,
+// small enough that a thousand concurrent fills cost ~¼ GB instead of
+// a thousand chunks.
+const defaultFillStreamBuf = 256 << 10
 
 // Server is the HTTP edge cache.
 //
@@ -154,6 +175,17 @@ type Server struct {
 	// borrow is the store chain's zero-copy read capability, if any;
 	// the serve path tries it before falling back to pooled-buffer Get.
 	borrow store.BorrowGetter
+	// section is the store chain's file-section capability: a
+	// file-backed hit is handed to net/http as a bounded reader over
+	// the chunk's own file so the kernel moves the bytes with
+	// sendfile(2). Nil when the store cannot expose sections, on
+	// non-unix builds, or with Config.DisableSendfile.
+	section store.SectionGetter
+	// streamPut is the store chain's streaming-write capability; fills
+	// pump bytes through a fixed scratch buffer instead of
+	// materializing whole chunks. Nil when streaming fills are
+	// disabled (FillStreamBuf < 0) or the store cannot take streams.
+	streamPut store.StreamPutter
 	// asyncWriteErrs counts deferred store writes that failed and were
 	// rolled back.
 	asyncWriteErrs atomic.Int64
@@ -161,6 +193,54 @@ type Server struct {
 	// bufs pools per-request chunk buffers (*[]byte, grown to chunk
 	// size) so the steady-state serve path does not allocate.
 	bufs sync.Pool
+
+	// fillBufs pools the fixed-size scratch buffers streaming fills
+	// pump bytes through; the in-flight/peak gauges let tests and
+	// benchedge pin the O(buffer) fill-memory bound empirically.
+	fillBufs     sync.Pool
+	fillInFlight atomic.Int64
+	fillPeak     atomic.Int64
+
+	servePath servePathCounters
+}
+
+// servePathCounters records which mechanical path bytes took.
+// Deliberately NOT part of /stats or /metrics: those bodies must stay
+// byte-identical across serve-path configurations (the differential
+// suites diff them verbatim), so the counters are exposed to Go
+// callers only, via ServePathStats.
+type servePathCounters struct {
+	sendfileChunks atomic.Int64 // chunks handed to the kernel as file sections
+	borrowChunks   atomic.Int64 // chunks lent zero-copy from RAM/mmap/pending
+	copyChunks     atomic.Int64 // chunks copied through a pooled buffer
+	streamFills    atomic.Int64 // fills streamed through a fixed scratch buffer
+	bufferedFills  atomic.Int64 // fills materialized as whole chunks in RAM
+}
+
+// ServePathStats is a point-in-time snapshot of the serve/fill path
+// counters plus the streaming-fill memory gauges.
+type ServePathStats struct {
+	SendfileChunks   int64
+	BorrowChunks     int64
+	CopyChunks       int64
+	StreamFills      int64
+	BufferedFills    int64
+	FillBufInFlight  int64 // scratch bytes currently checked out by fills
+	FillBufPeakBytes int64 // high-water mark of the above
+}
+
+// ServePathStats snapshots the serve/fill path counters. Go API only —
+// see servePathCounters for why this never appears in /stats.
+func (s *Server) ServePathStats() ServePathStats {
+	return ServePathStats{
+		SendfileChunks:   s.servePath.sendfileChunks.Load(),
+		BorrowChunks:     s.servePath.borrowChunks.Load(),
+		CopyChunks:       s.servePath.copyChunks.Load(),
+		StreamFills:      s.servePath.streamFills.Load(),
+		BufferedFills:    s.servePath.bufferedFills.Load(),
+		FillBufInFlight:  s.fillInFlight.Load(),
+		FillBufPeakBytes: s.fillPeak.Load(),
+	}
 }
 
 // edgeShard is one lock domain: the cache and every piece of mutable
@@ -315,6 +395,11 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.FillTimeout <= 0 {
 		cfg.FillTimeout = 15 * time.Second
 	}
+	if cfg.FillStreamBuf == 0 {
+		cfg.FillStreamBuf = defaultFillStreamBuf
+	} else if cfg.FillStreamBuf < 0 {
+		cfg.FillStreamBuf = 0 // explicit opt-out: whole-chunk fills
+	}
 
 	caches := make([]core.Cache, n)
 	if cfg.Cache != nil {
@@ -395,6 +480,12 @@ func NewServer(cfg Config) (*Server, error) {
 		s.cfg.Store = s.writeBehind
 	}
 	s.borrow, _ = s.cfg.Store.(store.BorrowGetter)
+	if !cfg.DisableSendfile && sendfileSupported {
+		s.section, _ = s.cfg.Store.(store.SectionGetter)
+	}
+	if s.cfg.FillStreamBuf > 0 {
+		s.streamPut, _ = s.cfg.Store.(store.StreamPutter)
+	}
 	s.mux.HandleFunc("/video", s.handleVideo)
 	s.mux.HandleFunc("/peer/chunk", s.handlePeerChunk)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -610,7 +701,13 @@ func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", b0, b1, size))
 		w.WriteHeader(http.StatusPartialContent)
 	}
-	if err := s.stream(&fc, sh, w, v, b0, b1); err != nil {
+	var rf io.ReaderFrom
+	if s.section != nil {
+		// The response writer can take over the copy: file-backed
+		// chunks go to the kernel sendfile path.
+		rf, _ = w.(io.ReaderFrom)
+	}
+	if err := s.stream(&fc, sh, w, rf, v, b0, b1); err != nil {
 		return // client gone or store hiccup after headers; nothing to do
 	}
 }
@@ -723,16 +820,24 @@ func (s *Server) StreamRange(ctx context.Context, w io.Writer, v chunk.VideoID, 
 		return fmt.Errorf("edge: bad range [%d, %d]", b0, b1)
 	}
 	fc := fillCtx{ctx: ctx}
-	return s.stream(&fc, s.shardOf(v), w, v, b0, b1)
+	// nil ReaderFrom: the benchmark entrypoint always takes the
+	// borrow/copy path — its callers hand in plain io.Writers, and the
+	// zero-alloc guarantee is part of its contract.
+	return s.stream(&fc, s.shardOf(v), w, nil, v, b0, b1)
 }
 
 // stream writes [b0,b1] of the video from the chunk store. Each chunk
 // is served zero-copy when the store chain can lend its bytes (RAM hot
-// tier, pending fill, mmap slab slot); otherwise it is copied through
-// a pooled chunk buffer, fetched lazily so an all-borrowed response
-// never touches the pool.
-func (s *Server) stream(fc *fillCtx, sh *edgeShard, w io.Writer, v chunk.VideoID, b0, b1 int64) error {
+// tier, pending fill, mmap slab slot); a file-backed chunk is handed
+// to the kernel as a file section when rf is the response's ReaderFrom
+// (the sendfile path); otherwise it is copied through a pooled chunk
+// buffer, fetched lazily so an all-borrowed response never touches the
+// pool. rf is non-nil only when s.section is set and the writer can
+// take over the copy (net/http's ResponseWriter).
+func (s *Server) stream(fc *fillCtx, sh *edgeShard, w io.Writer, rf io.ReaderFrom, v chunk.VideoID, b0, b1 int64) error {
 	var bp *[]byte
+	var sfd sectionFD
+	defer sfd.close()
 	defer func() {
 		if bp != nil {
 			s.bufs.Put(bp)
@@ -750,11 +855,27 @@ func (s *Server) stream(fc *fillCtx, sh *edgeShard, w io.Writer, v chunk.VideoID
 				if err != nil {
 					return err
 				}
+				s.servePath.borrowChunks.Add(1)
 				continue
 			}
 			// Every borrow failure — ErrNoBorrow, a lost chunk, a cold
-			// store that cannot lend — falls through to the copy path,
-			// which owns the self-heal logic.
+			// store that cannot lend — falls through to the section and
+			// copy paths below.
+		}
+		if rf != nil {
+			if sec, err := s.section.GetSection(id); err == nil {
+				err = s.sendSection(rf, &sfd, sec, int64(c)*k, b0, b1)
+				sec.Release()
+				if err != nil {
+					return err
+				}
+				s.servePath.sendfileChunks.Add(1)
+				continue
+			}
+			// Any section failure — a pending fill, a RAM-resident
+			// chunk, a store that cannot expose files, a lost chunk —
+			// falls through to the copy path, which owns the self-heal
+			// logic.
 		}
 		if bp == nil {
 			bp, _ = s.bufs.Get().(*[]byte)
@@ -783,8 +904,82 @@ func (s *Server) stream(fc *fillCtx, sh *edgeShard, w io.Writer, v chunk.VideoID
 		if err := writeRange(w, data, int64(c)*k, b0, b1); err != nil {
 			return err
 		}
+		s.servePath.copyChunks.Add(1)
 	}
 	return nil
+}
+
+// sectionFD caches one response's private open file description on a
+// shared section file. The kernel sendfile path reads from the open
+// file description's current offset, and a dup(2)'d fd would share
+// that offset with every other request — each response needs its own
+// description (a real reopen). Consecutive chunks of one response
+// usually live in the same backing file (one slab segment), so the
+// reopened description is kept for the whole response instead of
+// being paid per chunk.
+type sectionFD struct {
+	orig *os.File // the shared file the description below was opened from
+	own  *os.File // this response's private description
+}
+
+// get returns a private description for f, reusing the cached one
+// when f is the same backing file the previous chunk used.
+func (c *sectionFD) get(f *os.File) (*os.File, error) {
+	if c.orig == f && c.own != nil {
+		return c.own, nil
+	}
+	c.close()
+	own, err := reopenSectionFile(f)
+	if err != nil {
+		return nil, err
+	}
+	c.orig, c.own = f, own
+	return own, nil
+}
+
+func (c *sectionFD) close() {
+	if c.own != nil {
+		c.own.Close()
+		c.orig, c.own = nil, nil
+	}
+}
+
+// sendSection writes the intersection of one chunk's file section with
+// the request range [b0, b1] through rf — net/http's ResponseWriter,
+// whose ReadFrom recognizes an *io.LimitedReader over an *os.File and
+// moves the bytes with sendfile(2), never lifting them into userspace.
+// lo is the chunk's absolute offset in the video. A shared fd (a slab
+// segment serving many requests) reads through the response's private
+// description (see sectionFD); a section's private fd (FS) is seeked
+// directly.
+func (s *Server) sendSection(rf io.ReaderFrom, sfd *sectionFD, sec store.Section, lo, b0, b1 int64) error {
+	from, to := int64(0), sec.Size()-1
+	if lo < b0 {
+		from = b0 - lo
+	}
+	if lo+to > b1 {
+		to = b1 - lo
+	}
+	if from > to {
+		return nil
+	}
+	f := sec.File()
+	if sec.SharedFD() {
+		own, err := sfd.get(f)
+		if err != nil {
+			return err
+		}
+		f = own
+	}
+	if _, err := f.Seek(sec.Offset()+from, io.SeekStart); err != nil {
+		return err
+	}
+	want := to - from + 1
+	n, err := rf.ReadFrom(&io.LimitedReader{R: f, N: want})
+	if err == nil && n != want {
+		err = io.ErrShortWrite
+	}
+	return err
 }
 
 // writeRange writes the intersection of one chunk's bytes (whose first
@@ -926,6 +1121,16 @@ func (s *Server) fetchChunk(ctx context.Context, sh *edgeShard, id chunk.ID) err
 		}
 	}
 	url := fmt.Sprintf("%s/chunk?v=%d&c=%d", s.cfg.OriginURL, id.Video, id.Index)
+	if s.streamPut != nil {
+		return s.retrier.Do(ctx, func(ctx context.Context) error {
+			if !s.breaker.Allow() {
+				return resilience.ErrOpen
+			}
+			err := s.fillStream(ctx, sh, url, id)
+			s.breaker.Record(err == nil || resilience.IsPermanent(err))
+			return err
+		})
+	}
 	return s.retrier.Do(ctx, func(ctx context.Context) error {
 		data, err := s.guardedGet(ctx, url, s.cfg.ChunkSize+1)
 		if err != nil {
@@ -938,8 +1143,96 @@ func (s *Server) fetchChunk(ctx context.Context, sh *edgeShard, id chunk.ID) err
 			return resilience.Permanent(fmt.Errorf("store: %w", err))
 		}
 		sh.counters.filled.Add(int64(len(data)))
+		s.servePath.bufferedFills.Add(1)
 		return nil
 	})
+}
+
+// trackReader distinguishes "the network reader failed" from "the
+// store rejected the stream": PutStream returns one error, and fill
+// classification (retryable vs Permanent, whose breaker gets blamed)
+// depends on which side it came from. err records the first non-EOF
+// read error.
+type trackReader struct {
+	r   io.Reader
+	err error
+}
+
+func (t *trackReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF {
+		t.err = err
+	}
+	return n, err
+}
+
+// fillStream performs one origin round trip for a chunk, pumping the
+// body through a fixed-size scratch buffer straight into the store's
+// streaming writer — fill memory is O(FillStreamBuf), not O(chunk),
+// for file-backed synchronous stores (an async pipeline materializes
+// by design; see store.WriteBehind.PutStream). Status handling and
+// error classification mirror originGet + the buffered commit exactly:
+// 5xx and transport/truncation errors are retryable, 4xx and an
+// oversized or store-rejected chunk are Permanent.
+func (s *Server) fillStream(ctx context.Context, sh *edgeShard, url string, id chunk.ID) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return resilience.Permanent(err)
+	}
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("origin returned %s", resp.Status)
+		if resp.StatusCode >= 500 {
+			return err
+		}
+		return resilience.Permanent(err)
+	}
+	tr := &trackReader{r: resp.Body}
+	scratch := s.fillScratchGet()
+	n, err := s.streamPut.PutStream(id, tr, s.cfg.ChunkSize, *scratch)
+	s.fillScratchPut(scratch)
+	if err != nil {
+		switch {
+		case tr.err != nil:
+			return err // truncated or stalled body: retryable
+		case errors.Is(err, store.ErrTooLarge):
+			return resilience.Permanent(fmt.Errorf("origin chunk %s larger than chunk size", id))
+		default:
+			return resilience.Permanent(fmt.Errorf("store: %w", err))
+		}
+	}
+	sh.counters.filled.Add(n)
+	s.servePath.streamFills.Add(1)
+	return nil
+}
+
+// fillScratchGet checks a streaming-fill scratch buffer out of the
+// pool and maintains the in-flight/peak gauges that pin the O(buffer)
+// fill-memory bound.
+func (s *Server) fillScratchGet() *[]byte {
+	bp, _ := s.fillBufs.Get().(*[]byte)
+	if bp == nil {
+		b := make([]byte, s.cfg.FillStreamBuf)
+		bp = &b
+	}
+	cur := s.fillInFlight.Add(int64(len(*bp)))
+	for {
+		peak := s.fillPeak.Load()
+		if cur <= peak || s.fillPeak.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	return bp
+}
+
+func (s *Server) fillScratchPut(bp *[]byte) {
+	s.fillInFlight.Add(-int64(len(*bp)))
+	s.fillBufs.Put(bp)
 }
 
 // originSize returns the video's size, consulting the shard's size

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"testing"
 
 	"videocdn/internal/chunk"
@@ -182,6 +183,73 @@ func BenchmarkStoreDelete(b *testing.B) {
 				if err := s.Delete(id); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkStorePutStream measures the streaming fill path per
+// StreamPutter backend: the payload pumped through a scratch buffer a
+// quarter of its size, the shape of an origin body flowing through the
+// edge's fixed fill buffer straight into the store.
+func BenchmarkStorePutStream(b *testing.B) {
+	for _, kind := range []string{"mem", "fs", "slab", "tiered"} {
+		b.Run(kind, func(b *testing.B) {
+			s := benchOpen(b, kind)
+			sp, ok := s.(StreamPutter)
+			if !ok {
+				b.Fatalf("%s is not a StreamPutter", kind)
+			}
+			data := benchPayload()
+			ids := benchIDs()
+			scratch := make([]byte, benchSlotBytes/4)
+			r := bytes.NewReader(nil)
+			b.SetBytes(benchSlotBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset(data)
+				if _, err := sp.PutStream(ids[i%len(ids)], r, benchSlotBytes, scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreGetSection measures the kernel serve path's store half:
+// resolving a chunk to a pinned file section plus one positioned read
+// (what sendfile replaces with an in-kernel copy). Steady state must
+// stay allocation-light — the section struct is returned by value.
+func BenchmarkStoreGetSection(b *testing.B) {
+	for _, kind := range []string{"fs", "slab"} {
+		b.Run(kind, func(b *testing.B) {
+			s := benchOpen(b, kind)
+			sg, ok := s.(SectionGetter)
+			if !ok {
+				b.Fatalf("%s is not a SectionGetter", kind)
+			}
+			data := benchPayload()
+			ids := benchIDs()
+			for _, id := range ids {
+				if err := s.Put(id, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			buf := make([]byte, benchSlotBytes)
+			b.SetBytes(benchSlotBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sec, err := sg.GetSection(ids[i%len(ids)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sec.File().ReadAt(buf, sec.Offset()); err != nil {
+					sec.Release()
+					b.Fatal(err)
+				}
+				sec.Release()
 			}
 		})
 	}

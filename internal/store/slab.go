@@ -99,18 +99,18 @@ type slabEntry struct {
 
 // slabSegment is one segment file plus the per-slot generation
 // counters that let lock-free readers detect slot reuse. With Mmap on
-// it also carries the read-only mapping and the per-slot borrow pins
-// that keep a lent slot's body bytes from being recycled.
+// it also carries the read-only mapping.
 type slabSegment struct {
 	s    *Slab
 	num  int32
 	f    *os.File
 	data []byte   // read-only MAP_SHARED view of the whole segment (nil without Mmap)
 	gens []uint32 // bumped under the store lock whenever the slot is freed
-	// pins counts outstanding GetBorrow views per slot; quar flags a
-	// freed slot that still had borrowers — it joins the freelist only
-	// when the last borrow is released (whoever wins the CAS on the
-	// flag owns the hand-back). nil without Mmap.
+	// pins counts outstanding lent views per slot — GetBorrow slices
+	// (mmap) and GetSection file regions alike; quar flags a freed slot
+	// that still had borrowers — it joins the freelist only when the
+	// last borrow is released (whoever wins the CAS on the flag owns
+	// the hand-back).
 	pins []atomic.Int32
 	quar []atomic.Bool
 }
@@ -232,14 +232,16 @@ func (s *Slab) segPath(i int) string {
 // useMmap reports whether segments should be memory-mapped.
 func (s *Slab) useMmap() bool { return s.cfg.Mmap && mmapSupported }
 
-// newSegment builds the in-memory bookkeeping for segment n.
+// newSegment builds the in-memory bookkeeping for segment n. Pins are
+// always allocated: GetSection lends slots on any build, not just
+// mmap ones.
 func (s *Slab) newSegment(n int, f *os.File) *slabSegment {
-	seg := &slabSegment{s: s, num: int32(n), f: f, gens: make([]uint32, s.cfg.SegmentSlots)}
-	if s.useMmap() {
-		seg.pins = make([]atomic.Int32, s.cfg.SegmentSlots)
-		seg.quar = make([]atomic.Bool, s.cfg.SegmentSlots)
+	return &slabSegment{
+		s: s, num: int32(n), f: f,
+		gens: make([]uint32, s.cfg.SegmentSlots),
+		pins: make([]atomic.Int32, s.cfg.SegmentSlots),
+		quar: make([]atomic.Bool, s.cfg.SegmentSlots),
 	}
-	return seg
 }
 
 // mapSegment extends the segment file to its full size (sparse holes
@@ -495,12 +497,20 @@ func (s *Slab) Put(id chunk.ID, data []byte) error {
 		s.unalloc(loc)
 		return fmt.Errorf("store: slab body write: %w", err)
 	}
+	return s.commitSlot(key, loc, seg, seq, len(data), crc32.Checksum(data, castagnoli))
+}
+
+// commitSlot writes the slot header (the commit point of a slab
+// write) and swaps the index entry, freeing any replaced slot. Shared
+// by Put and PutStream; the body bytes must already be on disk.
+func (s *Slab) commitSlot(key uint64, loc slabLoc, seg *slabSegment, seq uint64, length int, bodyCRC uint32) error {
+	off := int64(loc.slot) * s.stride
 	var hdr [slabHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], slabMagic)
 	binary.LittleEndian.PutUint64(hdr[4:12], key)
 	binary.LittleEndian.PutUint64(hdr[12:20], seq)
-	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(data)))
-	binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(data, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(length))
+	binary.LittleEndian.PutUint32(hdr[24:28], bodyCRC)
 	binary.LittleEndian.PutUint32(hdr[28:32], crc32.Checksum(hdr[0:28], castagnoli))
 	if _, err := seg.f.WriteAt(hdr[:], off); err != nil {
 		s.unalloc(loc)
@@ -509,7 +519,7 @@ func (s *Slab) Put(id chunk.ID, data []byte) error {
 
 	s.mu.Lock()
 	old, replaced := s.index[key]
-	s.index[key] = slabEntry{loc: loc, len: int32(len(data)), gen: seg.gens[loc.slot]}
+	s.index[key] = slabEntry{loc: loc, len: int32(length), gen: seg.gens[loc.slot]}
 	if replaced {
 		s.segments[old.loc.seg].gens[old.loc.slot]++ // in-flight readers of the old slot now retry
 	}
@@ -527,6 +537,103 @@ func (s *Slab) Put(id chunk.ID, data []byte) error {
 		s.mu.Unlock()
 	}
 	return nil
+}
+
+// PutStream implements StreamPutter: the body streams through scratch
+// into a freshly allocated slot with the CRC accumulated per read, so
+// a fill holds O(len(scratch)) bytes; the header pwrite (the commit
+// point) happens only after a clean EOF, exactly as in Put. An
+// aborted stream returns the headerless slot to the freelist — a
+// crash or failure mid-body can never produce a phantom chunk, and a
+// replaced chunk's old slot is untouched until the new one commits.
+func (s *Slab) PutStream(id chunk.ID, r io.Reader, max int64, scratch []byte) (int64, error) {
+	if max > s.cfg.SlotBytes {
+		max = s.cfg.SlotBytes // a slot physically cannot hold more
+	}
+	key := id.Key()
+
+	s.mu.Lock()
+	loc, seq, err := s.alloc()
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	seg := s.segments[loc.seg]
+	s.mu.Unlock()
+
+	if len(scratch) == 0 {
+		scratch = make([]byte, 64<<10)
+	}
+	bodyOff := int64(loc.slot)*s.stride + slabHeaderSize
+	var total int64
+	var bodyCRC uint32
+	abort := func(err error) (int64, error) {
+		s.unalloc(loc)
+		return 0, err
+	}
+	for {
+		n, rerr := r.Read(scratch)
+		if n > 0 {
+			if total+int64(n) > max {
+				return abort(ErrTooLarge)
+			}
+			if _, werr := seg.f.WriteAt(scratch[:n], bodyOff+total); werr != nil {
+				return abort(fmt.Errorf("store: slab body write: %w", werr))
+			}
+			bodyCRC = crc32.Update(bodyCRC, castagnoli, scratch[:n])
+			total += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return abort(rerr)
+		}
+	}
+	if err := s.commitSlot(key, loc, seg, seq, int(total), bodyCRC); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// GetSection implements SectionGetter: the chunk's bytes as a region
+// of its segment file, pinned like a borrow so a concurrent
+// Delete/replace quarantines the slot instead of recycling it — the
+// region's bytes are stable until Release. The *os.File is the
+// segment's shared handle: its offset is shared with every concurrent
+// operation, so callers sending it through an offset-moving syscall
+// (sendfile) must dup the descriptor first. Works with or without
+// mmap — this is the kernel-side zero-copy path, GetBorrow is the
+// userspace one.
+func (s *Slab) GetSection(id chunk.ID) (Section, error) {
+	key := id.Key()
+	for {
+		s.mu.RLock()
+		e, ok := s.index[key]
+		if !ok {
+			s.mu.RUnlock()
+			return Section{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		seg := s.segments[e.loc.seg]
+		if seg.gens[e.loc.slot] != e.gen {
+			// The slot was recycled after this entry was indexed; the
+			// index must have moved on too — re-resolve.
+			s.mu.RUnlock()
+			continue
+		}
+		// Pin while the generation is provably current (free paths bump
+		// gens under the write lock, which excludes this section).
+		seg.pins[e.loc.slot].Add(1)
+		s.mu.RUnlock()
+		return Section{
+			f:      seg.f,
+			off:    int64(e.loc.slot)*s.stride + slabHeaderSize,
+			n:      int64(e.len),
+			shared: true,
+			rel:    seg,
+			token:  uint64(e.loc.slot),
+		}, nil
+	}
 }
 
 // unalloc returns a slot whose write failed to the freelist.
@@ -700,7 +807,11 @@ func (s *Slab) Segments() int {
 // Close releases the segment file handles and mappings. The store must
 // not be used afterwards. A segment with outstanding borrows keeps its
 // mapping (the lent slices must stay readable); the fd is closed
-// regardless — a mapping survives its descriptor.
+// regardless — a mapping survives its descriptor. An outstanding
+// Section's shared fd does NOT survive Close: callers that hand
+// sections to the kernel dup the descriptor per request (a dup is
+// unaffected by Close), and the store is only closed after the server
+// drains.
 func (s *Slab) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -733,6 +844,8 @@ func (s *Slab) Close() error {
 }
 
 var (
-	_ Store        = (*Slab)(nil)
-	_ BorrowGetter = (*Slab)(nil)
+	_ Store         = (*Slab)(nil)
+	_ BorrowGetter  = (*Slab)(nil)
+	_ SectionGetter = (*Slab)(nil)
+	_ StreamPutter  = (*Slab)(nil)
 )

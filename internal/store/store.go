@@ -84,6 +84,131 @@ type borrowReleaser interface {
 	releaseBorrow(token uint64)
 }
 
+// ---------- Kernel zero-copy section contract ----------
+
+// ErrNoSection is returned by GetSection when the store holds the
+// chunk but cannot expose its bytes as a file section (an in-memory
+// store, a pending write-behind entry). The chunk itself is present,
+// so ErrNoSection is never an ErrNotFound; callers fall back to
+// GetBorrow/Get.
+var ErrNoSection = errors.New("store: file section unavailable")
+
+// SectionGetter is the optional kernel zero-copy read capability:
+// file-backed stores expose one chunk as a contiguous region of an
+// open file, so the serve path can hand the region to the kernel
+// (sendfile(2) via net/http's ReadFrom) and the chunk's bytes never
+// cross userspace at all. Errors: ErrNotFound if the chunk is absent,
+// ErrNoSection if this store (or the chunk's current residency)
+// cannot expose a section.
+type SectionGetter interface {
+	GetSection(id chunk.ID) (Section, error)
+}
+
+// Section is one chunk's bytes as a region of an open file. Like
+// Borrowed, the region is guaranteed stable — never mutated, never
+// recycled — until Release, and Release must be called exactly once
+// per successful GetSection. A section either owns its *os.File (FS
+// opens one per call; Release closes it) or aliases a descriptor the
+// store shares across requests (a slab segment; SharedFD reports
+// true, and callers must dup the descriptor before any operation that
+// moves its offset, because sendfile(2) reads and advances it).
+type Section struct {
+	f         *os.File
+	off       int64
+	n         int64
+	shared    bool
+	closeFile bool
+	rel       borrowReleaser
+	token     uint64
+}
+
+// File returns the open file holding the section. With SharedFD true
+// the descriptor's offset is shared with every other user of the
+// store — positioned reads (ReadAt) are safe, Seek/Read are not.
+func (s Section) File() *os.File { return s.f }
+
+// Offset is the section's first byte within File.
+func (s Section) Offset() int64 { return s.off }
+
+// Size is the section's length in bytes.
+func (s Section) Size() int64 { return s.n }
+
+// SharedFD reports whether File's descriptor (and hence its offset)
+// is shared with other users of the store.
+func (s Section) SharedFD() bool { return s.shared }
+
+// Release returns the section to the store: the pinned slot (if any)
+// may be recycled and an owned file is closed. Safe on the zero value.
+func (s Section) Release() {
+	if s.closeFile && s.f != nil {
+		s.f.Close()
+	}
+	if s.rel != nil {
+		s.rel.releaseBorrow(s.token)
+	}
+}
+
+// ---------- Streaming write contract ----------
+
+// ErrTooLarge is returned by PutStream when the reader yields more
+// than the caller's size limit. The store is left exactly as it was:
+// a previously committed value for the chunk survives, partial bytes
+// are discarded.
+var ErrTooLarge = errors.New("store: streamed chunk exceeds the size limit")
+
+// StreamPutter is the optional streaming write capability: the
+// chunk's bytes are consumed from r through a fixed-size buffer
+// instead of arriving as one materialized slice, so a disk-backed
+// store writes a network fill while holding O(buffer) rather than
+// O(chunk) bytes in memory.
+//
+// PutStream reads r to EOF and commits the bytes as the chunk's
+// contents, replacing any previous value, and returns the committed
+// length. If r yields more than max bytes the put is aborted with
+// ErrTooLarge; if r fails mid-stream the put is aborted and the
+// reader's error is returned unwrapped (so callers can classify
+// network failures); any other error is the store's own. On any error
+// the chunk's previous value (or absence) is intact.
+//
+// scratch, when non-nil, is used as the copy buffer — callers pool it
+// so steady-state fills do not allocate. Implementations that must
+// materialize the bytes anyway (RAM stores, write-behind pending
+// entries) may ignore it.
+type StreamPutter interface {
+	PutStream(id chunk.ID, r io.Reader, max int64, scratch []byte) (int64, error)
+}
+
+// readAtMost reads r to EOF into one slice, failing with ErrTooLarge
+// if more than max bytes arrive. Used by stores that hold chunk bytes
+// in RAM anyway: the returned slice is the store's copy, allocated
+// once at the size cap, so nothing transient is retained.
+func readAtMost(r io.Reader, max int64) ([]byte, error) {
+	if max < 0 {
+		max = 0
+	}
+	buf := make([]byte, 0, max+1)
+	for {
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			if int64(len(buf)) > max {
+				return nil, ErrTooLarge
+			}
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(buf)) > max {
+			return nil, ErrTooLarge
+		}
+		if len(buf) == cap(buf) {
+			// cap is max+1 and every byte of it is full: over the limit.
+			return nil, ErrTooLarge
+		}
+	}
+}
+
 // ---------- In-memory store ----------
 
 // memStripes is the number of independent lock domains in Mem (a
@@ -159,6 +284,21 @@ func (s *Mem) GetBorrow(id chunk.ID) (Borrowed, error) {
 		return Borrowed{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	return Borrowed{Data: data}, nil
+}
+
+// PutStream implements StreamPutter. A RAM store materializes the
+// chunk regardless — the one allocation is the stored copy itself, so
+// scratch is ignored and nothing transient survives the call.
+func (s *Mem) PutStream(id chunk.ID, r io.Reader, max int64, _ []byte) (int64, error) {
+	data, err := readAtMost(r, max)
+	if err != nil {
+		return 0, err
+	}
+	st := s.stripe(id.Key())
+	st.mu.Lock()
+	st.m[id.Key()] = data
+	st.mu.Unlock()
+	return int64(len(data)), nil
 }
 
 // Delete implements Store.
@@ -405,22 +545,7 @@ func (s *FS) Put(id chunk.ID, data []byte) error {
 			return err
 		}
 	}
-	key := id.Key()
-	s.mu.Lock()
-	if _, ok := s.seen[key]; !ok {
-		s.seen[key] = struct{}{}
-		s.n++
-	}
-	wasLegacy := false
-	if _, ok := s.legacy[key]; ok {
-		delete(s.legacy, key)
-		wasLegacy = true
-	}
-	s.mu.Unlock()
-	if wasLegacy {
-		// The fresh copy at the new path supersedes the old one.
-		_ = os.Remove(s.legacyPath(id))
-	}
+	s.commitKey(id)
 	return nil
 }
 
@@ -490,6 +615,115 @@ func (s *FS) Get(id chunk.ID, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// GetSection implements SectionGetter: each chunk is one file, so the
+// section is the whole file at offset 0. The *os.File is opened per
+// call and owned by the section (Release closes it); a racing Delete
+// only unlinks the path — the open descriptor keeps the inode alive,
+// so the section's bytes stay readable until Release.
+func (s *FS) GetSection(id chunk.ID) (Section, error) {
+	f, err := os.Open(s.path(id))
+	if err != nil && os.IsNotExist(err) && s.isLegacy(id.Key()) {
+		f, err = os.Open(s.legacyPath(id))
+	}
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Section{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return Section{}, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return Section{}, err
+	}
+	return Section{f: f, off: 0, n: fi.Size(), closeFile: true}, nil
+}
+
+// PutStream implements StreamPutter: the body streams through scratch
+// straight into the temp file, so a fill holds O(len(scratch)) bytes
+// however large the chunk is. The commit (rename, fsync policy, index
+// bookkeeping) is exactly Put's; an aborted stream removes the temp
+// file and leaves any committed value intact.
+func (s *FS) PutStream(id chunk.ID, r io.Reader, max int64, scratch []byte) (int64, error) {
+	p := s.path(id)
+	tmp := p + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if len(scratch) == 0 {
+		scratch = make([]byte, 64<<10)
+	}
+	var total int64
+	abort := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	for {
+		n, rerr := r.Read(scratch)
+		if n > 0 {
+			if total+int64(n) > max {
+				return abort(ErrTooLarge)
+			}
+			if _, werr := f.Write(scratch[:n]); werr != nil {
+				return abort(werr)
+			}
+			total += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return abort(rerr)
+		}
+	}
+	if s.cfg.Durable {
+		if err := f.Sync(); err != nil {
+			return abort(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if s.crashAfterTemp != nil {
+		return 0, s.crashAfterTemp()
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if s.cfg.Durable {
+		if err := syncDir(filepath.Dir(p)); err != nil {
+			return 0, err
+		}
+	}
+	s.commitKey(id)
+	return total, nil
+}
+
+// commitKey records a freshly renamed chunk file in the index and
+// migrates away any legacy-path copy (shared by Put and PutStream).
+func (s *FS) commitKey(id chunk.ID) {
+	key := id.Key()
+	s.mu.Lock()
+	if _, ok := s.seen[key]; !ok {
+		s.seen[key] = struct{}{}
+		s.n++
+	}
+	wasLegacy := false
+	if _, ok := s.legacy[key]; ok {
+		delete(s.legacy, key)
+		wasLegacy = true
+	}
+	s.mu.Unlock()
+	if wasLegacy {
+		// The fresh copy at the new path supersedes the old one.
+		_ = os.Remove(s.legacyPath(id))
+	}
+}
+
 // Delete implements Store.
 func (s *FS) Delete(id chunk.ID) error {
 	err := os.Remove(s.path(id))
@@ -532,7 +766,10 @@ func (s *FS) Len() int {
 }
 
 var (
-	_ Store        = (*Mem)(nil)
-	_ Store        = (*FS)(nil)
-	_ BorrowGetter = (*Mem)(nil)
+	_ Store         = (*Mem)(nil)
+	_ Store         = (*FS)(nil)
+	_ BorrowGetter  = (*Mem)(nil)
+	_ StreamPutter  = (*Mem)(nil)
+	_ StreamPutter  = (*FS)(nil)
+	_ SectionGetter = (*FS)(nil)
 )
