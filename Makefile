@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/cluster/ ./internal/edge/ ./internal/resilience/ ./internal/store/ ./internal/shard/ ./internal/sim/ ./internal/oracle/
+	$(GO) test -race ./internal/cluster/ ./internal/edge/ ./internal/resilience/ ./internal/store/ ./internal/shard/ ./internal/sim/ ./internal/oracle/ ./internal/policy/
 
 # Fault-injection suite: drives the edge↔origin stack through seeded
 # outages (5xx bursts, latency spikes, mid-body truncation) and asserts
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzColumnarTrace -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzParseRange -fuzztime=30s ./internal/edge/
 	$(GO) test -fuzz=FuzzSlabRecovery -fuzztime=30s ./internal/store/
+	$(GO) test -fuzz=FuzzPolicyConfig -fuzztime=30s ./internal/policy/
 
 bench: bench-replay
 	$(GO) test -bench=. -benchmem ./...

@@ -37,15 +37,14 @@ import (
 	"testing"
 	"time"
 
-	"videocdn/internal/cafe"
 	"videocdn/internal/chunk"
 	"videocdn/internal/cluster"
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
 	"videocdn/internal/edge"
-	"videocdn/internal/purelru"
+	"videocdn/internal/policy"
+	_ "videocdn/internal/policy/all"
 	"videocdn/internal/store"
-	"videocdn/internal/xlru"
 )
 
 type runRow struct {
@@ -240,7 +239,7 @@ func main() {
 	zipfS := flag.Float64("zipf", 1.2, "Zipf popularity exponent (> 1), or 0 for uniform")
 	chunkKB := flag.Int64("chunk-kb", 64, "chunk size in KB")
 	diskChunks := flag.Int("disk-chunks", 8192, "edge disk size in chunks (total, divided across shards)")
-	algo := flag.String("algo", "cafe", "edge algorithm: cafe, xlru or lru")
+	algo := flag.String("algo", "cafe", "edge policy (any registered online policy: cafe, xlru, lru, lruq, admit, ...)")
 	alpha := flag.Float64("alpha", 2, "alpha_F2R")
 	storeKind := flag.String("store", "mem", "chunk store backend: mem, fs or slab")
 	fillAsync := flag.Bool("fill-async", false, "commit fill writes asynchronously (write-behind)")
@@ -407,18 +406,10 @@ func newEdge(n int, chunkSize int64, diskChunks int, algo string, alpha float64,
 }
 
 // cacheFactory builds the per-shard decision engine the -algo flag
-// selects.
+// selects, resolved through the policy registry.
 func cacheFactory(algo string, alpha float64) func(int, core.Config) (core.Cache, error) {
 	return func(_ int, sub core.Config) (core.Cache, error) {
-		switch algo {
-		case "cafe":
-			return cafe.New(sub, alpha, cafe.Options{})
-		case "xlru":
-			return xlru.New(sub, alpha)
-		case "lru":
-			return purelru.New(sub)
-		}
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
+		return policy.NewWithEnv(algo, sub, policy.Env{Alpha: alpha}, nil)
 	}
 }
 

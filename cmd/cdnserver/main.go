@@ -40,10 +40,10 @@ import (
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
 	"videocdn/internal/edge"
-	"videocdn/internal/purelru"
+	"videocdn/internal/policy"
+	_ "videocdn/internal/policy/all"
 	"videocdn/internal/resilience"
 	"videocdn/internal/store"
-	"videocdn/internal/xlru"
 )
 
 func main() {
@@ -51,7 +51,8 @@ func main() {
 	listen := flag.String("listen", ":8081", "listen address")
 	origin := flag.String("origin", "http://localhost:8080", "origin base URL (edge mode)")
 	redirect := flag.String("redirect", "", "redirect target base URL (edge mode)")
-	algo := flag.String("algo", "cafe", "edge algorithm: xlru, cafe or lru")
+	algo := flag.String("algo", "cafe", "edge policy, resolved through the registry: "+strings.Join(policy.Names(), ", "))
+	policyConfig := flag.String("policy-config", "", "policy parameters as k=v,k2=v2 (schema-validated; e.g. -algo lruq -policy-config q=8)")
 	alpha := flag.Float64("alpha", 2, "alpha_F2R")
 	diskGB := flag.Float64("disk-gb", 1, "edge disk size in GB")
 	chunkMB := flag.Float64("chunk-mb", 2, "chunk size in MB")
@@ -146,37 +147,25 @@ func main() {
 				FailureRate: *breakerFailRate,
 			},
 		}
-		var single core.Cache // only set for -edge-shards 1 (state snapshots)
-		var err error
-		if *edgeShards > 1 {
-			srvCfg.Shards = *edgeShards
-			srvCfg.CacheConfig = cfg
-			srvCfg.CacheFactory = func(_ int, sub core.Config) (core.Cache, error) {
-				switch *algo {
-				case "xlru":
-					return xlru.New(sub, *alpha)
-				case "cafe":
-					return cafe.New(sub, *alpha, cafe.Options{})
-				case "lru":
-					return purelru.New(sub)
-				}
-				return nil, fmt.Errorf("unknown algorithm %q (offline psychic cannot serve live traffic)", *algo)
-			}
-		} else {
-			switch *algo {
-			case "xlru":
-				single, err = xlru.New(cfg, *alpha)
-			case "cafe":
-				single, err = loadOrNewCafe(*statePath, cfg, *alpha)
-			case "lru":
-				single, err = purelru.New(cfg)
-			default:
-				err = fmt.Errorf("unknown algorithm %q (offline psychic cannot serve live traffic)", *algo)
-			}
+		policyParams, err := policy.ParseParams(*policyConfig)
+		if err != nil {
+			fatal(err)
+		}
+		var single core.Cache // only set with -state (cafe snapshot resume)
+		if *statePath != "" {
+			// A snapshot resumes a concrete cafe instance, so this path
+			// bypasses the registry; every other configuration resolves
+			// the policy by name.
+			single, err = loadOrNewCafe(*statePath, cfg, *alpha)
 			if err != nil {
 				fatal(err)
 			}
 			srvCfg.Cache = single
+		} else {
+			srvCfg.Shards = *edgeShards
+			srvCfg.CacheConfig = cfg
+			srvCfg.Policy = *algo
+			srvCfg.PolicyParams = policyParams
 		}
 		st, err := openStore(*storeKind, *dataDir, chunkSize, *storePrealloc, *storeMmap)
 		if err != nil {

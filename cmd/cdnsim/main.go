@@ -25,29 +25,26 @@ import (
 	"strings"
 	"time"
 
-	"videocdn/internal/belady"
 	"videocdn/internal/cafe"
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
-	"videocdn/internal/gdsp"
-	"videocdn/internal/lruk"
-	"videocdn/internal/psychic"
-	"videocdn/internal/purelru"
+	"videocdn/internal/policy"
+	_ "videocdn/internal/policy/all"
 	"videocdn/internal/shard"
 	"videocdn/internal/sim"
 	"videocdn/internal/trace"
-	"videocdn/internal/xlru"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "trace file (binary or text) or columnar trace directory")
 	format := flag.String("format", "binary", "trace format for flat files: binary or text")
-	algos := flag.String("algo", "cafe", "comma-separated algorithms: xlru,cafe,psychic,lru,gdsp,lruk,belady")
+	algos := flag.String("algo", "cafe", "comma-separated registered policies: "+strings.Join(policy.Names(), ","))
 	alpha := flag.Float64("alpha", 2, "fill-to-redirect preference alpha_F2R")
 	diskGB := flag.Float64("disk-gb", 16, "disk size in GB")
 	chunkMB := flag.Float64("chunk-mb", 2, "chunk size in MB")
 	seriesOut := flag.String("series", "", "write hourly series CSV to this file")
-	gamma := flag.Float64("gamma", cafe.DefaultGamma, "Cafe EWMA factor")
+	gamma := flag.Float64("gamma", cafe.DefaultGamma, "Cafe EWMA factor (shorthand for -policy-config gamma=...)")
+	policyConfig := flag.String("policy-config", "", "policy parameters as k=v,k2=v2 (schema-validated per policy; see internal/policy)")
 	shards := flag.Int("shards", 1, "shard the cache n ways (power of two) and replay shards in parallel")
 	workers := flag.Int("workers", 0, "worker goroutines for -shards > 1 (default min(shards, GOMAXPROCS))")
 	useMmap := flag.Bool("mmap", false, "read columnar trace directories via mmap instead of buffered pread")
@@ -162,27 +159,28 @@ func main() {
 		simOpts.Progress = progressPrinter(start)
 	}
 
+	baseParams, err := policy.ParseParams(*policyConfig)
+	if err != nil {
+		fatal(err)
+	}
+
 	// mkCache builds one single-threaded cache over the given (whole or
-	// per-shard) configuration.
+	// per-shard) configuration, resolving the policy through the
+	// registry. -gamma remains a shorthand applied to any policy whose
+	// schema declares the key.
 	mkCache := func(name string, cfg core.Config) (core.Cache, error) {
-		switch name {
-		case "xlru":
-			return xlru.New(cfg, *alpha)
-		case "cafe":
-			return cafe.New(cfg, *alpha, cafe.Options{Gamma: *gamma})
-		case "psychic":
-			return psychic.New(cfg, *alpha, fullTrace(), psychic.Options{})
-		case "lru":
-			return purelru.New(cfg)
-		case "gdsp":
-			return gdsp.New(cfg)
-		case "belady":
-			return belady.New(cfg, fullTrace())
-		case "lruk":
-			return lruk.New(cfg, lruk.DefaultK)
-		default:
-			return nil, fmt.Errorf("unknown algorithm %q", name)
+		spec, ok := policy.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown policy %q (registered: %s)", name, strings.Join(policy.Names(), ", "))
 		}
+		p := policy.Params{}
+		for k, v := range baseParams {
+			p[k] = v
+		}
+		if _, set := p["gamma"]; !set && spec.Accepts("gamma") {
+			p["gamma"] = *gamma
+		}
+		return policy.NewWithEnv(name, cfg, policy.Env{Alpha: *alpha, Future: fullTrace}, p)
 	}
 
 	fmt.Printf("%d requests, disk %d chunks (%.1f GB), alpha=%.2g", src.Len(), cfg.DiskChunks, *diskGB, *alpha)
@@ -194,11 +192,11 @@ func main() {
 		name = strings.TrimSpace(name)
 		var c core.Cache
 		if *shards > 1 {
-			switch name {
-			case "psychic", "belady":
-				// Both precompute per-request future knowledge against the
-				// exact full trace; a shard would see only a sub-trace.
-				fatal(fmt.Errorf("algorithm %q cannot be sharded", name))
+			if spec, ok := policy.Lookup(name); ok && spec.NeedsTrace {
+				// Offline policies precompute per-request future knowledge
+				// against the exact full trace; a shard would see only a
+				// sub-trace.
+				fatal(fmt.Errorf("offline policy %q cannot be sharded", name))
 			}
 			c, err = shard.New(*shards, cfg, func(_ int, sub core.Config) (core.Cache, error) {
 				return mkCache(name, sub)

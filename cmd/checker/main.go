@@ -19,9 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"videocdn/internal/oracle"
+	"videocdn/internal/policy"
 )
 
 func main() {
@@ -29,7 +31,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "first seed; successive passes increment it")
 		ops      = flag.Int("ops", 200000, "operations per check run")
 		duration = flag.Duration("duration", 0, "keep starting new seeds until this much time has passed (0: one pass)")
-		algo     = flag.String("algo", "cafe", "cache policy: cafe or xlru")
+		algo     = flag.String("algo", "cafe", "cache policy: "+strings.Join(policy.Names(), ", "))
 		storeK   = flag.String("store", "slab", "byte store: mem, fs or slab")
 		shards   = flag.Int("shards", 8, "edge lock shards (power of two)")
 		async    = flag.Bool("async", true, "use async (write-behind) fills")

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,ablations,prefetch,baselines,hierarchy,cdnwide,constrained,sensitivity,flash,rounding,parallel,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,ablations,prefetch,baselines,policies,hierarchy,cdnwide,constrained,sensitivity,flash,rounding,parallel,all")
 	scaleName := flag.String("scale", "default", "experiment scale: default or small")
 	alpha := flag.Float64("alpha", 0, "override alpha_F2R where applicable (fig 6/7)")
 	csvDir := flag.String("csv", "", "also write each figure's raw data as CSV into this directory")
@@ -169,6 +169,17 @@ func main() {
 				return err
 			}
 			r.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("policies") || *fig == "all" {
+		run("Policy registry head-to-head (extension)", func() error {
+			r, err := experiments.Policies(sc)
+			if err != nil {
+				return err
+			}
+			r.Print(os.Stdout)
+			writeCSV("policies.csv", r.CSV)
 			return nil
 		})
 	}

@@ -1,0 +1,21 @@
+package belady
+
+import (
+	"videocdn/internal/core"
+	"videocdn/internal/policy"
+	"videocdn/internal/trace"
+)
+
+func init() {
+	policy.Register(policy.Spec{
+		Name:       "belady",
+		Doc:        "offline-optimal Belady replacement, always-fill (requires the full future trace)",
+		NeedsTrace: true,
+		Fields: []policy.Field{
+			{Key: "trace", Kind: policy.KindTrace, Doc: "the full future request sequence (required)"},
+		},
+		New: func(cfg core.Config, p policy.Params) (core.Cache, error) {
+			return New(cfg, p["trace"].([]trace.Request))
+		},
+	})
+}

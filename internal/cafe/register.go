@@ -1,0 +1,28 @@
+package cafe
+
+import (
+	"videocdn/internal/core"
+	"videocdn/internal/policy"
+)
+
+func init() {
+	policy.Register(policy.Spec{
+		Name: "cafe",
+		Doc:  "chunk-aware fill-efficient cost-model cache (the paper's Cafe, Section 6)",
+		Fields: []policy.Field{
+			{Key: "alpha", Kind: policy.KindFloat, Default: 2.0, Doc: "fill-to-redirect preference alpha_F2R"},
+			{Key: "gamma", Kind: policy.KindFloat, Default: DefaultGamma, Doc: "IAT EWMA weight of Eq. 8"},
+			{Key: "window_scale", Kind: policy.KindFloat, Default: 1.0, Doc: "future window T as a multiple of the cache age"},
+			{Key: "file_level", Kind: policy.KindBool, Default: false, Doc: "ablation: one IAT per video instead of per chunk"},
+			{Key: "no_video_estimate", Kind: policy.KindBool, Default: false, Doc: "ablation: disable unseen-chunk IAT estimation"},
+		},
+		New: func(cfg core.Config, p policy.Params) (core.Cache, error) {
+			return New(cfg, p["alpha"].(float64), Options{
+				Gamma:           p["gamma"].(float64),
+				WindowScale:     p["window_scale"].(float64),
+				FileLevel:       p["file_level"].(bool),
+				NoVideoEstimate: p["no_video_estimate"].(bool),
+			})
+		},
+	})
+}

@@ -16,6 +16,8 @@ import (
 	"videocdn/internal/chunk"
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
+	"videocdn/internal/policy"
+	_ "videocdn/internal/policy/all"
 	"videocdn/internal/resilience"
 	"videocdn/internal/shard"
 	"videocdn/internal/store"
@@ -25,10 +27,19 @@ import (
 // Config assembles an edge cache server.
 type Config struct {
 	// Cache is the decision engine (xLRU, Cafe, ...) of a single-shard
-	// server. Exactly one of Cache and CacheFactory must be set; a
-	// prebuilt Cache implies Shards == 1 (the server serializes access
-	// to it).
+	// server. Exactly one of Cache, CacheFactory and Policy must be
+	// set; a prebuilt Cache implies Shards == 1 (the server serializes
+	// access to it).
 	Cache core.Cache
+	// Policy names a registered cache policy (internal/policy); the
+	// server builds one instance per shard through the registry — the
+	// declarative alternative to Cache/CacheFactory. CacheConfig
+	// supplies the capacity; Alpha is injected where the policy's
+	// schema accepts it.
+	Policy string
+	// PolicyParams configures the named Policy (schema-validated by
+	// the registry; string values are coerced, unknown keys rejected).
+	PolicyParams policy.Params
 	// Shards splits the server into independent lock domains, one per
 	// hash bucket of the video-ID space (shard.ShardOf). Requests for
 	// videos in different buckets never contend on a lock. Must be a
@@ -350,13 +361,27 @@ func NewServer(cfg Config) (*Server, error) {
 	if n < 0 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("edge: shard count must be a positive power of two, got %d", cfg.Shards)
 	}
+	selectors := 0
+	for _, set := range []bool{cfg.Cache != nil, cfg.CacheFactory != nil, cfg.Policy != ""} {
+		if set {
+			selectors++
+		}
+	}
 	switch {
-	case cfg.Cache == nil && cfg.CacheFactory == nil:
-		return nil, fmt.Errorf("edge: nil cache")
-	case cfg.Cache != nil && cfg.CacheFactory != nil:
-		return nil, fmt.Errorf("edge: set Cache or CacheFactory, not both")
+	case selectors == 0:
+		return nil, fmt.Errorf("edge: nil cache (set Cache, CacheFactory or Policy)")
+	case selectors > 1:
+		return nil, fmt.Errorf("edge: set exactly one of Cache, CacheFactory and Policy")
 	case cfg.Cache != nil && n > 1:
-		return nil, fmt.Errorf("edge: a prebuilt Cache implies one shard; use CacheFactory for %d shards", n)
+		return nil, fmt.Errorf("edge: a prebuilt Cache implies one shard; use CacheFactory or Policy for %d shards", n)
+	}
+	if cfg.Policy != "" {
+		// Resolve the named policy through the registry, once per
+		// shard. The edge cannot supply a future trace, so offline
+		// policies fail here with the registry's explanatory error.
+		cfg.CacheFactory = func(_ int, sub core.Config) (core.Cache, error) {
+			return policy.NewWithEnv(cfg.Policy, sub, policy.Env{Alpha: cfg.Alpha}, cfg.PolicyParams)
+		}
 	}
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("edge: nil store")

@@ -12,28 +12,20 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"videocdn/internal/cafe"
 	"videocdn/internal/chunk"
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
-	"videocdn/internal/purelru"
+	"videocdn/internal/policy"
 	"videocdn/internal/store"
 	"videocdn/internal/xlru"
 )
 
-// shardFactory builds the given algorithm for one shard.
+// shardFactory builds the given algorithm for one shard via the
+// policy registry.
 func shardFactory(t testing.TB, algo string, alpha float64) func(int, core.Config) (core.Cache, error) {
 	t.Helper()
 	return func(_ int, sub core.Config) (core.Cache, error) {
-		switch algo {
-		case "cafe":
-			return cafe.New(sub, alpha, cafe.Options{})
-		case "xlru":
-			return xlru.New(sub, alpha)
-		case "lru":
-			return purelru.New(sub)
-		}
-		return nil, fmt.Errorf("unknown algo %q", algo)
+		return policy.NewWithEnv(algo, sub, policy.Env{Alpha: alpha}, nil)
 	}
 }
 

@@ -65,6 +65,56 @@ func TestBaselinesSmoke(t *testing.T) {
 	}
 }
 
+func TestPoliciesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	res, err := Policies(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Traces {
+		for _, alpha := range res.Alphas {
+			m := res.Results[tr][alpha]
+			for _, algo := range policyAlgos {
+				if m[algo] == nil {
+					t.Fatalf("missing %s/%v/%s", tr, alpha, algo)
+				}
+			}
+			// LRU(1) is plain LRU by construction; the simulated
+			// results must be identical, not merely close.
+			if m["lruq:q=1"].Efficiency() != m["lru"].Efficiency() ||
+				m["lruq:q=1"].IngressRatio() != m["lru"].IngressRatio() {
+				t.Errorf("%s alpha=%v: lruq:q=1 diverged from lru", tr, alpha)
+			}
+		}
+	}
+	// Sharper popularity skew should not hurt the cost-aware pair.
+	for _, algo := range []string{"cafe", "xlru"} {
+		std := res.Results["standard"][2.0][algo].Efficiency()
+		skw := res.Results["skewed"][2.0][algo].Efficiency()
+		if skw < std-0.05 {
+			t.Errorf("%s: efficiency fell with skew (%.3f -> %.3f)", algo, std, skw)
+		}
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "head-to-head") {
+		t.Error("Print output missing header")
+	}
+	sb.Reset()
+	if err := res.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "trace,alpha,algo,efficiency") {
+		t.Errorf("policies CSV header wrong: %q", firstLine(sb.String()))
+	}
+	// 2 traces x 2 alphas x len(policyAlgos) rows + header.
+	if n := strings.Count(sb.String(), "\n"); n != 1+2*2*len(policyAlgos) {
+		t.Errorf("policies CSV has %d lines", n)
+	}
+}
+
 func TestRoundingSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test (LP)")

@@ -2,18 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
-	"videocdn/internal/belady"
-	"videocdn/internal/cafe"
 	"videocdn/internal/core"
 	"videocdn/internal/cost"
-	"videocdn/internal/gdsp"
-	"videocdn/internal/lruk"
-	"videocdn/internal/psychic"
-	"videocdn/internal/purelru"
+	"videocdn/internal/policy"
+	_ "videocdn/internal/policy/all"
 	"videocdn/internal/sim"
 	"videocdn/internal/trace"
-	"videocdn/internal/xlru"
 )
 
 // Algorithms, in the order the paper's bar groups use.
@@ -30,27 +26,35 @@ const (
 // OnlineAlgos is the paper's per-figure trio.
 var OnlineAlgos = []string{AlgoXLRU, AlgoCafe, AlgoPsychic}
 
-// newCache constructs an algorithm by name. Psychic needs the full
-// trace for its future index.
+// newCache constructs an algorithm through the policy registry.
+// Offline policies (psychic, belady) receive the full trace for their
+// future index; alpha is injected where the schema accepts it. A name
+// may carry inline params after a colon ("lruq:q=8", "admit:inner=
+// cafe"), which is how the figure suite runs config variants without
+// touching this file.
 func newCache(name string, cfg core.Config, alpha float64, reqs []trace.Request) (core.Cache, error) {
-	switch name {
-	case AlgoXLRU:
-		return xlru.New(cfg, alpha)
-	case AlgoCafe:
-		return cafe.New(cfg, alpha, cafe.Options{})
-	case AlgoPsychic:
-		return psychic.New(cfg, alpha, reqs, psychic.Options{})
-	case AlgoLRU:
-		return purelru.New(cfg)
-	case AlgoGDSP:
-		return gdsp.New(cfg)
-	case AlgoLRUK:
-		return lruk.New(cfg, lruk.DefaultK)
-	case AlgoBelady:
-		return belady.New(cfg, reqs)
-	default:
-		return nil, fmt.Errorf("experiments: unknown algorithm %q", name)
+	base, params, err := splitAlgo(name)
+	if err != nil {
+		return nil, err
 	}
+	return policy.NewWithEnv(base, cfg, policy.Env{
+		Alpha:  alpha,
+		Future: func() []trace.Request { return reqs },
+	}, params)
+}
+
+// splitAlgo parses "name" or "name:k=v,k=v" into a registry name and
+// its params.
+func splitAlgo(name string) (string, policy.Params, error) {
+	base, rest, ok := strings.Cut(name, ":")
+	if !ok {
+		return name, nil, nil
+	}
+	p, err := policy.ParseParams(rest)
+	if err != nil {
+		return "", nil, fmt.Errorf("experiments: algo %q: %w", name, err)
+	}
+	return base, p, nil
 }
 
 // runOne replays reqs through the named algorithm and returns the

@@ -1,0 +1,16 @@
+package gdsp
+
+import (
+	"videocdn/internal/core"
+	"videocdn/internal/policy"
+)
+
+func init() {
+	policy.Register(policy.Spec{
+		Name: "gdsp",
+		Doc:  "always-fill Greedy-Dual-Size-Popularity replacement (Jin & Bestavros)",
+		New: func(cfg core.Config, _ policy.Params) (core.Cache, error) {
+			return New(cfg)
+		},
+	})
+}

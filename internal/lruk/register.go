@@ -1,0 +1,19 @@
+package lruk
+
+import (
+	"videocdn/internal/core"
+	"videocdn/internal/policy"
+)
+
+func init() {
+	policy.Register(policy.Spec{
+		Name: "lruk",
+		Doc:  "always-fill LRU-K replacement ordered by backward K-distance (O'Neil et al.)",
+		Fields: []policy.Field{
+			{Key: "k", Kind: policy.KindInt, Default: DefaultK, Doc: "reference history depth K (classic LRU-2 by default)"},
+		},
+		New: func(cfg core.Config, p policy.Params) (core.Cache, error) {
+			return New(cfg, p["k"].(int))
+		},
+	})
+}

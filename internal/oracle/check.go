@@ -13,20 +13,27 @@ import (
 	"sync/atomic"
 	"time"
 
-	"videocdn/internal/cafe"
 	"videocdn/internal/chunk"
 	"videocdn/internal/core"
 	"videocdn/internal/edge"
+	"videocdn/internal/policy"
+	_ "videocdn/internal/policy/all"
 	"videocdn/internal/resilience"
 	"videocdn/internal/store"
-	"videocdn/internal/xlru"
 )
 
 // CheckConfig selects one cell of the scenario matrix and one seeded
 // operation sequence.
 type CheckConfig struct {
-	// Algo is the cache policy: "cafe" or "xlru".
+	// Algo is the cache policy, resolved through the registry
+	// (internal/policy): any registered online policy works — the
+	// model delegates admission to a second instance built by the
+	// exact same factory.
 	Algo string
+	// PolicyParams configures the policy (schema-validated by the
+	// registry). Both the real server's caches and the model's second
+	// instances receive identical params.
+	PolicyParams policy.Params
 	// StoreKind is the byte store: "mem", "fs" or "slab".
 	StoreKind string
 	// AsyncFills turns on the write-behind fill pipeline.
@@ -127,14 +134,7 @@ func Check(cfg CheckConfig) (*Result, error) {
 
 	h := &harness{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), res: &Result{FailedOp: -1}, hash: fnv.New64a()}
 	h.factory = func(_ int, sub core.Config) (core.Cache, error) {
-		switch cfg.Algo {
-		case "cafe":
-			return cafe.New(sub, alpha, cafe.Options{})
-		case "xlru":
-			return xlru.New(sub, alpha)
-		default:
-			return nil, fmt.Errorf("oracle: unknown algo %q", cfg.Algo)
-		}
+		return policy.NewWithEnv(cfg.Algo, sub, policy.Env{Alpha: alpha}, cfg.PolicyParams)
 	}
 	h.perShard = core.Config{ChunkSize: cfg.ChunkSize, DiskChunks: cfg.DiskChunks / cfg.Shards}
 
@@ -728,7 +728,11 @@ func (h *harness) checkCoherence() error {
 			claimed++
 		}
 	}
-	if total, _ := h.model.cachedChunks(); claimed != total {
+	if total, _ := h.model.cachedChunks(); claimed != total && h.model.canForget() {
+		// A policy with rollback must never claim a byte-less chunk.
+		// Forget-less policies (gdsp, lruk) legitimately keep claiming
+		// chunks whose fills failed — the serve path's preflight
+		// self-heal re-fetches those on next touch.
 		return fmt.Errorf("coherence: caches claim %d chunks but only %d have store bytes", total, claimed)
 	}
 	return h.checkTierCoherence()

@@ -315,6 +315,26 @@ func (m *Model) handleGet(op getOp, uri string, expectedBody func(v chunk.VideoI
 		m.store[id.Key()] = struct{}{}
 	}
 
+	// Preflight self-heal: a chunk the cache claims without store
+	// bytes — possible only for policies without Forget, where a
+	// failed fill's admission cannot be rolled back — is re-fetched
+	// before the response commits, or degrades the request when the
+	// origin cannot deliver it.
+	for c := b0 / m.chunkSize; c <= b1/m.chunkSize; c++ {
+		id := chunk.ID{Video: op.video, Index: uint32(c)}
+		if _, ok := m.store[id.Key()]; ok {
+			continue
+		}
+		if m.phase != PhaseHealthy {
+			m.ledger.fillErrs++
+			m.forget(sh, []chunk.ID{id})
+			return m.degrade(reqBytes, uri)
+		}
+		m.ledger.selfHeals++
+		m.ledger.counters.Filled += m.chunkBytes(id)
+		m.store[id.Key()] = struct{}{}
+	}
+
 	m.ledger.served++
 	m.ledger.counters.Requested += reqBytes
 	e := expect{status: 200, body: expectedBody(op.video, b0, b1)}
@@ -388,4 +408,12 @@ func (m *Model) cachedChunks() (total int, perShard []int) {
 // claims reports whether any model cache claims the chunk resident.
 func (m *Model) claims(id chunk.ID) bool {
 	return m.caches[m.shardOf(id.Video)].Contains(id)
+}
+
+// canForget reports whether the policy supports admission rollback —
+// the policies that do can never leave a claimed chunk without bytes.
+func (m *Model) canForget() bool {
+	type forgetter interface{ Forget(id chunk.ID) }
+	_, ok := m.caches[0].(forgetter)
+	return ok
 }

@@ -3,13 +3,57 @@ package oracle
 import (
 	"fmt"
 	"testing"
+
+	"videocdn/internal/policy"
 )
 
-// TestCheckMatrix runs the oracle across the full configuration
-// matrix: {mem,fs,slab} stores × {sync,async} fills × {1,8} shards ×
-// {off,32KB} hot tier × {cafe,xlru} policies, each with fixed seeds.
-// Any response diff, any ledger drift, any coherence violation fails
-// with the op index and seed needed to replay it (go test -run or
+// matrixCell is one oracle configuration of TestCheckMatrix.
+type matrixCell struct {
+	algo, kind string
+	async      bool
+	shards     int
+	hot        int64
+}
+
+// matrixCells builds the policy axis from the registry: the paper's
+// two production policies (cafe, xlru) sweep the full {store}×{fills}×
+// {shards}×{hot} matrix, and every OTHER registered online policy —
+// present and future — gets a reduced sweep (slab store, async fills,
+// hot off, both shard counts). A newly registered policy is oracle-
+// checked with zero edits to this file.
+func matrixCells() []matrixCell {
+	var cells []matrixCell
+	for _, algo := range []string{"cafe", "xlru"} {
+		for _, kind := range []string{"mem", "fs", "slab"} {
+			for _, async := range []bool{false, true} {
+				for _, shards := range []int{1, 8} {
+					for _, hot := range []int64{0, 32 << 10} {
+						cells = append(cells, matrixCell{algo, kind, async, shards, hot})
+					}
+				}
+			}
+		}
+	}
+	for _, algo := range policy.Names() {
+		if algo == "cafe" || algo == "xlru" {
+			continue
+		}
+		if spec, _ := policy.Lookup(algo); spec.NeedsTrace {
+			continue // offline policies cannot serve live traffic
+		}
+		for _, shards := range []int{1, 8} {
+			cells = append(cells, matrixCell{algo, "slab", true, shards, 0})
+		}
+	}
+	return cells
+}
+
+// TestCheckMatrix runs the oracle across the configuration matrix:
+// every registered online policy, {mem,fs,slab} stores × {sync,async}
+// fills × {1,8} shards × {off,32KB} hot tier (full matrix for
+// cafe/xlru, reduced for the rest), each with fixed seeds. Any
+// response diff, any ledger drift, any coherence violation fails with
+// the op index and seed needed to replay it (go test -run or
 // cmd/checker -seed). The 32 KB hot budget is deliberately tiny
 // relative to the working set so promotion, admission rejection, and
 // eviction all churn under the two-tier coherence check.
@@ -20,65 +64,90 @@ func TestCheckMatrix(t *testing.T) {
 		ops = 150
 		seeds = seeds[:1]
 	}
-	for _, algo := range []string{"cafe", "xlru"} {
-		for _, kind := range []string{"mem", "fs", "slab"} {
-			for _, async := range []bool{false, true} {
-				for _, shards := range []int{1, 8} {
-					for _, hot := range []int64{0, 32 << 10} {
-						algo, kind, async, shards, hot := algo, kind, async, shards, hot
-						name := fmt.Sprintf("%s/%s/async=%v/shards=%d/hot=%d", algo, kind, async, shards, hot)
-						t.Run(name, func(t *testing.T) {
-							t.Parallel()
-							for _, seed := range seeds {
-								res, err := Check(CheckConfig{
-									Algo: algo, StoreKind: kind, AsyncFills: async, Shards: shards,
-									HotBytes: hot, Seed: seed, Ops: ops, Dir: t.TempDir(),
-								})
-								if err != nil {
-									t.Fatal(err)
-								}
-								if res.Gets == 0 || res.OK200+res.Partial206 == 0 || res.Found302 == 0 {
-									t.Errorf("seed %d: degenerate op mix: %s", seed, res)
-								}
-								t.Logf("seed %d: %s", seed, res)
-							}
-						})
-					}
+	cells := matrixCells()
+	algos := map[string]bool{}
+	for _, c := range cells {
+		algos[c.algo] = true
+	}
+	if len(algos) < 4 {
+		t.Fatalf("matrix covers %d policies, want >= 4: %v", len(algos), algos)
+	}
+	for _, c := range cells {
+		c := c
+		name := fmt.Sprintf("%s/%s/async=%v/shards=%d/hot=%d", c.algo, c.kind, c.async, c.shards, c.hot)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				res, err := Check(CheckConfig{
+					Algo: c.algo, StoreKind: c.kind, AsyncFills: c.async, Shards: c.shards,
+					HotBytes: c.hot, Seed: seed, Ops: ops, Dir: t.TempDir(),
+				})
+				if err != nil {
+					t.Fatal(err)
 				}
+				if res.Gets == 0 || res.OK200+res.Partial206 == 0 || res.Found302 == 0 {
+					t.Errorf("seed %d: degenerate op mix: %s", seed, res)
+				}
+				t.Logf("seed %d: %s", seed, res)
 			}
-		}
+		})
 	}
 }
 
-// TestCheckDeterministic pins the bit-identical replay guarantee: two
-// runs with the same config and seed must produce identical digests
-// (responses and final stats), and a different seed must not.
+// pinnedDigests are the expected full response-and-stats digests of
+// the canonical determinism run (slab store, async fills, 8 shards,
+// seed 7, 250 ops) per policy. They pin two properties at once:
+// replay is bit-identical across runs, AND the registry refactor
+// changed zero behavior — any change to a policy's decisions, the
+// servers' response bytes, or the Eq. 2 arithmetic shows up here. If
+// a digest changes for a *deliberate* behavior change, rerun the test
+// and update the literal from the failure message.
+var pinnedDigests = map[string]string{
+	"cafe": "f1def2df4cd9857b",
+	"xlru": "a5f91db988ba9986",
+	"lru":  "1023757bccdda00d",
+	"lruq": "fe39b165804c22ad",
+}
+
+// TestCheckDeterministic pins the bit-identical replay guarantee per
+// policy: two runs with the same config and seed must produce the
+// pinned digest (responses and final stats), and a different seed
+// must not.
 func TestCheckDeterministic(t *testing.T) {
-	cfg := CheckConfig{Algo: "cafe", StoreKind: "slab", AsyncFills: true, Shards: 8, Seed: 7, Ops: 250}
-	cfg.Dir = t.TempDir()
-	a, err := Check(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg.Dir = t.TempDir()
-	b, err := Check(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Digest != b.Digest {
-		t.Fatalf("same seed, different digests: %s vs %s", a.Digest, b.Digest)
-	}
-	if a.String() != b.String() {
-		t.Fatalf("same seed, different results:\n%s\n%s", a, b)
-	}
-	cfg.Dir = t.TempDir()
-	cfg.Seed = 8
-	c, err := Check(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c.Digest == a.Digest {
-		t.Fatalf("different seeds produced identical digest %s", a.Digest)
+	for algo, want := range pinnedDigests {
+		algo, want := algo, want
+		t.Run(algo, func(t *testing.T) {
+			t.Parallel()
+			cfg := CheckConfig{Algo: algo, StoreKind: "slab", AsyncFills: true, Shards: 8, Seed: 7, Ops: 250}
+			cfg.Dir = t.TempDir()
+			a, err := Check(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Dir = t.TempDir()
+			b, err := Check(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Digest != b.Digest {
+				t.Fatalf("same seed, different digests: %s vs %s", a.Digest, b.Digest)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("same seed, different results:\n%s\n%s", a, b)
+			}
+			if a.Digest != want {
+				t.Fatalf("digest %s != pinned %s — %s's observable behavior changed; update pinnedDigests only if the change is deliberate", a.Digest, want, algo)
+			}
+			cfg.Dir = t.TempDir()
+			cfg.Seed = 8
+			c, err := Check(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Digest == a.Digest {
+				t.Fatalf("different seeds produced identical digest %s", a.Digest)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,11 @@
+package policy
+
+// UnregisterForTesting removes a registry entry; it exists so the
+// registration tests can exercise Register's panic paths with
+// throwaway names without leaking them into the registry the
+// conformance suite iterates.
+func UnregisterForTesting(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(registry, name)
+}

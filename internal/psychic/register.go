@@ -1,0 +1,27 @@
+package psychic
+
+import (
+	"videocdn/internal/core"
+	"videocdn/internal/policy"
+	"videocdn/internal/trace"
+)
+
+func init() {
+	policy.Register(policy.Spec{
+		Name:       "psychic",
+		Doc:        "offline cost-model upper bound with exact future knowledge (Section 8)",
+		NeedsTrace: true,
+		Fields: []policy.Field{
+			{Key: "alpha", Kind: policy.KindFloat, Default: 2.0, Doc: "fill-to-redirect preference alpha_F2R"},
+			{Key: "trace", Kind: policy.KindTrace, Doc: "the full future request sequence (required)"},
+			{Key: "n", Kind: policy.KindInt, Default: DefaultN, Doc: "future requests considered per chunk (|L_x| bound)"},
+			{Key: "strict", Kind: policy.KindBool, Default: false, Doc: "verify each replayed request against the indexed trace"},
+		},
+		New: func(cfg core.Config, p policy.Params) (core.Cache, error) {
+			return New(cfg, p["alpha"].(float64), p["trace"].([]trace.Request), Options{
+				N:      p["n"].(int),
+				Strict: p["strict"].(bool),
+			})
+		},
+	})
+}

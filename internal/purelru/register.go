@@ -1,0 +1,16 @@
+package purelru
+
+import (
+	"videocdn/internal/core"
+	"videocdn/internal/policy"
+)
+
+func init() {
+	policy.Register(policy.Spec{
+		Name: "lru",
+		Doc:  "always-fill chunk-level LRU, the proxy-style strawman baseline (Section 2)",
+		New: func(cfg core.Config, _ policy.Params) (core.Cache, error) {
+			return New(cfg)
+		},
+	})
+}

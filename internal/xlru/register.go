@@ -1,0 +1,19 @@
+package xlru
+
+import (
+	"videocdn/internal/core"
+	"videocdn/internal/policy"
+)
+
+func init() {
+	policy.Register(policy.Spec{
+		Name: "xlru",
+		Doc:  "the paper's xLRU: file-level popularity gate over a chunk-level LRU disk (Section 5)",
+		Fields: []policy.Field{
+			{Key: "alpha", Kind: policy.KindFloat, Default: 2.0, Doc: "fill-to-redirect preference alpha_F2R"},
+		},
+		New: func(cfg core.Config, p policy.Params) (core.Cache, error) {
+			return New(cfg, p["alpha"].(float64))
+		},
+	})
+}

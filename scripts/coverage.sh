@@ -16,12 +16,15 @@ GATED=(
 	videocdn/internal/cafe
 	videocdn/internal/xlru
 	videocdn/internal/edge
+	videocdn/internal/policy
+	videocdn/internal/lruq
 )
 profile=${1:-coverage.out}
 
 coverpkg=$(IFS=,; echo "${GATED[*]}")
 go test -coverpkg="$coverpkg" -coverprofile="$profile" \
-	./internal/core/ ./internal/cafe/ ./internal/xlru/ ./internal/edge/ ./internal/oracle/
+	./internal/core/ ./internal/cafe/ ./internal/xlru/ ./internal/edge/ ./internal/oracle/ \
+	./internal/policy/ ./internal/lruq/
 
 echo
 echo "coverage by gated package (threshold ${THRESHOLD}%):"
